@@ -1,0 +1,233 @@
+// Benchmarks regenerating the paper's evaluation. One benchmark per
+// experiment in DESIGN.md's index: each iteration performs the full
+// simulated experiment and reports the figures the paper's tables would
+// hold (throughput in Mbps, send-stall counts) as custom metrics.
+//
+//	go test -bench=. -benchmem
+package rsstcp_test
+
+import (
+	"testing"
+	"time"
+
+	"rsstcp"
+	"rsstcp/internal/experiment"
+)
+
+const paperDuration = 25 * time.Second
+
+func benchAlg(b *testing.B, path rsstcp.Path, alg rsstcp.Algorithm) {
+	b.Helper()
+	var lastThr float64
+	var lastStalls int64
+	for i := 0; i < b.N; i++ {
+		res, err := rsstcp.Run(rsstcp.Options{
+			Path:     path,
+			Flows:    []rsstcp.Flow{{Alg: alg}},
+			Duration: paperDuration,
+			Seed:     uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastThr = float64(res.Throughput) / 1e6
+		lastStalls = res.Stalls
+	}
+	b.ReportMetric(lastThr, "Mbps")
+	b.ReportMetric(float64(lastStalls), "stalls")
+}
+
+// BenchmarkFigure1 regenerates F1: the cumulative send-stall series for
+// both schemes on the paper path (100 Mbps, 60 ms RTT, IFQ 100).
+func BenchmarkFigure1(b *testing.B) {
+	b.Run("standard", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fig, err := rsstcp.Figure1(rsstcp.PaperPath(), paperDuration, uint64(i+1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(fig.Standard[len(fig.Standard)-1], "final-stalls")
+		}
+	})
+	b.Run("restricted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fig, err := rsstcp.Figure1(rsstcp.PaperPath(), paperDuration, uint64(i+1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(fig.Restricted[len(fig.Restricted)-1], "final-stalls")
+		}
+	})
+}
+
+// BenchmarkTable1 regenerates T1: the Section-4 throughput comparison. The
+// paper reports ~40% improvement of restricted over standard.
+func BenchmarkTable1(b *testing.B) {
+	for _, alg := range []rsstcp.Algorithm{
+		rsstcp.Standard, rsstcp.Restricted, rsstcp.Limited,
+		rsstcp.StandardABC, rsstcp.StallWait,
+	} {
+		b.Run(string(alg), func(b *testing.B) {
+			benchAlg(b, rsstcp.PaperPath(), alg)
+		})
+	}
+}
+
+// BenchmarkIFQSweep regenerates T2: throughput across txqueuelen sizes —
+// the memory-for-throughput trade of paper §2.
+func BenchmarkIFQSweep(b *testing.B) {
+	for _, q := range []int{50, 100, 200, 500, 1000, 2000} {
+		path := rsstcp.PaperPath()
+		path.TxQueueLen = q
+		b.Run("ifq="+itoa(q)+"/standard", func(b *testing.B) {
+			benchAlg(b, path, rsstcp.Standard)
+		})
+		b.Run("ifq="+itoa(q)+"/restricted", func(b *testing.B) {
+			benchAlg(b, path, rsstcp.Restricted)
+		})
+	}
+}
+
+// BenchmarkRTTSweep regenerates T3: the advantage versus RTT.
+func BenchmarkRTTSweep(b *testing.B) {
+	for _, rtt := range []time.Duration{
+		10 * time.Millisecond, 30 * time.Millisecond, 60 * time.Millisecond,
+		120 * time.Millisecond, 200 * time.Millisecond,
+	} {
+		path := rsstcp.PaperPath()
+		path.RTT = rtt
+		for _, alg := range []rsstcp.Algorithm{rsstcp.Standard, rsstcp.Limited, rsstcp.Restricted} {
+			b.Run("rtt="+rtt.String()+"/"+string(alg), func(b *testing.B) {
+				benchAlg(b, path, alg)
+			})
+		}
+	}
+}
+
+// BenchmarkZNTune regenerates T4: the Ziegler-Nichols tuning session of
+// paper §3 (gain sweep to sustained oscillation, then Kc/Tc extraction).
+func BenchmarkZNTune(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _, err := rsstcp.Tune(rsstcp.PaperPath(), 30*time.Second, rsstcp.RulePaper)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Critical.Kc, "Kc")
+		b.ReportMetric(res.Critical.Tc.Seconds(), "Tc-sec")
+	}
+}
+
+// BenchmarkSetpointSweep regenerates T5: the IFQ set-point ablation around
+// the paper's 90% choice.
+func BenchmarkSetpointSweep(b *testing.B) {
+	for _, f := range []float64{0.5, 0.7, 0.9, 0.95, 1.0} {
+		f := f
+		b.Run("setpoint="+ftoa(f), func(b *testing.B) {
+			var thr float64
+			var stalls int64
+			for i := 0; i < b.N; i++ {
+				res, err := rsstcp.Run(rsstcp.Options{
+					Path:     rsstcp.PaperPath(),
+					Flows:    []rsstcp.Flow{{Alg: rsstcp.Restricted, SetpointFraction: f}},
+					Duration: paperDuration,
+					Seed:     uint64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				thr = float64(res.Throughput) / 1e6
+				stalls = res.Stalls
+			}
+			b.ReportMetric(thr, "Mbps")
+			b.ReportMetric(float64(stalls), "stalls")
+		})
+	}
+}
+
+// BenchmarkFriendliness regenerates T6: each scheme against a standard
+// cross flow through a shared bottleneck.
+func BenchmarkFriendliness(b *testing.B) {
+	for _, alg := range []rsstcp.Algorithm{rsstcp.Standard, rsstcp.Restricted, rsstcp.Limited} {
+		b.Run(string(alg), func(b *testing.B) {
+			var primary, cross float64
+			for i := 0; i < b.N; i++ {
+				s, err := rsstcp.Build(rsstcp.Options{
+					Path: rsstcp.PaperPath(),
+					Flows: []rsstcp.Flow{
+						{Alg: alg},
+						{Alg: rsstcp.Standard, StartAt: 2 * time.Second},
+					},
+					Duration: 30 * time.Second,
+					Seed:     uint64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				s.Run()
+				primary = float64(s.ResultFor(0).Throughput) / 1e6
+				cross = float64(s.ResultFor(1).Throughput) / 1e6
+			}
+			b.ReportMetric(primary, "primary-Mbps")
+			b.ReportMetric(cross, "cross-Mbps")
+		})
+	}
+}
+
+// BenchmarkParallelStreams measures the GridFTP-style shared-host workload
+// (four streams, one IFQ) — the deployment the authors built the scheme
+// for.
+func BenchmarkParallelStreams(b *testing.B) {
+	for _, alg := range []rsstcp.Algorithm{rsstcp.Standard, rsstcp.Restricted} {
+		b.Run(string(alg), func(b *testing.B) {
+			var agg float64
+			var stalls int64
+			for i := 0; i < b.N; i++ {
+				flows := make([]rsstcp.Flow, 4)
+				for j := range flows {
+					flows[j] = rsstcp.Flow{Alg: alg, Host: 1, SetpointFraction: 0.8}
+				}
+				s, err := rsstcp.Build(rsstcp.Options{
+					Path:     rsstcp.PaperPath(),
+					Flows:    flows,
+					Duration: paperDuration,
+					Seed:     uint64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				s.Run()
+				agg, stalls = 0, 0
+				for j := 0; j < 4; j++ {
+					r := s.ResultFor(j)
+					agg += float64(r.Throughput) / 1e6
+					stalls += r.Stalls
+				}
+			}
+			b.ReportMetric(agg, "aggregate-Mbps")
+			b.ReportMetric(float64(stalls), "stalls")
+		})
+	}
+}
+
+// The experiment package is imported directly so the bench binary always
+// exercises the same generators cmd/rsstcp-bench ships.
+var _ = experiment.PaperPath
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func ftoa(f float64) string {
+	n := int(f*100 + 0.5)
+	return itoa(n/100) + "." + itoa(n/10%10) + itoa(n%10)
+}

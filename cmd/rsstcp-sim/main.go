@@ -1,0 +1,93 @@
+// Command rsstcp-sim runs a single simulated transfer and prints a
+// Web100-style summary, optionally dumping the recorded time series as CSV.
+//
+// Examples:
+//
+//	rsstcp-sim -alg standard
+//	rsstcp-sim -alg restricted -rtt 120ms -duration 30s
+//	rsstcp-sim -alg restricted -ifq 50 -setpoint 0.8 -csv trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rsstcp"
+	"rsstcp/internal/unit"
+)
+
+func main() {
+	var (
+		alg      = flag.String("alg", "restricted", "algorithm: standard|restricted|limited|standard-abc|stall-wait")
+		rtt      = flag.Duration("rtt", 60*time.Millisecond, "round-trip propagation delay")
+		bwMbps   = flag.Int("bw", 100, "bottleneck bandwidth in Mbps")
+		nicMbps  = flag.Int("nic", 0, "NIC rate in Mbps (0 = same as bottleneck)")
+		ifq      = flag.Int("ifq", 100, "txqueuelen (IFQ capacity) in packets")
+		duration = flag.Duration("duration", 25*time.Second, "run length")
+		bytes    = flag.Int64("bytes", 0, "transfer size (0 = backlogged for the whole run)")
+		setpoint = flag.Float64("setpoint", 0, "RSS IFQ set point fraction (0 = paper's 0.9)")
+		sack     = flag.Bool("sack", false, "enable SACK")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		csvPath  = flag.String("csv", "", "write recorded time series to this CSV file")
+	)
+	flag.Parse()
+
+	path := rsstcp.Path{
+		Bottleneck: rsstcp.Bandwidth(*bwMbps) * rsstcp.Mbps,
+		NICRate:    rsstcp.Bandwidth(*nicMbps) * rsstcp.Mbps,
+		RTT:        *rtt,
+		TxQueueLen: *ifq,
+	}
+	res, err := rsstcp.Run(rsstcp.Options{
+		Path: path,
+		Flows: []rsstcp.Flow{{
+			Alg:              rsstcp.Algorithm(*alg),
+			Bytes:            *bytes,
+			SetpointFraction: *setpoint,
+			SACK:             *sack,
+		}},
+		Duration: *duration,
+		Seed:     *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rsstcp-sim:", err)
+		os.Exit(1)
+	}
+
+	st := res.Stats
+	fmt.Printf("algorithm        %s\n", res.Alg)
+	fmt.Printf("path             %v bottleneck, %v RTT, IFQ %d pkts\n",
+		path.Bottleneck, *rtt, *ifq)
+	fmt.Printf("duration         %v\n", res.Duration)
+	fmt.Printf("throughput       %.2f Mbps\n", float64(res.Throughput)/1e6)
+	fmt.Printf("acked            %s\n", unit.ByteSize(st.ThruOctetsAcked))
+	fmt.Printf("utilization      %.3f\n", res.Utilization)
+	fmt.Printf("send-stalls      %d\n", st.SendStall)
+	fmt.Printf("cong-signals     %d (fast-retrans %d, timeouts %d, local %d)\n",
+		st.CongSignals, st.FastRetran, st.Timeouts, st.LocalCongCwnd)
+	fmt.Printf("segments         out %d, retrans %d, dup-acks-in %d\n",
+		st.SegsOut, st.SegsRetrans, st.DupAcksIn)
+	fmt.Printf("cwnd             cur %d, max %d (bytes)\n", st.CurCwnd, st.MaxCwnd)
+	fmt.Printf("rtt              min %v, srtt %v, max %v (rto %v)\n",
+		st.MinRTT, st.SmoothedRTT, st.MaxRTT, st.CurRTO)
+	fmt.Printf("snd-lim          cwnd %v, rwnd %v, sender %v\n",
+		st.SndLimTimeCwnd, st.SndLimTimeRwnd, st.SndLimTimeSender)
+	fmt.Printf("router-drops     %d\n", res.RouterDrops)
+	fmt.Printf("nic              sent %d segs, max IFQ %d pkts\n", res.NIC.Sent, res.NIC.MaxQueue)
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rsstcp-sim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := res.Rec.WriteCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, "rsstcp-sim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace            %s\n", *csvPath)
+	}
+}

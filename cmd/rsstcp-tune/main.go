@@ -1,0 +1,77 @@
+// Command rsstcp-tune runs the Ziegler-Nichols closed-loop procedure of the
+// paper's Section 3 on a simulated path: it sweeps a proportional-only
+// controller until the IFQ-occupancy loop sustains oscillation, reports the
+// critical gain Kc and period Tc, and derives PID gains under each rule.
+//
+// Example:
+//
+//	rsstcp-tune -rtt 60ms -bw 100 -ifq 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rsstcp"
+	"rsstcp/internal/experiment"
+	"rsstcp/internal/pid"
+	"rsstcp/internal/unit"
+)
+
+func main() {
+	var (
+		rtt      = flag.Duration("rtt", 60*time.Millisecond, "round-trip propagation delay")
+		bwMbps   = flag.Int("bw", 100, "bottleneck bandwidth in Mbps")
+		ifq      = flag.Int("ifq", 100, "txqueuelen in packets")
+		duration = flag.Duration("probe", 30*time.Second, "per-probe run length")
+		validate = flag.Bool("validate", true, "run a full transfer with each derived gain set")
+	)
+	flag.Parse()
+
+	path := experiment.PaperPath()
+	path.RTT = *rtt
+	path.Bottleneck = unit.Bandwidth(*bwMbps) * unit.Mbps
+	path.TxQueueLen = *ifq
+
+	fmt.Printf("tuning on %v bottleneck, %v RTT, IFQ %d pkts\n\n",
+		path.Bottleneck, *rtt, *ifq)
+
+	res, _, err := experiment.Tune(path, *duration, pid.RulePaper)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rsstcp-tune:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("gain sweep (proportional control alone):")
+	for _, tr := range res.Trials {
+		marker := " "
+		if tr.AtOrAbove {
+			marker = "*"
+		}
+		fmt.Printf("  %s Kp=%-9.4f cycles=%-3d period=%-8.3fs amplitude=%-6.1f decay=%.2f\n",
+			marker, tr.Kp, tr.Osc.Cycles, tr.Osc.Period, tr.Osc.Amplitude, tr.Osc.DecayRatio)
+	}
+	fmt.Printf("\ncritical point: Kc=%.4f Tc=%v\n\n", res.Critical.Kc, res.Critical.Tc)
+
+	rules := []pid.Rule{pid.RulePaper, pid.RuleClassic, pid.RulePI, pid.RuleNoOvershoot}
+	for _, rule := range rules {
+		g := res.Gains(rule)
+		fmt.Printf("%-14s %v\n", rule, g)
+		if !*validate {
+			continue
+		}
+		run, err := rsstcp.Run(rsstcp.Options{
+			Path:     path,
+			Flows:    []rsstcp.Flow{{Alg: rsstcp.Restricted, Gains: g}},
+			Duration: 25 * time.Second,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rsstcp-tune:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("               -> %.2f Mbps, %d stalls\n",
+			float64(run.Throughput)/1e6, run.Stalls)
+	}
+}

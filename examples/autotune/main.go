@@ -1,0 +1,55 @@
+// Autotune walks through the paper's Section 3 tuning recipe end to end:
+// sweep a proportional-only controller to the point of sustained
+// oscillation, read off the critical gain and period, derive the PID gains
+// with the paper's constants, and validate them with a full transfer.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rsstcp"
+)
+
+func main() {
+	path := rsstcp.PaperPath()
+	fmt.Println("Ziegler-Nichols closed-loop tuning on the paper path")
+	fmt.Println("(process variable: IFQ occupancy; set point: 90% of max IFQ)")
+	fmt.Println()
+
+	res, paperGains, err := rsstcp.Tune(path, 30*time.Second, rsstcp.RulePaper)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("probes: %d\n", len(res.Trials))
+	for _, tr := range res.Trials {
+		state := "decaying"
+		if tr.AtOrAbove {
+			state = "SUSTAINED"
+		}
+		fmt.Printf("  Kp=%-9.4f %-9s (cycles=%d, period=%.2fs)\n",
+			tr.Kp, state, tr.Osc.Cycles, tr.Osc.Period)
+	}
+	fmt.Printf("\ncritical point:  Kc=%.3f  Tc=%v\n", res.Critical.Kc, res.Critical.Tc)
+	fmt.Printf("paper constants: Kp=0.33*Kc  Ti=0.5*Tc  Td=0.33*Tc\n")
+	fmt.Printf("derived gains:   %v\n\n", paperGains)
+
+	// Validate the paper rule and the conservative variant: overshoot of
+	// this loop is a send-stall, so the no-overshoot rule is the robust
+	// pick when the measured critical point carries detector noise.
+	for _, rule := range []rsstcp.TuneRule{rsstcp.RulePaper, rsstcp.RuleNoOvershoot} {
+		g := res.Gains(rule)
+		run, err := rsstcp.Run(rsstcp.Options{
+			Path:     path,
+			Flows:    []rsstcp.Flow{{Alg: rsstcp.Restricted, Gains: g}},
+			Duration: 25 * time.Second,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("validation (%-12s): %.2f Mbps, %d send-stalls\n",
+			rule, float64(run.Throughput)/1e6, run.Stats.SendStall)
+	}
+}

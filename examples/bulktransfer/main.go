@@ -1,0 +1,48 @@
+// Bulktransfer reproduces the paper's Section 4 experiment: a bulk TCP
+// transfer over a 100 Mbps, 60 ms-RTT path, once with standard (2.4-era
+// Linux) TCP and once with Restricted Slow-Start, printing the throughput
+// comparison and the Figure-1 send-stall series.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"rsstcp"
+)
+
+func main() {
+	path := rsstcp.PaperPath()
+	const duration = 25 * time.Second
+
+	fmt.Println("Reproducing paper §4: 25 s bulk transfer, 100 Mbps, 60 ms RTT, IFQ 100")
+	fmt.Println()
+
+	var results []rsstcp.Result
+	for _, alg := range []rsstcp.Algorithm{rsstcp.Standard, rsstcp.Restricted} {
+		res, err := rsstcp.Run(rsstcp.Options{
+			Path:     path,
+			Flows:    []rsstcp.Flow{{Alg: alg}},
+			Duration: duration,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, res)
+		fmt.Printf("%-12s %7.2f Mbps   stalls=%d  cong-signals=%d  slow-start-exits=%d\n",
+			alg, float64(res.Throughput)/1e6, res.Stats.SendStall,
+			res.Stats.CongSignals, res.Stats.SlowStartExits)
+	}
+	improvement := float64(results[1].Throughput)/float64(results[0].Throughput) - 1
+	fmt.Printf("\nimprovement: %.0f%% (paper reports ~40%%)\n\n", improvement*100)
+
+	fig, err := rsstcp.Figure1(path, duration, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fig.Table().Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+package cc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRenoInvariantsUnderRandomEvents(t *testing.T) {
+	// Property: across arbitrary event sequences, the controller keeps
+	// cwnd >= 1 MSS and ssthresh >= 2 MSS (the sender clamps too, but the
+	// controller must not rely on it), and InSlowStart is consistent with
+	// the window state.
+	err := quick.Check(func(events []uint8) bool {
+		w := newWindow()
+		r := NewReno(RenoConfig{IW: 2})
+		r.Attach(w)
+		inRecovery := false
+		for _, e := range events {
+			w.flight = w.cwnd // keep flight plausible
+			switch e % 7 {
+			case 0, 1, 2:
+				r.OnAck(1000)
+			case 3:
+				if !inRecovery {
+					r.OnEnterRecovery()
+					inRecovery = true
+				}
+			case 4:
+				r.OnDupAck()
+			case 5:
+				if inRecovery {
+					r.OnExitRecovery()
+					inRecovery = false
+				}
+			case 6:
+				r.OnRTO()
+				inRecovery = false
+			}
+			if w.cwnd < 1000 {
+				return false
+			}
+			if w.ssthresh < 2000 {
+				return false
+			}
+			if !inRecovery && w.cwnd < w.ssthresh && !r.InSlowStart() {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}

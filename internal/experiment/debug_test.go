@@ -1,0 +1,33 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"rsstcp/internal/sim"
+)
+
+// TestDebugRSSTrajectory traces the PID control loop around slow-start; run
+// with -v to inspect. Not a correctness test.
+func TestDebugRSSTrajectory(t *testing.T) {
+	s, err := Build(Config{
+		Path:     PaperPath(),
+		Flows:    []FlowSpec{{Alg: AlgRestricted}},
+		Duration: 4 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := s.Flows[0]
+	var lastLog sim.Time
+	f.RSS.OnTick = func(occ float64, out float64, allowance int64) {
+		now := s.Eng.Now()
+		if now.Sub(lastLog) >= 50*time.Millisecond || occ > 85 {
+			t.Logf("t=%7.3fs ifq=%5.1f u=%7.2f allow=%6d cwnd=%5.0f stalls=%d",
+				now.Seconds(), occ, out, allowance/1448,
+				float64(f.Sender.Cwnd())/1448, f.Stalls.Value())
+			lastLog = now
+		}
+	}
+	s.Run()
+}

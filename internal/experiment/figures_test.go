@@ -1,0 +1,193 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Shape assertions for the paper's results. These are the claims
+// EXPERIMENTS.md reports; keep them tight but not brittle.
+
+func TestFigure1Shape(t *testing.T) {
+	fig, err := Figure1(PaperPath(), 25*time.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Seconds) != 26 {
+		t.Fatalf("rows = %d, want 26 (0..25s)", len(fig.Seconds))
+	}
+	// Standard TCP accumulates send-stalls, starting within the first
+	// seconds (slow-start overshoot).
+	final := fig.Standard[len(fig.Standard)-1]
+	if final < 1 {
+		t.Errorf("standard final cumulative stalls = %v, want >= 1", final)
+	}
+	early := fig.Standard[3] // by t=3s
+	if early < 1 {
+		t.Errorf("standard stalls by 3s = %v, want >= 1 (slow-start overshoot)", early)
+	}
+	// The series is non-decreasing (cumulative).
+	for i := 1; i < len(fig.Standard); i++ {
+		if fig.Standard[i] < fig.Standard[i-1] {
+			t.Fatalf("standard cumulative series decreased at %d", i)
+		}
+	}
+	// The proposed scheme stays at (or near) zero for the whole run.
+	rssFinal := fig.Restricted[len(fig.Restricted)-1]
+	if rssFinal != 0 {
+		t.Errorf("restricted final cumulative stalls = %v, want 0", rssFinal)
+	}
+	if final <= rssFinal {
+		t.Errorf("no separation: standard %v vs restricted %v", final, rssFinal)
+	}
+}
+
+func TestFigure1TableRendering(t *testing.T) {
+	fig, err := Figure1(PaperPath(), 5*time.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := fig.Table()
+	s := tbl.String()
+	for _, want := range []string{"Figure 1", "seconds", "standard-tcp", "restricted-ss"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table missing %q:\n%s", want, s)
+		}
+	}
+	if len(tbl.Rows) != 6 {
+		t.Errorf("rows = %d, want 6", len(tbl.Rows))
+	}
+}
+
+func TestThroughputImprovement(t *testing.T) {
+	// The paper's headline: restricted beats standard by tens of percent
+	// on the 100 Mbps / 60 ms path (paper: ~40%, shape target: >= 15%).
+	std, err := ThroughputOf(PaperPath(), AlgStandard, 25*time.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rss, err := ThroughputOf(PaperPath(), AlgRestricted, 25*time.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(rss) / float64(std)
+	if ratio < 1.15 {
+		t.Errorf("rss/std = %.3f, want >= 1.15 (paper: ~1.40)", ratio)
+	}
+	t.Logf("restricted/standard = %.3f (std %.1f Mbps, rss %.1f Mbps)",
+		ratio, float64(std)/1e6, float64(rss)/1e6)
+}
+
+func TestRestrictedApproachesIdealUpperBound(t *testing.T) {
+	rss, err := ThroughputOf(PaperPath(), AlgRestricted, 25*time.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal, err := ThroughputOf(PaperPath(), AlgStallWait, 25*time.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(rss) < 0.95*float64(ideal) {
+		t.Errorf("rss %.1f Mbps below 95%% of stall-free ideal %.1f Mbps",
+			float64(rss)/1e6, float64(ideal)/1e6)
+	}
+}
+
+func TestThroughputTableContainsAllAlgorithms(t *testing.T) {
+	tbl, err := ThroughputTable(PaperPath(), 10*time.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(Algorithms()) {
+		t.Fatalf("rows = %d, want %d", len(tbl.Rows), len(Algorithms()))
+	}
+	s := tbl.String()
+	for _, alg := range Algorithms() {
+		if !strings.Contains(s, string(alg)) {
+			t.Errorf("table missing %s:\n%s", alg, s)
+		}
+	}
+}
+
+func TestIFQSweepShape(t *testing.T) {
+	tbl, err := IFQSweep(PaperPath(), []int{100, 2000}, 20*time.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tbl.Rows))
+	}
+	// At IFQ 100 the advantage is large; at IFQ 2000 the standard sender
+	// no longer stalls during the run, closing most of the gap — the
+	// memory-for-throughput trade of paper §2.
+	small := parseRatio(t, tbl.Rows[0][5])
+	large := parseRatio(t, tbl.Rows[1][5])
+	if small < 1.10 {
+		t.Errorf("advantage at IFQ 100 = %.2f, want >= 1.10", small)
+	}
+	if large >= small {
+		t.Errorf("advantage at IFQ 2000 (%.2f) not smaller than at 100 (%.2f)", large, small)
+	}
+}
+
+func TestRTTSweepAdvantageGrowsWithRTT(t *testing.T) {
+	tbl, err := RTTSweep(PaperPath(), []time.Duration{10 * time.Millisecond, 120 * time.Millisecond},
+		25*time.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := parseRatio(t, tbl.Rows[0][5])
+	long := parseRatio(t, tbl.Rows[1][5])
+	if long <= short {
+		t.Errorf("advantage at 120ms (%.2f) not above 10ms (%.2f)", long, short)
+	}
+}
+
+func TestSetpointSweepShape(t *testing.T) {
+	tbl, err := SetpointSweep(PaperPath(), []float64{0.5, 0.9}, 15*time.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tbl.Rows))
+	}
+	// Both set points avoid stalls on the paper path.
+	for _, row := range tbl.Rows {
+		if row[2] != "0" {
+			t.Errorf("setpoint %s produced %s stalls", row[0], row[2])
+		}
+	}
+}
+
+func TestFriendlinessPrimaryDoesNotStarveCross(t *testing.T) {
+	tbl, err := FriendlinessTable(PaperPath(), 30*time.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row order: standard, restricted, limited. Compare the cross flow's
+	// share under RSS vs under a standard primary.
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tbl.Rows))
+	}
+	fairRSS := parseFloat(t, tbl.Rows[1][3])
+	if fairRSS < 0.5 {
+		t.Errorf("Jain fairness with RSS primary = %.3f, want >= 0.5", fairRSS)
+	}
+}
+
+func parseRatio(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(s, "x")
+	return parseFloat(t, s)
+}
+
+func parseFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	var v float64
+	if _, err := fmt.Sscan(s, &v); err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}

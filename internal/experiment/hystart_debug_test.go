@@ -1,0 +1,32 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"rsstcp/internal/cc"
+	"rsstcp/internal/sim"
+)
+
+// TestDebugHyStart traces the HyStart detectors on the paper path (-v).
+func TestDebugHyStart(t *testing.T) {
+	s, err := Build(Config{
+		Path:     PaperPath(),
+		Flows:    []FlowSpec{{Alg: AlgHyStart}},
+		Duration: 3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := s.Flows[0]
+	hs := f.Sender.Controller().(*cc.Reno)
+	_ = hs
+	tick := sim.NewTicker(s.Eng, 100*time.Millisecond, func() {
+		t.Logf("t=%5.2fs cwnd=%5.0fsegs ssthresh=%d inSS=%v ifq=%d lastRTT=%v",
+			s.Eng.Now().Seconds(), float64(f.Sender.Cwnd())/1448,
+			f.Sender.Ssthresh(), f.Sender.Controller().InSlowStart(),
+			f.NIC.Len(), f.Sender.LastRTT())
+	})
+	tick.Start()
+	s.Run()
+}

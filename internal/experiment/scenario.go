@@ -1,0 +1,404 @@
+// Package experiment assembles complete simulated testbeds — hosts, paths,
+// flows, instrumentation — and regenerates every figure and table of the
+// paper's evaluation plus the ablations DESIGN.md calls out.
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"rsstcp/internal/cc"
+	"rsstcp/internal/core"
+	"rsstcp/internal/host"
+	"rsstcp/internal/netem"
+	"rsstcp/internal/packet"
+	"rsstcp/internal/pid"
+	"rsstcp/internal/sim"
+	"rsstcp/internal/tcp"
+	"rsstcp/internal/trace"
+	"rsstcp/internal/unit"
+	"rsstcp/internal/web100"
+	"rsstcp/internal/workload"
+)
+
+// Algorithm selects the sender's congestion behaviour.
+type Algorithm string
+
+// Algorithms available to experiments.
+const (
+	// AlgStandard is 2.4-era Linux TCP: standard slow-start, send-stalls
+	// treated as congestion. The paper's baseline.
+	AlgStandard Algorithm = "standard"
+	// AlgRestricted is the paper's scheme: PID-paced slow-start.
+	AlgRestricted Algorithm = "restricted"
+	// AlgLimited is RFC 3742 Limited Slow-Start.
+	AlgLimited Algorithm = "limited"
+	// AlgStandardABC is standard slow-start with RFC 3465 byte counting.
+	AlgStandardABC Algorithm = "standard-abc"
+	// AlgStallWait is an idealized sender that waits out stalls without
+	// collapsing the window (upper-bound ablation).
+	AlgStallWait Algorithm = "stall-wait"
+	// AlgHyStart is slow-start with the Hybrid Slow Start delay detector
+	// (the mainstream post-paper answer to slow-start overshoot).
+	AlgHyStart Algorithm = "hystart"
+)
+
+// Algorithms lists every selectable algorithm.
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgStandard, AlgRestricted, AlgLimited, AlgStandardABC, AlgHyStart, AlgStallWait}
+}
+
+// PathConfig describes the network between the hosts.
+type PathConfig struct {
+	// Bottleneck is the shared link rate.
+	Bottleneck unit.Bandwidth
+	// RTT is the round-trip propagation delay.
+	RTT time.Duration
+	// RouterQueue is the bottleneck buffer in packets.
+	RouterQueue int
+	// NICRate is each sender's NIC line rate; zero means equal to the
+	// bottleneck (the paper's configuration, where the IFQ is the
+	// binding queue).
+	NICRate unit.Bandwidth
+	// TxQueueLen is the sender IFQ capacity in packets (txqueuelen).
+	TxQueueLen int
+}
+
+// PaperPath returns the testbed of Section 4: a 100 Mbps ANL↔LBNL path with
+// 60 ms RTT and the Linux default txqueuelen of 100.
+func PaperPath() PathConfig {
+	return PathConfig{
+		Bottleneck:  100 * unit.Mbps,
+		RTT:         60 * time.Millisecond,
+		RouterQueue: 250,
+		TxQueueLen:  100,
+	}
+}
+
+func (p PathConfig) withDefaults() PathConfig {
+	if p.Bottleneck <= 0 {
+		p.Bottleneck = 100 * unit.Mbps
+	}
+	if p.RTT <= 0 {
+		p.RTT = 60 * time.Millisecond
+	}
+	if p.RouterQueue <= 0 {
+		p.RouterQueue = 250
+	}
+	if p.NICRate <= 0 {
+		p.NICRate = p.Bottleneck
+	}
+	if p.TxQueueLen <= 0 {
+		p.TxQueueLen = 100
+	}
+	return p
+}
+
+// FlowSpec describes one sender/receiver pair.
+type FlowSpec struct {
+	// Alg selects the congestion behaviour.
+	Alg Algorithm
+	// StartAt delays the flow's first byte.
+	StartAt time.Duration
+	// Bytes fixes the transfer size; zero keeps the flow backlogged for
+	// the whole run.
+	Bytes int64
+	// Gains overrides the PID gains for AlgRestricted (zero = defaults).
+	Gains pid.Gains
+	// SetpointFraction overrides the IFQ set point (zero = 0.9).
+	SetpointFraction float64
+	// AllowShrink enables the RSS shrink ablation.
+	AllowShrink bool
+	// StallWait forces the stall-wait policy regardless of Alg; the
+	// Ziegler-Nichols rig uses it so stalls cannot collapse the loop
+	// under test.
+	StallWait bool
+	// Tick overrides the RSS control period.
+	Tick time.Duration
+	// SACK enables selective acknowledgments for this flow.
+	SACK bool
+	// MSS overrides the segment size (zero = 1448).
+	MSS int
+	// Host groups flows onto a shared sending host: flows with the same
+	// non-zero Host value share one NIC and IFQ (parallel streams, as in
+	// GridFTP). Zero gives the flow a host of its own.
+	Host int
+	// OnOff, when non-nil, replaces the backlogged workload with bursty
+	// on-off traffic (used for cross flows).
+	OnOff *OnOffSpec
+}
+
+// OnOffSpec describes an on-off source: On at Rate, then Off, repeating.
+type OnOffSpec struct {
+	On, Off time.Duration
+	Rate    unit.Bandwidth
+}
+
+// Config describes a full experiment run.
+type Config struct {
+	Path PathConfig
+	// Flows to run; Flows[0] is the measured flow. Empty means one
+	// standard flow.
+	Flows []FlowSpec
+	// Duration ends the run (default 25 s, the span of Figure 1).
+	Duration time.Duration
+	// Sample is the gauge sampling period (default 100 ms).
+	Sample time.Duration
+	// Seed feeds all randomness (default 1).
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	c.Path = c.Path.withDefaults()
+	if len(c.Flows) == 0 {
+		c.Flows = []FlowSpec{{Alg: AlgStandard}}
+	}
+	if c.Duration <= 0 {
+		c.Duration = 25 * time.Second
+	}
+	if c.Sample <= 0 {
+		c.Sample = 100 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Flow bundles the components of one connection.
+type Flow struct {
+	Spec     FlowSpec
+	ID       packet.FlowID
+	Sender   *tcp.Sender
+	Receiver *tcp.Receiver
+	NIC      *host.Interface
+	// RSS is non-nil for AlgRestricted.
+	RSS    *core.RestrictedSlowStart
+	Stalls *trace.Counter
+}
+
+// Scenario is a built, runnable testbed.
+type Scenario struct {
+	Eng        *sim.Engine
+	Cfg        Config
+	Flows      []*Flow
+	Rec        *trace.Recorder
+	Bottleneck *netem.Link
+	routerQ    *netem.DropTail
+	drops      int64
+	hosts      map[int]*host.Interface           // shared NICs by FlowSpec.Host
+	rssByHost  map[int]*core.RestrictedSlowStart // shared controllers by FlowSpec.Host
+}
+
+// demux routes segments to per-flow receivers.
+type demux struct {
+	routes map[packet.FlowID]netem.Receiver
+}
+
+func (d *demux) Receive(seg *packet.Segment) {
+	if r, ok := d.routes[seg.Flow]; ok {
+		r.Receive(seg)
+	}
+}
+
+// Build assembles the testbed described by cfg.
+func Build(cfg Config) (*Scenario, error) {
+	cfg = cfg.withDefaults()
+	eng := sim.NewEngine()
+	rec := trace.NewRecorder(eng)
+	owd := cfg.Path.RTT / 2
+
+	s := &Scenario{
+		Eng: eng, Cfg: cfg, Rec: rec,
+		hosts:     map[int]*host.Interface{},
+		rssByHost: map[int]*core.RestrictedSlowStart{},
+	}
+
+	// Shared bottleneck: router queue + link + forward propagation,
+	// delivering to the flow demux.
+	dm := &demux{routes: map[packet.FlowID]netem.Receiver{}}
+	s.routerQ = netem.NewDropTail(cfg.Path.RouterQueue)
+	s.Bottleneck = netem.NewLink(eng, cfg.Path.Bottleneck, owd, s.routerQ, dm)
+	s.Bottleneck.OnDrop = func(*packet.Segment) { s.drops++ }
+
+	for i, spec := range cfg.Flows {
+		id := packet.FlowID(i + 1)
+		flow, err := buildFlow(s, spec, id, owd, dm)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: flow %d: %w", i, err)
+		}
+		s.Flows = append(s.Flows, flow)
+	}
+	return s, nil
+}
+
+func buildFlow(s *Scenario, spec FlowSpec, id packet.FlowID, owd time.Duration, dm *demux) (*Flow, error) {
+	eng := s.Eng
+	cfg := s.Cfg
+
+	tcpCfg := tcp.DefaultConfig()
+	if spec.MSS > 0 {
+		tcpCfg.MSS = spec.MSS
+	}
+	tcpCfg.SACK = spec.SACK
+	if spec.Alg == AlgStallWait || spec.StallWait {
+		tcpCfg.Stall = tcp.StallWait
+	}
+
+	var nic *host.Interface
+	if spec.Host != 0 {
+		nic = s.hosts[spec.Host]
+	}
+	if nic == nil {
+		nic = host.NewInterface(eng, host.InterfaceConfig{
+			Rate:       cfg.Path.NICRate,
+			TxQueueLen: cfg.Path.TxQueueLen,
+		}, s.Bottleneck)
+		if spec.Host != 0 {
+			s.hosts[spec.Host] = nic
+		}
+	}
+
+	flow := &Flow{Spec: spec, ID: id, NIC: nic}
+
+	ctrl, err := buildController(s, spec, nic, flow)
+	if err != nil {
+		return nil, err
+	}
+
+	// Reverse path: receiver -> wire -> sender (sender set below).
+	revWire := netem.NewWire(eng, owd, netem.Func(func(seg *packet.Segment) {
+		flow.Sender.Receive(seg)
+	}))
+	flow.Receiver = tcp.NewReceiver(eng, tcpCfg, id, revWire)
+	dm.routes[id] = flow.Receiver
+
+	flow.Sender = tcp.NewSender(eng, tcpCfg, id, ctrl, nic)
+	flow.Stalls = trace.NewCounter(s.Rec, fmt.Sprintf("stalls/%d", id))
+	flow.Sender.OnStall = flow.Stalls.Inc
+
+	// Gauges for this flow.
+	s.Rec.Gauge(fmt.Sprintf("cwnd_segs/%d", id), func() float64 {
+		return float64(flow.Sender.Cwnd()) / float64(tcpCfg.MSS)
+	})
+	s.Rec.Gauge(fmt.Sprintf("ifq/%d", id), func() float64 {
+		return float64(nic.Len())
+	})
+	s.Rec.Gauge(fmt.Sprintf("goodput_mbps/%d", id), func() float64 {
+		return float64(flow.Sender.Stats().Throughput(eng.Now())) / 1e6
+	})
+
+	// Workload.
+	start := spec.StartAt
+	eng.Schedule(sim.At(start), func() {
+		switch {
+		case spec.OnOff != nil:
+			src := workload.NewOnOff(eng, flow.Sender,
+				spec.OnOff.On, spec.OnOff.Off, spec.OnOff.Rate, int64(tcpCfg.MSS))
+			src.Start()
+		case spec.Bytes > 0:
+			workload.Bulk(flow.Sender, spec.Bytes)
+		default:
+			workload.Unbounded(flow.Sender)
+		}
+	})
+	return flow, nil
+}
+
+func buildController(s *Scenario, spec FlowSpec, nic *host.Interface, flow *Flow) (cc.Controller, error) {
+	eng := s.Eng
+	switch spec.Alg {
+	case AlgRestricted:
+		// Flows sharing a host share the per-interface controller (the
+		// process variable is the interface queue); the first flow's
+		// gains and set point apply.
+		if spec.Host != 0 {
+			if rss := s.rssByHost[spec.Host]; rss != nil {
+				flow.RSS = rss
+				return cc.NewReno(cc.RenoConfig{SS: rss}), nil
+			}
+		}
+		ctrl, rss, err := core.NewController(eng, core.Config{
+			Sensor:           nic,
+			Gains:            spec.Gains,
+			SetpointFraction: spec.SetpointFraction,
+			Tick:             spec.Tick,
+			AllowShrink:      spec.AllowShrink,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if spec.Host != 0 {
+			s.rssByHost[spec.Host] = rss
+		}
+		flow.RSS = rss
+		return ctrl, nil
+	case AlgLimited:
+		return cc.NewReno(cc.RenoConfig{SS: cc.LimitedSlowStart{}}), nil
+	case AlgStandardABC:
+		return cc.NewReno(cc.RenoConfig{SS: cc.StdSlowStart{ABC: true}}), nil
+	case AlgHyStart:
+		return cc.NewReno(cc.RenoConfig{SS: cc.NewHyStart()}), nil
+	case AlgStandard, AlgStallWait, "":
+		return cc.NewReno(cc.RenoConfig{}), nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", spec.Alg)
+	}
+}
+
+// Result summarizes the measured (first) flow after a run.
+type Result struct {
+	Alg         Algorithm
+	Stats       web100.Stats
+	Throughput  unit.Bandwidth
+	Stalls      int64
+	NIC         host.InterfaceStats
+	Utilization float64
+	RouterDrops int64
+	Duration    time.Duration
+	// Series exposes the recorder for figure generation.
+	Rec *trace.Recorder
+}
+
+// Run executes the scenario for its configured duration and summarizes the
+// primary flow.
+func (s *Scenario) Run() Result {
+	s.Rec.Sample(s.Cfg.Sample)
+	s.Eng.RunUntil(sim.At(s.Cfg.Duration))
+	return s.resultFor(0)
+}
+
+func (s *Scenario) resultFor(i int) Result {
+	f := s.Flows[i]
+	now := s.Eng.Now()
+	st := f.Sender.Stats().Snapshot(now)
+	return Result{
+		Alg:         f.Spec.Alg,
+		Stats:       st,
+		Throughput:  st.Throughput(now),
+		Stalls:      f.Stalls.Value(),
+		NIC:         f.NIC.Stats(),
+		Utilization: s.Bottleneck.Utilization(now),
+		RouterDrops: s.drops,
+		Duration:    now.Duration(),
+		Rec:         s.Rec,
+	}
+}
+
+// ResultFor summarizes any flow by index (after Run).
+func (s *Scenario) ResultFor(i int) Result { return s.resultFor(i) }
+
+// StallSeries returns the cumulative send-stall series of flow i.
+func (s *Scenario) StallSeries(i int) *trace.Series {
+	return s.Rec.Series(fmt.Sprintf("stalls/%d", s.Flows[i].ID))
+}
+
+// CwndSeries returns the cwnd (segments) series of flow i.
+func (s *Scenario) CwndSeries(i int) *trace.Series {
+	return s.Rec.Series(fmt.Sprintf("cwnd_segs/%d", s.Flows[i].ID))
+}
+
+// IFQSeries returns the IFQ occupancy series of flow i.
+func (s *Scenario) IFQSeries(i int) *trace.Series {
+	return s.Rec.Series(fmt.Sprintf("ifq/%d", s.Flows[i].ID))
+}

@@ -1,0 +1,27 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSmokePaperDynamics prints the head-to-head numbers on the paper path;
+// run with -v to inspect. Assertions here are deliberately loose — the
+// tight shape checks live in figures_test.go.
+func TestSmokePaperDynamics(t *testing.T) {
+	for _, alg := range []Algorithm{AlgStandard, AlgRestricted, AlgStallWait} {
+		s, err := Build(Config{
+			Path:     PaperPath(),
+			Flows:    []FlowSpec{{Alg: alg}},
+			Duration: 25 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := s.Run()
+		t.Logf("%-12s thr=%7.2f Mbps stalls=%3d congSig=%2d ssExits=%d maxCwnd=%5.0fsegs util=%.3f minRTT=%v maxIFQ=%d",
+			alg, float64(res.Throughput)/1e6, res.Stalls, res.Stats.CongSignals,
+			res.Stats.SlowStartExits, float64(res.Stats.MaxCwnd)/1448,
+			res.Utilization, res.Stats.MinRTT, res.NIC.MaxQueue)
+	}
+}

@@ -1,0 +1,27 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"rsstcp/internal/sim"
+)
+
+func TestDebugT7Recovery(t *testing.T) {
+	path := PaperPath()
+	path.NICRate = 1000 * 1000 * 1000
+	s, err := Build(Config{Path: path, Flows: []FlowSpec{{Alg: AlgStandard, SACK: true}}, Duration: 8 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := s.Flows[0]
+	tick := sim.NewTicker(s.Eng, 100*time.Millisecond, func() {
+		st := f.Sender.Stats()
+		t.Logf("t=%4.1fs una=%8d nxt=%8d cwnd=%6.0f rec=%v rtx=%5d to=%d fr=%d dup=%d rto=%v",
+			s.Eng.Now().Seconds(), f.Sender.SndUna()/1448, f.Sender.SndNxt()/1448,
+			float64(f.Sender.Cwnd())/1448, f.Sender.InRecovery(),
+			st.SegsRetrans, st.Timeouts, st.FastRetran, st.DupAcksIn, f.Sender.RTO())
+	})
+	tick.Start()
+	s.Run()
+}

@@ -1,0 +1,25 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"rsstcp/internal/pid"
+)
+
+// TestDebugTuneCriticalPoint measures Kc/Tc on the paper path; -v to view.
+func TestDebugTuneCriticalPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tuning sweep is slow")
+	}
+	res, gains, err := Tune(PaperPath(), 30*time.Second, pid.RulePaper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range res.Trials {
+		t.Logf("kp=%8.4f cycles=%2d period=%6.3fs amp=%5.1f decay=%5.2f sustained=%v",
+			tr.Kp, tr.Osc.Cycles, tr.Osc.Period, tr.Osc.Amplitude, tr.Osc.DecayRatio, tr.AtOrAbove)
+	}
+	t.Logf("critical: Kc=%.4f Tc=%v", res.Critical.Kc, res.Critical.Tc)
+	t.Logf("paper gains: %v", gains)
+}

@@ -1,0 +1,178 @@
+// Package host models the sending host's transmit path: a network interface
+// (NIC) draining a finite interface queue (IFQ, the Linux txqueuelen). This
+// is the "soft component" of the paper — when TCP's transmit path finds the
+// IFQ full, the enqueue fails and a send-stall signal is raised, which
+// 2.4-era Linux TCP treated exactly like network congestion.
+package host
+
+import (
+	"time"
+
+	"rsstcp/internal/netem"
+	"rsstcp/internal/packet"
+	"rsstcp/internal/sim"
+	"rsstcp/internal/unit"
+)
+
+// InterfaceConfig describes a NIC and its transmit queue.
+type InterfaceConfig struct {
+	// Rate is the NIC line rate.
+	Rate unit.Bandwidth
+	// TxQueueLen is the IFQ capacity in packets (Linux txqueuelen;
+	// the 2.4-era default was 100).
+	TxQueueLen int
+}
+
+// DefaultInterfaceConfig matches the paper era: a gigabit NIC with the
+// Linux default txqueuelen of 100 packets.
+func DefaultInterfaceConfig() InterfaceConfig {
+	return InterfaceConfig{Rate: 1 * unit.Gbps, TxQueueLen: 100}
+}
+
+// InterfaceStats aggregates the NIC counters.
+type InterfaceStats struct {
+	Sent      int64         // segments fully serialized onto the wire
+	SentBytes int64         // wire bytes serialized
+	Stalls    int64         // enqueue attempts refused (send-stalls)
+	MaxQueue  int           // IFQ high-water mark in packets
+	Busy      time.Duration // cumulative serialization time
+}
+
+// Interface is the simulated NIC + IFQ. Sending is synchronous from the
+// caller's point of view: Send returns false when the IFQ is full, which is
+// precisely a send-stall. The NIC drains the IFQ at line rate into the
+// attached network chain.
+type Interface struct {
+	eng    *sim.Engine
+	cfg    InterfaceConfig
+	queue  *netem.DropTail
+	dst    netem.Receiver
+	busy   bool
+	wakers []func()
+	stats  InterfaceStats
+	// occupancy integral for average-occupancy reporting
+	occLast    sim.Time
+	occWeight  float64 // ∫ len dt in packet·seconds
+	onSendDone func()
+}
+
+// NewInterface builds a NIC draining into dst.
+func NewInterface(eng *sim.Engine, cfg InterfaceConfig, dst netem.Receiver) *Interface {
+	if cfg.Rate <= 0 {
+		panic("host: NIC rate must be positive")
+	}
+	if cfg.TxQueueLen <= 0 {
+		panic("host: TxQueueLen must be positive")
+	}
+	if dst == nil {
+		panic("host: NewInterface with nil destination")
+	}
+	return &Interface{
+		eng:   eng,
+		cfg:   cfg,
+		queue: netem.NewDropTail(cfg.TxQueueLen),
+		dst:   dst,
+	}
+}
+
+// Send offers a segment to the IFQ. It returns false — a send-stall — when
+// the queue is full; the segment is NOT consumed and the caller keeps it.
+func (i *Interface) Send(seg *packet.Segment) bool {
+	i.accumulateOccupancy()
+	if !i.queue.Enqueue(seg) {
+		i.stats.Stalls++
+		return false
+	}
+	if n := i.queue.Len(); n > i.stats.MaxQueue {
+		i.stats.MaxQueue = n
+	}
+	i.maybeTransmit()
+	return true
+}
+
+// SetWaker arms a one-shot callback invoked the next time IFQ room becomes
+// available. A stalled sender uses it to resume without polling. Several
+// senders may share one interface (parallel streams from one host); each
+// arms its own waker and all are woken when room appears.
+func (i *Interface) SetWaker(fn func()) { i.wakers = append(i.wakers, fn) }
+
+func (i *Interface) maybeTransmit() {
+	if i.busy {
+		return
+	}
+	seg := i.queue.Dequeue()
+	if seg == nil {
+		return
+	}
+	i.accumulateOccupancy()
+	i.busy = true
+	st := i.cfg.Rate.Serialization(seg.Size())
+	i.eng.ScheduleAfter(st, func() {
+		i.busy = false
+		i.stats.Sent++
+		i.stats.SentBytes += int64(seg.Size())
+		i.stats.Busy += st
+		i.dst.Receive(seg)
+		// Start the next transmission first: dequeueing it is what frees
+		// IFQ room, so the waker observes the post-dequeue occupancy.
+		i.maybeTransmit()
+		i.wake()
+		if i.onSendDone != nil {
+			i.onSendDone()
+		}
+	})
+}
+
+func (i *Interface) wake() {
+	if len(i.wakers) == 0 || i.queue.Len() >= i.queue.Capacity() {
+		return
+	}
+	ws := i.wakers
+	i.wakers = nil
+	for _, w := range ws {
+		w()
+	}
+}
+
+func (i *Interface) accumulateOccupancy() {
+	now := i.eng.Now()
+	if now > i.occLast {
+		i.occWeight += float64(i.queue.Len()) * now.Sub(i.occLast).Seconds()
+		i.occLast = now
+	}
+}
+
+// Len returns the current IFQ occupancy in packets. This is the PID
+// controller's process variable.
+func (i *Interface) Len() int { return i.queue.Len() }
+
+// Capacity returns the IFQ capacity in packets (txqueuelen).
+func (i *Interface) Capacity() int { return i.queue.Capacity() }
+
+// Occupancy returns Len/Capacity in [0, 1].
+func (i *Interface) Occupancy() float64 {
+	return float64(i.queue.Len()) / float64(i.queue.Capacity())
+}
+
+// AvgOccupancy returns the time-average IFQ length in packets over [0, now].
+func (i *Interface) AvgOccupancy() float64 {
+	i.accumulateOccupancy()
+	sec := i.eng.Now().Seconds()
+	if sec <= 0 {
+		return 0
+	}
+	return i.occWeight / sec
+}
+
+// Stats returns a copy of the NIC counters.
+func (i *Interface) Stats() InterfaceStats { return i.stats }
+
+// Rate returns the NIC line rate.
+func (i *Interface) Rate() unit.Bandwidth { return i.cfg.Rate }
+
+// AsReceiver adapts the interface for chains that cannot observe stalls
+// (e.g. a receiver host sending ACKs): segments that stall are dropped,
+// exactly as a full qdisc drops with NET_XMIT_DROP.
+func (i *Interface) AsReceiver() netem.Receiver {
+	return netem.Func(func(seg *packet.Segment) { i.Send(seg) })
+}

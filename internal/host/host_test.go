@@ -1,0 +1,287 @@
+package host
+
+import (
+	"testing"
+	"time"
+
+	"rsstcp/internal/netem"
+	"rsstcp/internal/packet"
+	"rsstcp/internal/sim"
+	"rsstcp/internal/unit"
+)
+
+func seg(n int) *packet.Segment { return &packet.Segment{Len: n} }
+
+func nic(eng *sim.Engine, rate unit.Bandwidth, qlen int, dst netem.Receiver) *Interface {
+	return NewInterface(eng, InterfaceConfig{Rate: rate, TxQueueLen: qlen}, dst)
+}
+
+func TestSendDeliversDownstream(t *testing.T) {
+	eng := sim.NewEngine()
+	sink := &netem.Sink{}
+	i := nic(eng, 1*unit.Gbps, 100, sink)
+	if !i.Send(seg(1460)) {
+		t.Fatal("Send failed on empty IFQ")
+	}
+	eng.Run()
+	if sink.Packets != 1 {
+		t.Errorf("delivered %d, want 1", sink.Packets)
+	}
+	st := i.Stats()
+	if st.Sent != 1 || st.SentBytes != 1500 {
+		t.Errorf("stats = %+v, want Sent=1 SentBytes=1500", st)
+	}
+}
+
+func TestSerializationRate(t *testing.T) {
+	eng := sim.NewEngine()
+	var at sim.Time
+	i := nic(eng, 100*unit.Mbps, 100, netem.Func(func(*packet.Segment) { at = eng.Now() }))
+	i.Send(seg(1460)) // 1500B at 100 Mbps = 120us
+	eng.Run()
+	if at != sim.At(120*time.Microsecond) {
+		t.Errorf("delivered at %v, want 120us", at)
+	}
+}
+
+func TestSendStallWhenIFQFull(t *testing.T) {
+	eng := sim.NewEngine()
+	i := nic(eng, 1*unit.Mbps, 3, &netem.Sink{})
+	// First goes straight to the serializer, then 3 fill the queue.
+	for k := 0; k < 4; k++ {
+		if !i.Send(seg(1460)) {
+			t.Fatalf("send %d stalled below capacity", k)
+		}
+	}
+	if i.Send(seg(1460)) {
+		t.Error("send succeeded with full IFQ")
+	}
+	if i.Stats().Stalls != 1 {
+		t.Errorf("Stalls = %d, want 1", i.Stats().Stalls)
+	}
+	if i.Len() != 3 {
+		t.Errorf("Len = %d, want 3", i.Len())
+	}
+}
+
+func TestOccupancyFraction(t *testing.T) {
+	eng := sim.NewEngine()
+	i := nic(eng, 1*unit.Mbps, 10, &netem.Sink{})
+	for k := 0; k < 6; k++ {
+		i.Send(seg(1460))
+	}
+	// 1 segment in service, 5 queued.
+	if i.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", i.Len())
+	}
+	if got := i.Occupancy(); got != 0.5 {
+		t.Errorf("Occupancy = %v, want 0.5", got)
+	}
+	if i.Capacity() != 10 {
+		t.Errorf("Capacity = %d, want 10", i.Capacity())
+	}
+}
+
+func TestWakerFiresWhenRoomAvailable(t *testing.T) {
+	eng := sim.NewEngine()
+	i := nic(eng, 100*unit.Mbps, 2, &netem.Sink{})
+	for k := 0; k < 3; k++ {
+		i.Send(seg(1460))
+	}
+	if i.Send(seg(1460)) {
+		t.Fatal("expected stall")
+	}
+	woken := false
+	var wokenAt sim.Time
+	i.SetWaker(func() { woken = true; wokenAt = eng.Now() })
+	eng.Run()
+	if !woken {
+		t.Fatal("waker never fired")
+	}
+	// Room appears when the first queued segment enters the serializer,
+	// observed at the completion of the segment in service (120us).
+	if wokenAt != sim.At(120*time.Microsecond) {
+		t.Errorf("woken at %v, want 120us", wokenAt)
+	}
+}
+
+func TestWakerIsOneShot(t *testing.T) {
+	eng := sim.NewEngine()
+	i := nic(eng, 100*unit.Mbps, 4, &netem.Sink{})
+	calls := 0
+	i.SetWaker(func() { calls++ })
+	for k := 0; k < 4; k++ {
+		i.Send(seg(1460))
+	}
+	eng.Run()
+	if calls != 1 {
+		t.Errorf("waker fired %d times, want 1", calls)
+	}
+}
+
+func TestWakerCanResumeSending(t *testing.T) {
+	// A stalled producer that re-arms the waker drains everything through
+	// a tiny IFQ without losing segments.
+	eng := sim.NewEngine()
+	sink := &netem.Sink{}
+	i := nic(eng, 1*unit.Gbps, 2, sink)
+	remaining := 100
+	var pump func()
+	pump = func() {
+		for remaining > 0 {
+			if !i.Send(seg(1460)) {
+				i.SetWaker(pump)
+				return
+			}
+			remaining--
+		}
+	}
+	pump()
+	eng.Run()
+	if sink.Packets != 100 {
+		t.Errorf("delivered %d, want 100", sink.Packets)
+	}
+	if remaining != 0 {
+		t.Errorf("remaining = %d, want 0", remaining)
+	}
+}
+
+func TestStallsDoNotConsumeSegment(t *testing.T) {
+	eng := sim.NewEngine()
+	sink := &netem.Sink{}
+	i := nic(eng, 1*unit.Gbps, 1, sink)
+	s := seg(1460)
+	i.Send(seg(1460))
+	i.Send(seg(1460))
+	if i.Send(s) {
+		t.Fatal("expected stall")
+	}
+	// The caller still owns s and can retry later.
+	eng.Run()
+	if !i.Send(s) {
+		t.Fatal("retry after drain failed")
+	}
+	eng.Run()
+	if sink.Packets != 3 {
+		t.Errorf("delivered %d, want 3", sink.Packets)
+	}
+}
+
+func TestAvgOccupancyReflectsBacklog(t *testing.T) {
+	eng := sim.NewEngine()
+	i := nic(eng, 100*unit.Mbps, 100, &netem.Sink{})
+	for k := 0; k < 50; k++ {
+		i.Send(seg(1460))
+	}
+	eng.Run()
+	avg := i.AvgOccupancy()
+	// 50 segments drained linearly: average backlog ≈ 24-25 packets.
+	if avg < 15 || avg > 35 {
+		t.Errorf("AvgOccupancy = %v, want ~24", avg)
+	}
+}
+
+func TestAsReceiverDropsOnStall(t *testing.T) {
+	eng := sim.NewEngine()
+	sink := &netem.Sink{}
+	i := nic(eng, 1*unit.Mbps, 1, sink)
+	r := i.AsReceiver()
+	for k := 0; k < 5; k++ {
+		r.Receive(seg(1460))
+	}
+	eng.Run()
+	// 1 in service + 1 queued; 3 dropped silently.
+	if sink.Packets != 2 {
+		t.Errorf("delivered %d, want 2", sink.Packets)
+	}
+	if i.Stats().Stalls != 3 {
+		t.Errorf("Stalls = %d, want 3", i.Stats().Stalls)
+	}
+}
+
+func TestMaxQueueHighWater(t *testing.T) {
+	eng := sim.NewEngine()
+	i := nic(eng, 1*unit.Mbps, 50, &netem.Sink{})
+	for k := 0; k < 31; k++ {
+		i.Send(seg(1460))
+	}
+	eng.Run()
+	if i.Stats().MaxQueue != 30 {
+		t.Errorf("MaxQueue = %d, want 30", i.Stats().MaxQueue)
+	}
+}
+
+func TestMultipleWakersAllFire(t *testing.T) {
+	eng := sim.NewEngine()
+	i := nic(eng, 100*unit.Mbps, 2, &netem.Sink{})
+	for k := 0; k < 3; k++ {
+		i.Send(seg(1460))
+	}
+	a, b := false, false
+	i.SetWaker(func() { a = true })
+	i.SetWaker(func() { b = true })
+	eng.Run()
+	if !a || !b {
+		t.Errorf("wakers fired a=%v b=%v, want both (shared-NIC senders)", a, b)
+	}
+}
+
+func TestSharedInterfaceInterleavesSenders(t *testing.T) {
+	// Two producers share one NIC; both make progress and all segments
+	// arrive.
+	eng := sim.NewEngine()
+	sink := &netem.Sink{}
+	i := nic(eng, 1*unit.Gbps, 4, sink)
+	remaining := [2]int{50, 50}
+	var pump func(id int) func()
+	pump = func(id int) func() {
+		var f func()
+		f = func() {
+			for remaining[id] > 0 {
+				if !i.Send(seg(1460)) {
+					i.SetWaker(f)
+					return
+				}
+				remaining[id]--
+			}
+		}
+		return f
+	}
+	pump(0)()
+	pump(1)()
+	eng.Run()
+	if sink.Packets != 100 {
+		t.Errorf("delivered %d, want 100", sink.Packets)
+	}
+	if remaining[0] != 0 || remaining[1] != 0 {
+		t.Errorf("remaining = %v, want both 0", remaining)
+	}
+}
+
+func TestInterfaceBadConfigPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	cases := map[string]InterfaceConfig{
+		"zero rate": {Rate: 0, TxQueueLen: 10},
+		"zero qlen": {Rate: unit.Gbps, TxQueueLen: 0},
+	}
+	for name, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			NewInterface(eng, cfg, &netem.Sink{})
+		}()
+	}
+}
+
+func TestDefaultInterfaceConfig(t *testing.T) {
+	cfg := DefaultInterfaceConfig()
+	if cfg.TxQueueLen != 100 {
+		t.Errorf("default TxQueueLen = %d, want 100 (Linux 2.4 default)", cfg.TxQueueLen)
+	}
+	if cfg.Rate != unit.Gbps {
+		t.Errorf("default Rate = %v, want 1Gbps", cfg.Rate)
+	}
+}

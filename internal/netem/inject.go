@@ -1,0 +1,97 @@
+package netem
+
+import (
+	"time"
+
+	"rsstcp/internal/packet"
+	"rsstcp/internal/sim"
+)
+
+// Loss drops each passing segment independently with probability P.
+// Deterministic failure injection is available through DropEvery.
+type Loss struct {
+	// P is the independent drop probability in [0, 1].
+	P float64
+	// DropEvery, when > 0, deterministically drops every Nth segment
+	// (counted from 1) in addition to random losses. Useful in tests.
+	DropEvery int
+	// RNG supplies randomness; nil means never drop randomly.
+	RNG  *sim.RNG
+	Next Receiver
+
+	seen    int64
+	dropped int64
+}
+
+// Receive drops or forwards the segment.
+func (l *Loss) Receive(seg *packet.Segment) {
+	l.seen++
+	if l.DropEvery > 0 && l.seen%int64(l.DropEvery) == 0 {
+		l.dropped++
+		return
+	}
+	if l.P > 0 && l.RNG != nil && l.RNG.Bool(l.P) {
+		l.dropped++
+		return
+	}
+	l.Next.Receive(seg)
+}
+
+// Dropped returns how many segments were discarded.
+func (l *Loss) Dropped() int64 { return l.dropped }
+
+// Seen returns how many segments arrived (dropped or not).
+func (l *Loss) Seen() int64 { return l.seen }
+
+// Duplicator forwards every segment and, with probability P, an extra copy.
+type Duplicator struct {
+	P    float64
+	RNG  *sim.RNG
+	Next Receiver
+
+	duplicated int64
+}
+
+// Receive forwards the segment, sometimes twice.
+func (d *Duplicator) Receive(seg *packet.Segment) {
+	d.Next.Receive(seg)
+	if d.P > 0 && d.RNG != nil && d.RNG.Bool(d.P) {
+		d.duplicated++
+		d.Next.Receive(seg.Clone())
+	}
+}
+
+// Duplicated returns how many extra copies were emitted.
+func (d *Duplicator) Duplicated() int64 { return d.duplicated }
+
+// Reorderer delays randomly chosen segments by an extra interval, letting
+// later traffic overtake them — the classic cause of spurious duplicate ACKs.
+type Reorderer struct {
+	eng *sim.Engine
+	// P is the probability a segment is held back.
+	P float64
+	// Delay is the extra hold time applied to reordered segments.
+	Delay time.Duration
+	RNG   *sim.RNG
+	Next  Receiver
+
+	reordered int64
+}
+
+// NewReorderer builds a reorder injector.
+func NewReorderer(eng *sim.Engine, p float64, delay time.Duration, rng *sim.RNG, next Receiver) *Reorderer {
+	return &Reorderer{eng: eng, P: p, Delay: delay, RNG: rng, Next: next}
+}
+
+// Receive forwards the segment now, or after the extra delay.
+func (r *Reorderer) Receive(seg *packet.Segment) {
+	if r.P > 0 && r.RNG != nil && r.RNG.Bool(r.P) {
+		r.reordered++
+		r.eng.ScheduleAfter(r.Delay, func() { r.Next.Receive(seg) })
+		return
+	}
+	r.Next.Receive(seg)
+}
+
+// Reordered returns how many segments were held back.
+func (r *Reorderer) Reordered() int64 { return r.reordered }

@@ -1,0 +1,117 @@
+package netem
+
+import (
+	"time"
+
+	"rsstcp/internal/packet"
+	"rsstcp/internal/sim"
+	"rsstcp/internal/unit"
+)
+
+// Wire delays every segment by a fixed propagation time with no bandwidth
+// limit and no queueing — the speed-of-light component of a path.
+type Wire struct {
+	eng   *sim.Engine
+	delay time.Duration
+	dst   Receiver
+}
+
+// NewWire returns a pure-delay element feeding dst.
+func NewWire(eng *sim.Engine, delay time.Duration, dst Receiver) *Wire {
+	if dst == nil {
+		panic("netem: NewWire with nil destination")
+	}
+	return &Wire{eng: eng, delay: delay, dst: dst}
+}
+
+// Receive forwards the segment after the propagation delay.
+func (w *Wire) Receive(seg *packet.Segment) {
+	w.eng.ScheduleAfter(w.delay, func() { w.dst.Receive(seg) })
+}
+
+// LinkStats aggregates a link's transmission counters.
+type LinkStats struct {
+	Sent      int64         // segments fully serialized
+	SentBytes int64         // on-the-wire bytes serialized
+	Busy      time.Duration // cumulative serialization time
+}
+
+// Link is a store-and-forward transmission facility: an attached queueing
+// discipline feeding a serializer of fixed rate, followed by a fixed
+// propagation delay. It models a router output port (queue = the router
+// buffer) or, inside a host, a NIC.
+type Link struct {
+	eng   *sim.Engine
+	rate  unit.Bandwidth
+	delay time.Duration
+	queue Queue
+	dst   Receiver
+	busy  bool
+	stats LinkStats
+	// OnDrop, when set, is invoked for each segment the queue refuses.
+	OnDrop func(seg *packet.Segment)
+}
+
+// NewLink builds a link serializing at rate, with propagation delay, buffered
+// by queue and delivering to dst.
+func NewLink(eng *sim.Engine, rate unit.Bandwidth, delay time.Duration, queue Queue, dst Receiver) *Link {
+	if rate <= 0 {
+		panic("netem: NewLink with non-positive rate")
+	}
+	if queue == nil {
+		panic("netem: NewLink with nil queue")
+	}
+	if dst == nil {
+		panic("netem: NewLink with nil destination")
+	}
+	return &Link{eng: eng, rate: rate, delay: delay, queue: queue, dst: dst}
+}
+
+// Receive enqueues the segment and starts the serializer if idle.
+func (l *Link) Receive(seg *packet.Segment) {
+	seg.Enqueued = l.eng.Now()
+	if !l.queue.Enqueue(seg) {
+		if l.OnDrop != nil {
+			l.OnDrop(seg)
+		}
+		return
+	}
+	l.maybeTransmit()
+}
+
+func (l *Link) maybeTransmit() {
+	if l.busy {
+		return
+	}
+	seg := l.queue.Dequeue()
+	if seg == nil {
+		return
+	}
+	l.busy = true
+	st := l.rate.Serialization(seg.Size())
+	l.eng.ScheduleAfter(st, func() {
+		l.busy = false
+		l.stats.Sent++
+		l.stats.SentBytes += int64(seg.Size())
+		l.stats.Busy += st
+		l.eng.ScheduleAfter(l.delay, func() { l.dst.Receive(seg) })
+		l.maybeTransmit()
+	})
+}
+
+// Queue exposes the attached discipline (for occupancy inspection).
+func (l *Link) Queue() Queue { return l.queue }
+
+// Rate returns the serialization rate.
+func (l *Link) Rate() unit.Bandwidth { return l.rate }
+
+// Stats returns a copy of the transmission counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// Utilization returns the fraction of [0, now] the serializer was busy.
+func (l *Link) Utilization(now sim.Time) float64 {
+	if now <= 0 {
+		return 0
+	}
+	return float64(l.stats.Busy) / float64(now.Duration())
+}

@@ -1,0 +1,400 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"rsstcp/internal/packet"
+	"rsstcp/internal/sim"
+	"rsstcp/internal/unit"
+)
+
+func seg(n int) *packet.Segment {
+	return &packet.Segment{Len: n, Flags: packet.FlagACK}
+}
+
+func TestSinkCounts(t *testing.T) {
+	s := &Sink{}
+	s.Receive(seg(100))
+	s.Receive(seg(200))
+	if s.Packets != 2 {
+		t.Errorf("Packets = %d, want 2", s.Packets)
+	}
+	wantBytes := int64(100 + 200 + 2*packet.HeaderBytes)
+	if s.Bytes != wantBytes {
+		t.Errorf("Bytes = %d, want %d", s.Bytes, wantBytes)
+	}
+	if s.Last.Len != 200 {
+		t.Errorf("Last.Len = %d, want 200", s.Last.Len)
+	}
+}
+
+func TestFuncReceiver(t *testing.T) {
+	got := 0
+	var r Receiver = Func(func(s *packet.Segment) { got = s.Len })
+	r.Receive(seg(42))
+	if got != 42 {
+		t.Errorf("Func receiver saw %d, want 42", got)
+	}
+}
+
+func TestTapObservesAndForwards(t *testing.T) {
+	sink := &Sink{}
+	taps := 0
+	tap := &Tap{Fn: func(*packet.Segment) { taps++ }, Next: sink}
+	tap.Receive(seg(1))
+	tap.Receive(seg(2))
+	if taps != 2 || sink.Packets != 2 {
+		t.Errorf("taps=%d sink=%d, want 2/2", taps, sink.Packets)
+	}
+}
+
+func TestDropTailFIFOOrder(t *testing.T) {
+	q := NewDropTail(10)
+	for i := 0; i < 5; i++ {
+		if !q.Enqueue(&packet.Segment{Seq: int64(i)}) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		s := q.Dequeue()
+		if s == nil || s.Seq != int64(i) {
+			t.Fatalf("dequeue %d = %v, want seq %d", i, s, i)
+		}
+	}
+	if q.Dequeue() != nil {
+		t.Error("Dequeue on empty queue returned a segment")
+	}
+}
+
+func TestDropTailCapacityAndDrops(t *testing.T) {
+	q := NewDropTail(3)
+	for i := 0; i < 3; i++ {
+		if !q.Enqueue(seg(100)) {
+			t.Fatalf("enqueue %d refused below capacity", i)
+		}
+	}
+	if q.Enqueue(seg(100)) {
+		t.Error("enqueue succeeded beyond capacity")
+	}
+	st := q.Stats()
+	if st.Dropped != 1 || st.Enqueued != 3 || st.MaxLen != 3 {
+		t.Errorf("stats = %+v, want Dropped=1 Enqueued=3 MaxLen=3", st)
+	}
+	// Draining one packet makes room again.
+	q.Dequeue()
+	if !q.Enqueue(seg(100)) {
+		t.Error("enqueue refused after drain")
+	}
+}
+
+func TestDropTailBytesAccounting(t *testing.T) {
+	q := NewDropTail(10)
+	q.Enqueue(seg(100))
+	q.Enqueue(seg(200))
+	want := unit.ByteSize(300 + 2*packet.HeaderBytes)
+	if q.Bytes() != want {
+		t.Errorf("Bytes = %d, want %d", q.Bytes(), want)
+	}
+	q.Dequeue()
+	want = unit.ByteSize(200 + packet.HeaderBytes)
+	if q.Bytes() != want {
+		t.Errorf("Bytes after dequeue = %d, want %d", q.Bytes(), want)
+	}
+}
+
+func TestDropTailUnlimited(t *testing.T) {
+	q := NewDropTail(0)
+	for i := 0; i < 10000; i++ {
+		if !q.Enqueue(seg(1)) {
+			t.Fatal("unlimited queue dropped")
+		}
+	}
+	if q.Len() != 10000 {
+		t.Errorf("Len = %d, want 10000", q.Len())
+	}
+}
+
+func TestDropTailCompaction(t *testing.T) {
+	// Heavy churn exercises the ring-compaction path.
+	q := NewDropTail(0)
+	next := int64(0)
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 100; i++ {
+			q.Enqueue(&packet.Segment{Seq: next})
+			next++
+		}
+		for i := 0; i < 100; i++ {
+			q.Dequeue()
+		}
+	}
+	if q.Len() != 0 || q.Bytes() != 0 {
+		t.Errorf("Len=%d Bytes=%d after balanced churn, want 0/0", q.Len(), q.Bytes())
+	}
+}
+
+func TestWireDelaysDelivery(t *testing.T) {
+	eng := sim.NewEngine()
+	var arrived sim.Time = -1
+	w := NewWire(eng, 30*time.Millisecond, Func(func(*packet.Segment) { arrived = eng.Now() }))
+	w.Receive(seg(100))
+	eng.Run()
+	if arrived != sim.At(30*time.Millisecond) {
+		t.Errorf("arrived at %v, want 30ms", arrived)
+	}
+}
+
+func TestLinkSerializationTiming(t *testing.T) {
+	eng := sim.NewEngine()
+	var times []sim.Time
+	l := NewLink(eng, 100*unit.Mbps, 0, NewDropTail(100),
+		Func(func(*packet.Segment) { times = append(times, eng.Now()) }))
+	// Two 1460B segments = 1500B wire size = 120us each at 100 Mbps.
+	l.Receive(seg(1460))
+	l.Receive(seg(1460))
+	eng.Run()
+	if len(times) != 2 {
+		t.Fatalf("delivered %d, want 2", len(times))
+	}
+	if times[0] != sim.At(120*time.Microsecond) {
+		t.Errorf("first at %v, want 120us", times[0])
+	}
+	if times[1] != sim.At(240*time.Microsecond) {
+		t.Errorf("second at %v, want 240us (store-and-forward)", times[1])
+	}
+}
+
+func TestLinkPropagationAddsDelay(t *testing.T) {
+	eng := sim.NewEngine()
+	var at sim.Time
+	l := NewLink(eng, 100*unit.Mbps, 10*time.Millisecond, NewDropTail(10),
+		Func(func(*packet.Segment) { at = eng.Now() }))
+	l.Receive(seg(1460))
+	eng.Run()
+	want := sim.At(120*time.Microsecond + 10*time.Millisecond)
+	if at != want {
+		t.Errorf("arrival %v, want %v", at, want)
+	}
+}
+
+func TestLinkDropsWhenQueueFull(t *testing.T) {
+	eng := sim.NewEngine()
+	sink := &Sink{}
+	drops := 0
+	l := NewLink(eng, 1*unit.Mbps, 0, NewDropTail(2), sink)
+	l.OnDrop = func(*packet.Segment) { drops++ }
+	// Burst of 5: 1 in service + 2 queued, 2 dropped.
+	for i := 0; i < 5; i++ {
+		l.Receive(seg(1460))
+	}
+	eng.Run()
+	if sink.Packets != 3 {
+		t.Errorf("delivered %d, want 3", sink.Packets)
+	}
+	if drops != 2 {
+		t.Errorf("drops = %d, want 2", drops)
+	}
+}
+
+func TestLinkStatsAndUtilization(t *testing.T) {
+	eng := sim.NewEngine()
+	l := NewLink(eng, 100*unit.Mbps, 0, NewDropTail(10), &Sink{})
+	for i := 0; i < 10; i++ {
+		l.Receive(seg(1460))
+	}
+	eng.Run()
+	st := l.Stats()
+	if st.Sent != 10 {
+		t.Errorf("Sent = %d, want 10", st.Sent)
+	}
+	if st.SentBytes != 10*1500 {
+		t.Errorf("SentBytes = %d, want 15000", st.SentBytes)
+	}
+	// Link was busy the whole run.
+	if u := l.Utilization(eng.Now()); u < 0.99 || u > 1.01 {
+		t.Errorf("Utilization = %v, want ~1", u)
+	}
+}
+
+func TestLinkPipelineKeepsOrder(t *testing.T) {
+	eng := sim.NewEngine()
+	var seqs []int64
+	l2 := NewLink(eng, 100*unit.Mbps, time.Millisecond, NewDropTail(0),
+		Func(func(s *packet.Segment) { seqs = append(seqs, s.Seq) }))
+	l1 := NewLink(eng, 1*unit.Gbps, time.Millisecond, NewDropTail(0), l2)
+	for i := 0; i < 50; i++ {
+		l1.Receive(&packet.Segment{Seq: int64(i), Len: 1460})
+	}
+	eng.Run()
+	if len(seqs) != 50 {
+		t.Fatalf("delivered %d, want 50", len(seqs))
+	}
+	for i, s := range seqs {
+		if s != int64(i) {
+			t.Fatalf("out of order at %d: %v", i, seqs)
+		}
+	}
+}
+
+func TestLinkPanicsOnBadArgs(t *testing.T) {
+	eng := sim.NewEngine()
+	cases := map[string]func(){
+		"zero rate": func() { NewLink(eng, 0, 0, NewDropTail(1), &Sink{}) },
+		"nil queue": func() { NewLink(eng, unit.Mbps, 0, nil, &Sink{}) },
+		"nil dst":   func() { NewLink(eng, unit.Mbps, 0, NewDropTail(1), nil) },
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLossDeterministic(t *testing.T) {
+	sink := &Sink{}
+	l := &Loss{DropEvery: 3, Next: sink}
+	for i := 0; i < 9; i++ {
+		l.Receive(seg(1))
+	}
+	if sink.Packets != 6 || l.Dropped() != 3 {
+		t.Errorf("delivered=%d dropped=%d, want 6/3", sink.Packets, l.Dropped())
+	}
+	if l.Seen() != 9 {
+		t.Errorf("Seen = %d, want 9", l.Seen())
+	}
+}
+
+func TestLossRandomRate(t *testing.T) {
+	sink := &Sink{}
+	l := &Loss{P: 0.2, RNG: sim.NewRNG(1), Next: sink}
+	const n = 50000
+	for i := 0; i < n; i++ {
+		l.Receive(seg(1))
+	}
+	rate := float64(l.Dropped()) / n
+	if rate < 0.18 || rate > 0.22 {
+		t.Errorf("drop rate = %v, want ~0.2", rate)
+	}
+}
+
+func TestLossZeroNeverDrops(t *testing.T) {
+	sink := &Sink{}
+	l := &Loss{P: 0, RNG: sim.NewRNG(1), Next: sink}
+	for i := 0; i < 1000; i++ {
+		l.Receive(seg(1))
+	}
+	if l.Dropped() != 0 {
+		t.Errorf("dropped %d with P=0", l.Dropped())
+	}
+}
+
+func TestDuplicator(t *testing.T) {
+	sink := &Sink{}
+	d := &Duplicator{P: 1, RNG: sim.NewRNG(1), Next: sink}
+	d.Receive(seg(7))
+	if sink.Packets != 2 || d.Duplicated() != 1 {
+		t.Errorf("packets=%d dup=%d, want 2/1", sink.Packets, d.Duplicated())
+	}
+}
+
+func TestReordererHoldsBack(t *testing.T) {
+	eng := sim.NewEngine()
+	var seqs []int64
+	next := Func(func(s *packet.Segment) { seqs = append(seqs, s.Seq) })
+	r := NewReorderer(eng, 1, 10*time.Millisecond, sim.NewRNG(1), next)
+	r.Receive(&packet.Segment{Seq: 1})
+	// Second segment bypasses the injector, arriving first.
+	next.Receive(&packet.Segment{Seq: 2})
+	eng.Run()
+	if len(seqs) != 2 || seqs[0] != 2 || seqs[1] != 1 {
+		t.Errorf("order = %v, want [2 1]", seqs)
+	}
+	if r.Reordered() != 1 {
+		t.Errorf("Reordered = %d, want 1", r.Reordered())
+	}
+}
+
+func TestREDBelowMinNeverDrops(t *testing.T) {
+	q := NewRED(DefaultREDConfig(100), sim.NewRNG(1))
+	for i := 0; i < 10; i++ {
+		if !q.Enqueue(seg(1)) {
+			t.Fatal("RED dropped below MinThreshold")
+		}
+	}
+}
+
+func TestREDFullAlwaysDrops(t *testing.T) {
+	cfg := DefaultREDConfig(100)
+	cfg.Weight = 1 // instant average so the threshold bites immediately
+	q := NewRED(cfg, sim.NewRNG(1))
+	dropped := false
+	for i := 0; i < 200; i++ {
+		if !q.Enqueue(seg(1)) {
+			dropped = true
+		}
+	}
+	if !dropped {
+		t.Error("RED never dropped despite overload")
+	}
+	if q.Len() > 100 {
+		t.Errorf("RED exceeded capacity: %d", q.Len())
+	}
+}
+
+func TestREDIntermediateDropsProbabilistically(t *testing.T) {
+	cfg := DefaultREDConfig(100) // min 25, max 75
+	cfg.Weight = 1
+	q := NewRED(cfg, sim.NewRNG(1))
+	// Hold the instantaneous length near 50 and count drops.
+	for i := 0; i < 50; i++ {
+		q.Enqueue(seg(1))
+	}
+	drops := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		if !q.Enqueue(seg(1)) {
+			// keep length constant
+		} else {
+			q.Dequeue()
+		}
+		if q.Stats().Dropped > int64(drops) {
+			drops = int(q.Stats().Dropped)
+		}
+	}
+	if drops == 0 {
+		t.Error("RED never early-dropped in the intermediate band")
+	}
+	if drops == trials {
+		t.Error("RED dropped everything in the intermediate band")
+	}
+}
+
+func TestREDStatsConsistency(t *testing.T) {
+	q := NewRED(DefaultREDConfig(10), sim.NewRNG(2))
+	for i := 0; i < 100; i++ {
+		q.Enqueue(seg(1))
+	}
+	for q.Dequeue() != nil {
+	}
+	st := q.Stats()
+	if st.Enqueued-st.Dequeued != 0 {
+		t.Errorf("enqueued %d != dequeued %d after drain", st.Enqueued, st.Dequeued)
+	}
+	if st.Enqueued+st.Dropped != 100 {
+		t.Errorf("enqueued+dropped = %d, want 100", st.Enqueued+st.Dropped)
+	}
+}
+
+func TestREDPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad RED config did not panic")
+		}
+	}()
+	NewRED(REDConfig{Capacity: 10, MinThreshold: 5, MaxThreshold: 5}, nil)
+}

@@ -1,0 +1,96 @@
+package netem
+
+import (
+	"rsstcp/internal/packet"
+	"rsstcp/internal/unit"
+)
+
+// Queue is a packet queueing discipline. Enqueue returns false when the
+// discipline drops the segment (tail drop, RED discard, ...). Implementations
+// keep their own drop statistics.
+type Queue interface {
+	// Enqueue offers a segment; false means the segment was dropped.
+	Enqueue(seg *packet.Segment) bool
+	// Dequeue removes and returns the next segment, or nil when empty.
+	Dequeue() *packet.Segment
+	// Len returns the number of queued packets.
+	Len() int
+	// Bytes returns the number of queued payload+header bytes.
+	Bytes() unit.ByteSize
+	// Capacity returns the maximum number of packets the queue holds;
+	// 0 means unlimited.
+	Capacity() int
+}
+
+// QueueStats aggregates the counters every discipline maintains.
+type QueueStats struct {
+	Enqueued int64 // segments accepted
+	Dequeued int64 // segments handed downstream
+	Dropped  int64 // segments refused
+	MaxLen   int   // high-water mark in packets
+}
+
+// DropTail is a FIFO queue with a fixed packet-count capacity, the classic
+// router discipline and the model for the Linux pfifo qdisc.
+type DropTail struct {
+	cap   int
+	segs  []*packet.Segment
+	head  int
+	bytes unit.ByteSize
+	stats QueueStats
+}
+
+// NewDropTail returns a FIFO holding at most capPackets packets.
+// capPackets <= 0 means unlimited.
+func NewDropTail(capPackets int) *DropTail {
+	return &DropTail{cap: capPackets}
+}
+
+// Enqueue appends the segment, or drops it when the queue is full.
+func (q *DropTail) Enqueue(seg *packet.Segment) bool {
+	if q.cap > 0 && q.Len() >= q.cap {
+		q.stats.Dropped++
+		return false
+	}
+	q.segs = append(q.segs, seg)
+	q.bytes += seg.Size()
+	q.stats.Enqueued++
+	if n := q.Len(); n > q.stats.MaxLen {
+		q.stats.MaxLen = n
+	}
+	return true
+}
+
+// Dequeue removes the oldest segment, or returns nil when empty.
+func (q *DropTail) Dequeue() *packet.Segment {
+	if q.head >= len(q.segs) {
+		return nil
+	}
+	seg := q.segs[q.head]
+	q.segs[q.head] = nil
+	q.head++
+	q.bytes -= seg.Size()
+	q.stats.Dequeued++
+	// Compact once the dead prefix dominates, keeping amortized O(1).
+	if q.head > 64 && q.head*2 >= len(q.segs) {
+		n := copy(q.segs, q.segs[q.head:])
+		for i := n; i < len(q.segs); i++ {
+			q.segs[i] = nil
+		}
+		q.segs = q.segs[:n]
+		q.head = 0
+	}
+	return seg
+}
+
+// Len returns the number of queued packets.
+func (q *DropTail) Len() int { return len(q.segs) - q.head }
+
+// Bytes returns the bytes held in the queue.
+func (q *DropTail) Bytes() unit.ByteSize { return q.bytes }
+
+// Capacity returns the packet capacity (0 = unlimited).
+func (q *DropTail) Capacity() int { return q.cap }
+
+// Stats returns a copy of the queue counters.
+func (q *DropTail) Stats() QueueStats { return q.stats }

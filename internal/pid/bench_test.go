@@ -1,0 +1,27 @@
+package pid
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkControllerUpdate measures one control step — the operation the
+// RSS ticker performs every few milliseconds of virtual time.
+func BenchmarkControllerUpdate(b *testing.B) {
+	c := MustNew(Config{
+		Gains:           Gains{Kp: 1, Ti: 500 * time.Millisecond, Td: 100 * time.Millisecond},
+		Setpoint:        90,
+		OutMin:          -100,
+		OutMax:          100,
+		DerivativeAlpha: 0.5,
+		IntegralBand:    15,
+	})
+	pv := 0.0
+	for i := 0; i < b.N; i++ {
+		pv += 0.01
+		if pv > 100 {
+			pv = 0
+		}
+		c.Update(pv, 5*time.Millisecond)
+	}
+}

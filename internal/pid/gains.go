@@ -1,0 +1,89 @@
+package pid
+
+import "time"
+
+// Critical describes the Ziegler-Nichols closed-loop critical point: the
+// proportional gain Kc at which the loop sustains oscillation, and the
+// oscillation period Tc measured there.
+type Critical struct {
+	Kc float64
+	Tc time.Duration
+}
+
+// PaperGains applies the constants the paper quotes for its controller:
+//
+//	Kp = 0.33 Kc,  Ti = 0.5 Tc,  Td = 0.33 Tc.
+func PaperGains(c Critical) Gains {
+	return Gains{
+		Kp: 0.33 * c.Kc,
+		Ti: time.Duration(0.5 * float64(c.Tc)),
+		Td: time.Duration(0.33 * float64(c.Tc)),
+	}
+}
+
+// ClassicGains applies the original 1942 Ziegler-Nichols PID table:
+//
+//	Kp = 0.6 Kc,  Ti = 0.5 Tc,  Td = 0.125 Tc.
+func ClassicGains(c Critical) Gains {
+	return Gains{
+		Kp: 0.6 * c.Kc,
+		Ti: time.Duration(0.5 * float64(c.Tc)),
+		Td: time.Duration(0.125 * float64(c.Tc)),
+	}
+}
+
+// PIGains applies the Ziegler-Nichols PI (no derivative) row:
+//
+//	Kp = 0.45 Kc,  Ti = Tc/1.2.
+func PIGains(c Critical) Gains {
+	return Gains{
+		Kp: 0.45 * c.Kc,
+		Ti: time.Duration(float64(c.Tc) / 1.2),
+	}
+}
+
+// PGains applies the proportional-only row: Kp = 0.5 Kc.
+func PGains(c Critical) Gains {
+	return Gains{Kp: 0.5 * c.Kc}
+}
+
+// NoOvershootGains applies the conservative "some/no overshoot" variant
+// often used where overshoot is expensive (here: overshoot = send-stall):
+//
+//	Kp = 0.2 Kc,  Ti = 0.5 Tc,  Td = 0.33 Tc.
+func NoOvershootGains(c Critical) Gains {
+	return Gains{
+		Kp: 0.2 * c.Kc,
+		Ti: time.Duration(0.5 * float64(c.Tc)),
+		Td: time.Duration(0.33 * float64(c.Tc)),
+	}
+}
+
+// Rule names a tuning rule for tables and flags.
+type Rule string
+
+// Tuning rules.
+const (
+	RulePaper       Rule = "paper"
+	RuleClassic     Rule = "classic"
+	RulePI          Rule = "pi"
+	RuleP           Rule = "p"
+	RuleNoOvershoot Rule = "no-overshoot"
+)
+
+// Apply derives gains from the critical point using the named rule.
+// Unknown rules fall back to the paper's constants.
+func (r Rule) Apply(c Critical) Gains {
+	switch r {
+	case RuleClassic:
+		return ClassicGains(c)
+	case RulePI:
+		return PIGains(c)
+	case RuleP:
+		return PGains(c)
+	case RuleNoOvershoot:
+		return NoOvershootGains(c)
+	default:
+		return PaperGains(c)
+	}
+}

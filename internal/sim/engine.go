@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Events are created by the Engine's
+// Schedule methods and may be canceled until they fire.
+type Event struct {
+	at     Time
+	seq    uint64 // FIFO tie-break among events at the same instant
+	index  int    // heap index, -1 once removed
+	fn     func()
+	name   string // optional label for debugging
+	fired  bool
+	cancel bool
+}
+
+// At returns the instant the event is (or was) scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Name returns the optional debug label given at scheduling time.
+func (e *Event) Name() string { return e.name }
+
+// Pending reports whether the event is still waiting to fire.
+func (e *Event) Pending() bool { return e != nil && !e.fired && !e.cancel }
+
+// eventQueue is a binary heap ordered by (time, sequence).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. It is not safe for concurrent use;
+// a simulation is a single logical thread of control in virtual time.
+type Engine struct {
+	now       Time
+	queue     eventQueue
+	seq       uint64
+	processed uint64
+	running   bool
+	stopped   bool
+}
+
+// NewEngine returns an engine with the clock at the epoch.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events waiting in the calendar.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule arranges for fn to run at instant at. Scheduling in the past
+// panics: it is always a logic error in a discrete-event model.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	return e.ScheduleNamed(at, "", fn)
+}
+
+// ScheduleNamed is Schedule with a debug label attached to the event.
+func (e *Engine) ScheduleNamed(at Time, name string, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule in the past: at %v, now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: schedule with nil func")
+	}
+	e.seq++
+	ev := &Event{at: at, seq: e.seq, fn: fn, name: name}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// ScheduleAfter arranges for fn to run d after the current instant.
+// A negative d is treated as zero.
+func (e *Engine) ScheduleAfter(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.Schedule(e.now.Add(d), fn)
+}
+
+// Cancel removes a pending event from the calendar. Canceling a nil,
+// already-fired or already-canceled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.fired || ev.cancel {
+		return
+	}
+	ev.cancel = true
+	if ev.index >= 0 {
+		heap.Remove(&e.queue, ev.index)
+	}
+}
+
+// Step executes the single earliest pending event and returns true, or
+// returns false if the calendar is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.at
+		ev.fired = true
+		e.processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the calendar is empty or Stop is called.
+func (e *Engine) Run() {
+	e.run(Infinity)
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline (if it is in the future). Events scheduled exactly
+// at the deadline do run.
+func (e *Engine) RunUntil(deadline Time) {
+	e.run(deadline)
+	if !e.stopped && e.now < deadline {
+		e.now = deadline
+	}
+	e.stopped = false
+}
+
+// RunFor executes events for a span of virtual time from the current
+// instant, then advances the clock to the end of the span.
+func (e *Engine) RunFor(d Duration) {
+	e.RunUntil(e.now.Add(d))
+}
+
+func (e *Engine) run(deadline Time) {
+	if e.running {
+		panic("sim: engine re-entered (Run called from inside an event)")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at > deadline {
+			return
+		}
+		e.Step()
+	}
+}
+
+// Stop makes the innermost Run/RunUntil return after the current event
+// completes. The calendar is left intact so the run may be resumed.
+func (e *Engine) Stop() { e.stopped = true }

@@ -1,0 +1,255 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	eng := NewEngine()
+	var got []int
+	eng.Schedule(At(3*time.Millisecond), func() { got = append(got, 3) })
+	eng.Schedule(At(1*time.Millisecond), func() { got = append(got, 1) })
+	eng.Schedule(At(2*time.Millisecond), func() { got = append(got, 2) })
+	eng.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if eng.Now() != At(3*time.Millisecond) {
+		t.Errorf("Now = %v, want 3ms", eng.Now())
+	}
+}
+
+func TestEngineFIFOAtSameInstant(t *testing.T) {
+	eng := NewEngine()
+	var got []int
+	at := At(time.Millisecond)
+	for i := 0; i < 100; i++ {
+		i := i
+		eng.Schedule(at, func() { got = append(got, i) })
+	}
+	eng.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("events at same instant ran out of order: pos %d got %d", i, v)
+		}
+	}
+}
+
+func TestEngineClockAdvancesToEventTime(t *testing.T) {
+	eng := NewEngine()
+	var at Time
+	eng.Schedule(At(5*time.Second), func() { at = eng.Now() })
+	eng.Run()
+	if at != At(5*time.Second) {
+		t.Errorf("Now inside event = %v, want 5s", at)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	eng := NewEngine()
+	eng.Schedule(At(time.Second), func() {})
+	eng.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	eng.Schedule(At(time.Millisecond), func() {})
+}
+
+func TestScheduleNilFuncPanics(t *testing.T) {
+	eng := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling nil func did not panic")
+		}
+	}()
+	eng.Schedule(At(time.Second), nil)
+}
+
+func TestCancelPreventsExecution(t *testing.T) {
+	eng := NewEngine()
+	ran := false
+	ev := eng.Schedule(At(time.Millisecond), func() { ran = true })
+	eng.Cancel(ev)
+	eng.Run()
+	if ran {
+		t.Error("canceled event ran")
+	}
+	if ev.Pending() {
+		t.Error("canceled event still pending")
+	}
+	// Double-cancel and cancel-nil are no-ops.
+	eng.Cancel(ev)
+	eng.Cancel(nil)
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	eng := NewEngine()
+	var got []int
+	evs := make([]*Event, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		evs[i] = eng.Schedule(At(time.Duration(i+1)*time.Millisecond), func() { got = append(got, i) })
+	}
+	eng.Cancel(evs[4])
+	eng.Cancel(evs[7])
+	eng.Run()
+	if len(got) != 8 {
+		t.Fatalf("got %d events, want 8", len(got))
+	}
+	for _, v := range got {
+		if v == 4 || v == 7 {
+			t.Fatalf("canceled event %d ran", v)
+		}
+	}
+}
+
+func TestScheduleAfterNegativeClampsToNow(t *testing.T) {
+	eng := NewEngine()
+	ran := false
+	eng.ScheduleAfter(-time.Second, func() { ran = true })
+	eng.Run()
+	if !ran {
+		t.Error("event with negative delay did not run")
+	}
+	if eng.Now() != 0 {
+		t.Errorf("Now = %v, want 0", eng.Now())
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	eng := NewEngine()
+	var ran []int
+	eng.Schedule(At(1*time.Second), func() { ran = append(ran, 1) })
+	eng.Schedule(At(2*time.Second), func() { ran = append(ran, 2) })
+	eng.Schedule(At(3*time.Second), func() { ran = append(ran, 3) })
+	eng.RunUntil(At(2 * time.Second))
+	if len(ran) != 2 {
+		t.Fatalf("ran %v, want events 1,2 (inclusive deadline)", ran)
+	}
+	if eng.Now() != At(2*time.Second) {
+		t.Errorf("Now = %v, want 2s", eng.Now())
+	}
+	eng.Run()
+	if len(ran) != 3 {
+		t.Errorf("remaining event did not run on resume")
+	}
+}
+
+func TestRunUntilAdvancesClockWithEmptyCalendar(t *testing.T) {
+	eng := NewEngine()
+	eng.RunUntil(At(10 * time.Second))
+	if eng.Now() != At(10*time.Second) {
+		t.Errorf("Now = %v, want 10s", eng.Now())
+	}
+}
+
+func TestRunForAdvancesRelative(t *testing.T) {
+	eng := NewEngine()
+	eng.RunFor(3 * time.Second)
+	eng.RunFor(2 * time.Second)
+	if eng.Now() != At(5*time.Second) {
+		t.Errorf("Now = %v, want 5s", eng.Now())
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	eng := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		eng.Schedule(At(time.Duration(i)*time.Millisecond), func() {
+			count++
+			if count == 3 {
+				eng.Stop()
+			}
+		})
+	}
+	eng.Run()
+	if count != 3 {
+		t.Errorf("count = %d, want 3 (stopped)", count)
+	}
+	// Resumable.
+	eng.Run()
+	if count != 10 {
+		t.Errorf("count after resume = %d, want 10", count)
+	}
+}
+
+func TestEventsScheduledDuringRunExecute(t *testing.T) {
+	eng := NewEngine()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 5 {
+			eng.ScheduleAfter(time.Millisecond, recurse)
+		}
+	}
+	eng.ScheduleAfter(time.Millisecond, recurse)
+	eng.Run()
+	if depth != 5 {
+		t.Errorf("depth = %d, want 5", depth)
+	}
+	if eng.Now() != At(5*time.Millisecond) {
+		t.Errorf("Now = %v, want 5ms", eng.Now())
+	}
+}
+
+func TestReentrantRunPanics(t *testing.T) {
+	eng := NewEngine()
+	eng.ScheduleAfter(time.Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("re-entrant Run did not panic")
+			}
+		}()
+		eng.Run()
+	})
+	eng.Run()
+}
+
+func TestProcessedAndPendingCounters(t *testing.T) {
+	eng := NewEngine()
+	for i := 1; i <= 4; i++ {
+		eng.Schedule(At(time.Duration(i)*time.Millisecond), func() {})
+	}
+	if eng.Pending() != 4 {
+		t.Errorf("Pending = %d, want 4", eng.Pending())
+	}
+	eng.RunUntil(At(2 * time.Millisecond))
+	if eng.Processed() != 2 {
+		t.Errorf("Processed = %d, want 2", eng.Processed())
+	}
+	if eng.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", eng.Pending())
+	}
+}
+
+func TestManyEventsStress(t *testing.T) {
+	eng := NewEngine()
+	rng := NewRNG(42)
+	const n = 20000
+	var last Time = -1
+	inOrder := true
+	for i := 0; i < n; i++ {
+		at := At(time.Duration(rng.Intn(1000000)) * time.Microsecond)
+		eng.Schedule(at, func() {
+			if eng.Now() < last {
+				inOrder = false
+			}
+			last = eng.Now()
+		})
+	}
+	eng.Run()
+	if !inOrder {
+		t.Error("events executed out of time order")
+	}
+	if eng.Processed() != n {
+		t.Errorf("Processed = %d, want %d", eng.Processed(), n)
+	}
+}

@@ -1,0 +1,102 @@
+package sim
+
+// Timer is a resettable one-shot timer, the shape TCP retransmission timers
+// need: arm, re-arm (which supersedes the previous deadline), and stop.
+// The callback is fixed at construction; what varies is the deadline.
+type Timer struct {
+	eng *Engine
+	fn  func()
+	ev  *Event
+}
+
+// NewTimer returns a stopped timer that will invoke fn when it expires.
+func NewTimer(eng *Engine, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: NewTimer with nil func")
+	}
+	return &Timer{eng: eng, fn: fn}
+}
+
+// Arm (re)schedules the timer to fire d from now, superseding any earlier
+// deadline. A negative d is treated as zero.
+func (t *Timer) Arm(d Duration) {
+	t.Stop()
+	t.ev = t.eng.ScheduleAfter(d, t.fire)
+}
+
+// ArmAt (re)schedules the timer to fire at the given instant.
+func (t *Timer) ArmAt(at Time) {
+	t.Stop()
+	t.ev = t.eng.Schedule(at, t.fire)
+}
+
+// Stop cancels the pending expiry, if any.
+func (t *Timer) Stop() {
+	if t.ev != nil {
+		t.eng.Cancel(t.ev)
+		t.ev = nil
+	}
+}
+
+// Armed reports whether the timer has a pending expiry.
+func (t *Timer) Armed() bool { return t.ev.Pending() }
+
+// Deadline returns the pending expiry instant, or Infinity if stopped.
+func (t *Timer) Deadline() Time {
+	if !t.Armed() {
+		return Infinity
+	}
+	return t.ev.At()
+}
+
+func (t *Timer) fire() {
+	t.ev = nil
+	t.fn()
+}
+
+// Ticker invokes a callback at a fixed period, starting one period after
+// Start. It is the clock for periodic controllers (the PID loop) and for
+// trace sampling.
+type Ticker struct {
+	eng    *Engine
+	fn     func()
+	period Duration
+	ev     *Event
+}
+
+// NewTicker returns a stopped ticker with the given period and callback.
+func NewTicker(eng *Engine, period Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: NewTicker with non-positive period")
+	}
+	if fn == nil {
+		panic("sim: NewTicker with nil func")
+	}
+	return &Ticker{eng: eng, fn: fn, period: period}
+}
+
+// Start begins ticking; the first tick is one period from now.
+// Starting a started ticker restarts its phase.
+func (t *Ticker) Start() {
+	t.Stop()
+	t.ev = t.eng.ScheduleAfter(t.period, t.tick)
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	if t.ev != nil {
+		t.eng.Cancel(t.ev)
+		t.ev = nil
+	}
+}
+
+// Period returns the tick interval.
+func (t *Ticker) Period() Duration { return t.period }
+
+// Running reports whether the ticker is active.
+func (t *Ticker) Running() bool { return t.ev.Pending() }
+
+func (t *Ticker) tick() {
+	t.ev = t.eng.ScheduleAfter(t.period, t.tick)
+	t.fn()
+}

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTimerFiresOnce(t *testing.T) {
+	eng := NewEngine()
+	fired := 0
+	tm := NewTimer(eng, func() { fired++ })
+	tm.Arm(time.Second)
+	if !tm.Armed() {
+		t.Fatal("timer not armed after Arm")
+	}
+	eng.Run()
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+	if tm.Armed() {
+		t.Error("timer still armed after firing")
+	}
+}
+
+func TestTimerRearmSupersedes(t *testing.T) {
+	eng := NewEngine()
+	var firedAt Time
+	tm := NewTimer(eng, func() { firedAt = eng.Now() })
+	tm.Arm(time.Second)
+	eng.RunUntil(At(500 * time.Millisecond))
+	tm.Arm(2 * time.Second) // new deadline at 2.5s
+	eng.Run()
+	if firedAt != At(2500*time.Millisecond) {
+		t.Errorf("fired at %v, want 2.5s", firedAt)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	eng := NewEngine()
+	fired := false
+	tm := NewTimer(eng, func() { fired = true })
+	tm.Arm(time.Second)
+	tm.Stop()
+	eng.Run()
+	if fired {
+		t.Error("stopped timer fired")
+	}
+	tm.Stop() // stopping a stopped timer is fine
+}
+
+func TestTimerDeadline(t *testing.T) {
+	eng := NewEngine()
+	tm := NewTimer(eng, func() {})
+	if tm.Deadline() != Infinity {
+		t.Errorf("stopped timer deadline = %v, want Infinity", tm.Deadline())
+	}
+	tm.ArmAt(At(3 * time.Second))
+	if tm.Deadline() != At(3*time.Second) {
+		t.Errorf("deadline = %v, want 3s", tm.Deadline())
+	}
+}
+
+func TestTimerRearmInsideCallback(t *testing.T) {
+	eng := NewEngine()
+	count := 0
+	var tm *Timer
+	tm = NewTimer(eng, func() {
+		count++
+		if count < 3 {
+			tm.Arm(time.Second)
+		}
+	})
+	tm.Arm(time.Second)
+	eng.Run()
+	if count != 3 {
+		t.Errorf("count = %d, want 3", count)
+	}
+	if eng.Now() != At(3*time.Second) {
+		t.Errorf("Now = %v, want 3s", eng.Now())
+	}
+}
+
+func TestNewTimerNilFuncPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTimer(nil) did not panic")
+		}
+	}()
+	NewTimer(NewEngine(), nil)
+}
+
+func TestTickerPeriodic(t *testing.T) {
+	eng := NewEngine()
+	var ticks []Time
+	tk := NewTicker(eng, 10*time.Millisecond, func() { ticks = append(ticks, eng.Now()) })
+	tk.Start()
+	eng.RunUntil(At(35 * time.Millisecond))
+	if len(ticks) != 3 {
+		t.Fatalf("got %d ticks, want 3", len(ticks))
+	}
+	for i, at := range ticks {
+		want := At(time.Duration(i+1) * 10 * time.Millisecond)
+		if at != want {
+			t.Errorf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestTickerStop(t *testing.T) {
+	eng := NewEngine()
+	count := 0
+	tk := NewTicker(eng, 10*time.Millisecond, func() { count++ })
+	tk.Start()
+	eng.RunUntil(At(25 * time.Millisecond))
+	tk.Stop()
+	if tk.Running() {
+		t.Error("ticker running after Stop")
+	}
+	eng.RunUntil(At(100 * time.Millisecond))
+	if count != 2 {
+		t.Errorf("count = %d, want 2", count)
+	}
+}
+
+func TestTickerRestartResetsPhase(t *testing.T) {
+	eng := NewEngine()
+	var ticks []Time
+	tk := NewTicker(eng, 10*time.Millisecond, func() { ticks = append(ticks, eng.Now()) })
+	tk.Start()
+	eng.RunUntil(At(5 * time.Millisecond))
+	tk.Start() // restart at t=5ms; next tick at 15ms
+	eng.RunUntil(At(16 * time.Millisecond))
+	if len(ticks) != 1 || ticks[0] != At(15*time.Millisecond) {
+		t.Errorf("ticks = %v, want [15ms]", ticks)
+	}
+}
+
+func TestTickerBadArgsPanic(t *testing.T) {
+	eng := NewEngine()
+	for name, fn := range map[string]func(){
+		"zero period": func() { NewTicker(eng, 0, func() {}) },
+		"nil func":    func() { NewTicker(eng, time.Second, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

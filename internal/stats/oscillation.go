@@ -1,0 +1,125 @@
+package stats
+
+import "math"
+
+// Peak is a local extremum found in a sampled signal.
+type Peak struct {
+	Index int
+	X     float64 // sample position (e.g. time)
+	Y     float64 // signal value
+	Max   bool    // true for maxima, false for minima
+}
+
+// FindPeaks locates local maxima and minima of y sampled at x, ignoring
+// ripples smaller than minProminence (absolute units of y). Plateaus report
+// their first point.
+func FindPeaks(x, y []float64, minProminence float64) []Peak {
+	if len(x) != len(y) || len(y) < 3 {
+		return nil
+	}
+	var peaks []Peak
+	// Direction-change scan with hysteresis: track the running extremum
+	// and emit it when the signal retreats by minProminence.
+	curIdx := 0
+	curVal := y[0]
+	rising := true // assumed initial direction; corrected on first move
+	initialized := false
+	for i := 1; i < len(y); i++ {
+		if !initialized {
+			if y[i] == curVal {
+				continue
+			}
+			rising = y[i] > curVal
+			initialized = true
+			curIdx, curVal = i, y[i]
+			continue
+		}
+		if rising {
+			if y[i] >= curVal {
+				curIdx, curVal = i, y[i]
+			} else if curVal-y[i] >= minProminence {
+				peaks = append(peaks, Peak{Index: curIdx, X: x[curIdx], Y: curVal, Max: true})
+				rising = false
+				curIdx, curVal = i, y[i]
+			}
+		} else {
+			if y[i] <= curVal {
+				curIdx, curVal = i, y[i]
+			} else if y[i]-curVal >= minProminence {
+				peaks = append(peaks, Peak{Index: curIdx, X: x[curIdx], Y: curVal, Max: false})
+				rising = true
+				curIdx, curVal = i, y[i]
+			}
+		}
+	}
+	return peaks
+}
+
+// Oscillation summarizes a signal's oscillatory behaviour; the
+// Ziegler-Nichols tuner uses it to find the critical gain and period.
+type Oscillation struct {
+	// Cycles is the number of full maxima-to-maxima cycles observed.
+	Cycles int
+	// Period is the mean spacing between consecutive maxima.
+	Period float64
+	// Amplitude is the mean peak-to-trough half-height.
+	Amplitude float64
+	// DecayRatio is the mean ratio of successive maxima heights above the
+	// signal mean; ~1 means sustained, <1 decaying, >1 growing.
+	DecayRatio float64
+	// Sustained reports whether the oscillation neither decays nor grows
+	// beyond tolerance across the window (the ZN "point of instability").
+	Sustained bool
+}
+
+// AnalyzeOscillation inspects y sampled at x (monotone) for periodic
+// behaviour. minProminence filters noise; tol is the allowed deviation of
+// the decay ratio from 1 for "sustained" (e.g. 0.25).
+func AnalyzeOscillation(x, y []float64, minProminence, tol float64) Oscillation {
+	var out Oscillation
+	peaks := FindPeaks(x, y, minProminence)
+	var maxima, minima []Peak
+	for _, p := range peaks {
+		if p.Max {
+			maxima = append(maxima, p)
+		} else {
+			minima = append(minima, p)
+		}
+	}
+	if len(maxima) < 2 {
+		return out
+	}
+	out.Cycles = len(maxima) - 1
+	var periods []float64
+	for i := 1; i < len(maxima); i++ {
+		periods = append(periods, maxima[i].X-maxima[i-1].X)
+	}
+	out.Period = Mean(periods)
+
+	mean := Mean(y)
+	var amps []float64
+	n := len(maxima)
+	if len(minima) < n {
+		n = len(minima)
+	}
+	for i := 0; i < n; i++ {
+		amps = append(amps, (maxima[i].Y-minima[i].Y)/2)
+	}
+	if len(amps) > 0 {
+		out.Amplitude = Mean(amps)
+	}
+
+	var ratios []float64
+	for i := 1; i < len(maxima); i++ {
+		prev := maxima[i-1].Y - mean
+		cur := maxima[i].Y - mean
+		if prev > 1e-12 && cur > 0 {
+			ratios = append(ratios, cur/prev)
+		}
+	}
+	if len(ratios) > 0 {
+		out.DecayRatio = Mean(ratios)
+		out.Sustained = out.Cycles >= 3 && math.Abs(out.DecayRatio-1) <= tol
+	}
+	return out
+}

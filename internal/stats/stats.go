@@ -1,0 +1,128 @@
+// Package stats provides the statistical helpers the experiment harness and
+// the Ziegler-Nichols tuner rely on: streaming moments, percentiles, linear
+// regression and oscillation analysis of sampled signals.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Welford accumulates count/mean/variance in one pass, numerically stably.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the observation count.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean (0 with no observations).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the sample variance (n-1 denominator).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest observation (0 with none).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation (0 with none).
+func (w *Welford) Max() float64 { return w.max }
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval for the mean.
+func (w *Welford) CI95() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return 1.96 * w.Std() / math.Sqrt(float64(w.n))
+}
+
+// Percentile returns the p-quantile (p in [0,1]) of xs by linear
+// interpolation. It returns NaN for an empty slice. xs is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 1 {
+		return s[len(s)-1]
+	}
+	pos := p * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs (NaN when empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// LinearFit returns the least-squares slope and intercept of y on x.
+// With fewer than two points it returns zeros.
+func LinearFit(x, y []float64) (slope, intercept float64) {
+	n := len(x)
+	if n != len(y) || n < 2 {
+		return 0, 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i := 0; i < n; i++ {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	fn := float64(n)
+	den := fn*sxx - sx*sx
+	if den == 0 {
+		return 0, sy / fn
+	}
+	slope = (fn*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / fn
+	return slope, intercept
+}

@@ -1,0 +1,42 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"rsstcp/internal/sim"
+	"rsstcp/internal/unit"
+)
+
+// BenchmarkLoopTransfer measures whole-stack simulation speed: virtual
+// seconds of a saturated 100 Mbps connection per wall-clock second. The
+// experiment harness runs thousands of these.
+func BenchmarkLoopTransfer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		l := buildLoop(loopOpts{
+			cfg:        Config{MSS: 1448},
+			nicRate:    100 * unit.Mbps,
+			txqueuelen: 100,
+			owd:        30 * time.Millisecond,
+		})
+		l.snd.Supply(1 << 30)
+		l.eng.RunUntil(sim.At(5 * time.Second))
+		if l.snd.Stats().ThruOctetsAcked == 0 {
+			b.Fatal("no progress")
+		}
+	}
+}
+
+// BenchmarkLoopTransferSACKUnderLoss measures the loss-recovery slow path.
+func BenchmarkLoopTransferSACKUnderLoss(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		l := buildLoop(loopOpts{
+			cfg:        Config{MSS: 1448, SACK: true},
+			bottleneck: 50 * unit.Mbps,
+			routerQLen: 50,
+			owd:        10 * time.Millisecond,
+		})
+		l.snd.Supply(1 << 30)
+		l.eng.RunUntil(sim.At(5 * time.Second))
+	}
+}

@@ -1,0 +1,183 @@
+package tcp
+
+import (
+	"rsstcp/internal/netem"
+	"rsstcp/internal/packet"
+	"rsstcp/internal/sim"
+)
+
+// ReceiverStats counts receive-side events.
+type ReceiverStats struct {
+	SegsIn        int64 // data segments received
+	DataOctetsIn  int64 // in-order payload bytes accepted
+	DupSegs       int64 // fully duplicate segments
+	OutOfOrderIn  int64 // segments arriving beyond rcv.nxt
+	AcksOut       int64 // ACKs emitted
+	DelayedAcks   int64 // ACKs emitted by the delayed-ACK timer
+	SACKBlocksOut int64 // SACK blocks attached to outgoing ACKs
+}
+
+// Receiver is the TCP receiving side: in-order delivery tracking,
+// out-of-order range reassembly, delayed ACKs and SACK generation. The
+// application consumes instantly, so the advertised window stays constant —
+// the well-buffered receivers of the paper's testbed.
+type Receiver struct {
+	eng     *sim.Engine
+	cfg     Config
+	flow    packet.FlowID
+	out     netem.Receiver
+	rcvNxt  int64
+	ooo     []packet.SACKBlock // sorted, disjoint
+	pending int                // in-order segments since last ACK
+	delack  *sim.Timer
+	stats   ReceiverStats
+}
+
+// NewReceiver wires a receiver whose ACKs flow into out (the reverse path).
+func NewReceiver(eng *sim.Engine, cfg Config, flow packet.FlowID, out netem.Receiver) *Receiver {
+	if out == nil {
+		panic("tcp: NewReceiver with nil ACK path")
+	}
+	cfg = cfg.withDefaults()
+	r := &Receiver{eng: eng, cfg: cfg, flow: flow, out: out}
+	r.delack = sim.NewTimer(eng, r.onDelAckTimeout)
+	return r
+}
+
+// RcvNxt returns the next expected sequence number.
+func (r *Receiver) RcvNxt() int64 { return r.rcvNxt }
+
+// Stats returns a copy of the receive counters.
+func (r *Receiver) Stats() ReceiverStats { return r.stats }
+
+// Receive processes an arriving data segment (netem.Receiver).
+func (r *Receiver) Receive(seg *packet.Segment) {
+	if !seg.IsData() {
+		return
+	}
+	r.stats.SegsIn++
+	switch {
+	case seg.End() <= r.rcvNxt:
+		// Entirely old data: duplicate; re-ACK immediately so the sender
+		// converges.
+		r.stats.DupSegs++
+		r.sendAck(false, -1)
+	case seg.Seq <= r.rcvNxt:
+		// In-order (possibly partially duplicate) data.
+		accepted := seg.End() - r.rcvNxt
+		r.rcvNxt = seg.End()
+		r.stats.DataOctetsIn += accepted
+		hadHole := len(r.ooo) > 0
+		r.mergeContiguous()
+		r.pending++
+		// An ACK must go out immediately while holes exist or were just
+		// filled (loss recovery depends on it), or at the delayed-ACK
+		// threshold.
+		if hadHole || len(r.ooo) > 0 || r.pending >= r.cfg.AckEvery {
+			r.sendAck(false, -1)
+		} else if !r.delack.Armed() {
+			r.delack.Arm(r.cfg.DelAckTimeout)
+		}
+	default:
+		// Out of order: store the range and emit an immediate duplicate
+		// ACK advertising the hole.
+		r.stats.OutOfOrderIn++
+		r.ooo = insertBlock(r.ooo, packet.SACKBlock{Start: seg.Seq, End: seg.End()})
+		r.sendAck(false, seg.Seq)
+	}
+}
+
+// mergeContiguous absorbs out-of-order ranges that rcv.nxt has reached.
+func (r *Receiver) mergeContiguous() {
+	for len(r.ooo) > 0 && r.ooo[0].Start <= r.rcvNxt {
+		if r.ooo[0].End > r.rcvNxt {
+			r.rcvNxt = r.ooo[0].End
+		}
+		r.ooo = r.ooo[1:]
+	}
+}
+
+func (r *Receiver) onDelAckTimeout() {
+	if r.pending > 0 {
+		r.sendAck(true, -1)
+	}
+}
+
+// sendAck emits a cumulative ACK. recentSeq, when >= 0, identifies the
+// sequence of the segment that triggered this ACK; RFC 2018 requires the
+// SACK block containing it to come first, so the sender always learns the
+// newest scoreboard information even when more than four blocks exist.
+func (r *Receiver) sendAck(delayed bool, recentSeq int64) {
+	ack := &packet.Segment{
+		Flow:   r.flow,
+		Seq:    0,
+		Len:    0,
+		Ack:    r.rcvNxt,
+		Flags:  packet.FlagACK,
+		Wnd:    r.cfg.RcvWnd,
+		SentAt: r.eng.Now(),
+	}
+	if r.cfg.SACK && len(r.ooo) > 0 {
+		blocks := make([]packet.SACKBlock, 0, 4)
+		if recentSeq >= 0 {
+			for _, b := range r.ooo {
+				if b.Contains(recentSeq) {
+					blocks = append(blocks, b)
+					break
+				}
+			}
+		}
+		for _, b := range r.ooo {
+			if len(blocks) >= 4 {
+				break
+			}
+			if len(blocks) > 0 && b == blocks[0] {
+				continue
+			}
+			blocks = append(blocks, b)
+		}
+		ack.SACK = blocks
+		r.stats.SACKBlocksOut += int64(len(blocks))
+	}
+	r.pending = 0
+	r.delack.Stop()
+	r.stats.AcksOut++
+	if delayed {
+		r.stats.DelayedAcks++
+	}
+	r.out.Receive(ack)
+}
+
+// insertBlock adds b to a sorted, disjoint block list, merging overlaps and
+// adjacencies.
+func insertBlock(blocks []packet.SACKBlock, b packet.SACKBlock) []packet.SACKBlock {
+	if b.Len() <= 0 {
+		return blocks
+	}
+	out := blocks[:0:0] // fresh slice, avoids aliasing surprises
+	placed := false
+	for _, cur := range blocks {
+		switch {
+		case cur.End < b.Start:
+			out = append(out, cur)
+		case b.End < cur.Start:
+			if !placed {
+				out = append(out, b)
+				placed = true
+			}
+			out = append(out, cur)
+		default:
+			// Overlapping or touching: merge into b and keep scanning.
+			if cur.Start < b.Start {
+				b.Start = cur.Start
+			}
+			if cur.End > b.End {
+				b.End = cur.End
+			}
+		}
+	}
+	if !placed {
+		out = append(out, b)
+	}
+	return out
+}

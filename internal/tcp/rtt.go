@@ -1,0 +1,87 @@
+package tcp
+
+import "time"
+
+// rttEstimator implements RFC 6298 retransmission-timeout computation:
+// SRTT/RTTVAR exponential averages, clock-granularity floor, exponential
+// backoff, and min/max clamps (Linux uses a 200 ms floor, far below the
+// RFC's 1 s, and that is what the paper's kernel did).
+type rttEstimator struct {
+	srtt       time.Duration
+	rttvar     time.Duration
+	rto        time.Duration
+	hasSample  bool
+	granny     time.Duration // clock granularity G
+	minRTO     time.Duration
+	maxRTO     time.Duration
+	backoffExp uint // consecutive backoffs since last valid sample
+}
+
+func newRTTEstimator(initial, minRTO, maxRTO, granularity time.Duration) rttEstimator {
+	return rttEstimator{
+		rto:    initial,
+		granny: granularity,
+		minRTO: minRTO,
+		maxRTO: maxRTO,
+	}
+}
+
+// Update folds a new RTT measurement in (RFC 6298 §2) and recomputes the
+// RTO, clearing any backoff.
+func (e *rttEstimator) Update(sample time.Duration) {
+	if sample <= 0 {
+		sample = e.granny
+	}
+	if !e.hasSample {
+		e.srtt = sample
+		e.rttvar = sample / 2
+		e.hasSample = true
+	} else {
+		// RTTVAR <- 3/4 RTTVAR + 1/4 |SRTT - R'|
+		d := e.srtt - sample
+		if d < 0 {
+			d = -d
+		}
+		e.rttvar = (3*e.rttvar + d) / 4
+		// SRTT <- 7/8 SRTT + 1/8 R'
+		e.srtt = (7*e.srtt + sample) / 8
+	}
+	e.backoffExp = 0
+	rto := e.srtt + max4(e.granny, 4*e.rttvar)
+	e.rto = clampDur(rto, e.minRTO, e.maxRTO)
+}
+
+// Backoff doubles the RTO after a retransmission timeout (Karn).
+func (e *rttEstimator) Backoff() {
+	e.backoffExp++
+	e.rto = clampDur(e.rto*2, e.minRTO, e.maxRTO)
+}
+
+// RTO returns the current retransmission timeout.
+func (e *rttEstimator) RTO() time.Duration { return e.rto }
+
+// SRTT returns the smoothed RTT (0 before the first sample).
+func (e *rttEstimator) SRTT() time.Duration { return e.srtt }
+
+// RTTVar returns the RTT variance estimate.
+func (e *rttEstimator) RTTVar() time.Duration { return e.rttvar }
+
+// HasSample reports whether at least one measurement was folded in.
+func (e *rttEstimator) HasSample() bool { return e.hasSample }
+
+func max4(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func clampDur(d, lo, hi time.Duration) time.Duration {
+	if d < lo {
+		return lo
+	}
+	if d > hi {
+		return hi
+	}
+	return d
+}

@@ -1,0 +1,105 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+)
+
+func newTestEstimator() rttEstimator {
+	return newRTTEstimator(time.Second, 200*time.Millisecond, 120*time.Second, time.Millisecond)
+}
+
+func TestRTTFirstSample(t *testing.T) {
+	e := newTestEstimator()
+	if e.HasSample() {
+		t.Error("fresh estimator claims a sample")
+	}
+	if e.RTO() != time.Second {
+		t.Errorf("initial RTO = %v, want 1s", e.RTO())
+	}
+	e.Update(60 * time.Millisecond)
+	if e.SRTT() != 60*time.Millisecond {
+		t.Errorf("SRTT = %v, want 60ms", e.SRTT())
+	}
+	if e.RTTVar() != 30*time.Millisecond {
+		t.Errorf("RTTVAR = %v, want 30ms", e.RTTVar())
+	}
+	// RTO = SRTT + 4*RTTVAR = 60 + 120 = 180ms, clamped to MinRTO 200ms.
+	if e.RTO() != 200*time.Millisecond {
+		t.Errorf("RTO = %v, want 200ms (min clamp)", e.RTO())
+	}
+}
+
+func TestRTTSmoothing(t *testing.T) {
+	e := newTestEstimator()
+	e.Update(100 * time.Millisecond)
+	e.Update(200 * time.Millisecond)
+	// SRTT = 7/8*100 + 1/8*200 = 112.5ms
+	want := 112500 * time.Microsecond
+	if e.SRTT() != want {
+		t.Errorf("SRTT = %v, want %v", e.SRTT(), want)
+	}
+	// RTTVAR = 3/4*50 + 1/4*|100-200| = 62.5ms
+	if e.RTTVar() != 62500*time.Microsecond {
+		t.Errorf("RTTVAR = %v, want 62.5ms", e.RTTVar())
+	}
+}
+
+func TestRTTConvergesOnSteadySamples(t *testing.T) {
+	e := newTestEstimator()
+	for i := 0; i < 100; i++ {
+		e.Update(60 * time.Millisecond)
+	}
+	if d := e.SRTT() - 60*time.Millisecond; d < -time.Millisecond || d > time.Millisecond {
+		t.Errorf("SRTT = %v, want ~60ms", e.SRTT())
+	}
+	// Variance decays toward zero; RTO approaches SRTT + G floor region.
+	if e.RTO() > 250*time.Millisecond {
+		t.Errorf("RTO = %v, want converged near the minimum", e.RTO())
+	}
+}
+
+func TestRTTBackoffDoubles(t *testing.T) {
+	e := newTestEstimator()
+	e.Update(100 * time.Millisecond)
+	r0 := e.RTO()
+	e.Backoff()
+	if e.RTO() != 2*r0 {
+		t.Errorf("RTO after backoff = %v, want %v", e.RTO(), 2*r0)
+	}
+	e.Backoff()
+	if e.RTO() != 4*r0 {
+		t.Errorf("RTO after 2 backoffs = %v, want %v", e.RTO(), 4*r0)
+	}
+}
+
+func TestRTTBackoffClampsAtMax(t *testing.T) {
+	e := newRTTEstimator(time.Second, 200*time.Millisecond, 5*time.Second, time.Millisecond)
+	for i := 0; i < 10; i++ {
+		e.Backoff()
+	}
+	if e.RTO() != 5*time.Second {
+		t.Errorf("RTO = %v, want clamped at 5s", e.RTO())
+	}
+}
+
+func TestRTTUpdateClearsBackoff(t *testing.T) {
+	e := newTestEstimator()
+	e.Update(100 * time.Millisecond)
+	e.Backoff()
+	e.Backoff()
+	e.Update(100 * time.Millisecond)
+	// A fresh sample recomputes RTO from SRTT/RTTVAR rather than the
+	// backed-off value.
+	if e.RTO() > time.Second {
+		t.Errorf("RTO = %v, want recomputed small value", e.RTO())
+	}
+}
+
+func TestRTTNonPositiveSampleUsesGranularity(t *testing.T) {
+	e := newTestEstimator()
+	e.Update(0)
+	if e.SRTT() != time.Millisecond {
+		t.Errorf("SRTT = %v, want granularity 1ms", e.SRTT())
+	}
+}

@@ -1,0 +1,663 @@
+package tcp
+
+import (
+	"time"
+
+	"rsstcp/internal/cc"
+	"rsstcp/internal/packet"
+	"rsstcp/internal/sim"
+	"rsstcp/internal/web100"
+)
+
+// sentRecord tracks one transmitted, not-yet-acknowledged segment.
+type sentRecord struct {
+	seq     int64
+	length  int
+	sentAt  sim.Time
+	rtx     bool // retransmission: excluded from RTT sampling (Karn)
+	sacked  bool // covered by a received SACK block
+	rtxDone bool // retransmitted during the current recovery episode
+}
+
+func (r *sentRecord) end() int64 { return r.seq + int64(r.length) }
+
+// Sender is the TCP sending side. It implements cc.Window for its
+// congestion controller and netem.Receiver for the incoming ACK stream.
+type Sender struct {
+	eng  *sim.Engine
+	cfg  Config
+	flow packet.FlowID
+	ctrl cc.Controller
+	path TransmitPath
+
+	stats *web100.Stats
+
+	// window state (bytes)
+	cwnd     int64
+	ssthresh int64
+	rwnd     int64 // peer's advertised window, from ACKs
+
+	// sequence state
+	sndUna   int64
+	sndNxt   int64
+	maxSent  int64 // transmission high-water mark (survives RTO rewind)
+	supplied int64 // bytes the application has made available
+	closed   bool  // application will supply no more
+
+	segs        []*sentRecord // outstanding records, ordered by seq
+	sackedBytes int64         // bytes of outstanding records marked SACKed
+	fack        int64         // forward ACK: highest SACKed sequence end
+	rtxOut      int64         // retransmitted bytes not yet (S)ACKed
+
+	est     rttEstimator
+	rto     *sim.Timer
+	lastRTT time.Duration // most recent raw sample, for delay heuristics
+
+	// loss recovery
+	dupAcks      int
+	recover      int64 // NewReno recovery point
+	inRecovery   bool
+	rtxPending   bool  // a fast-retransmit segment is waiting for IFQ room
+	rtxHigh      int64 // segments below this are retransmissions (Karn)
+	stallCwrHigh int64 // suppress repeated stall-congestion until una passes
+	wakerArmed   bool  // a resume waker is registered with the NIC
+
+	finished bool
+
+	// OnComplete fires once when all supplied data is acknowledged after
+	// Close.
+	OnComplete func()
+	// OnStall fires on every send-stall; the Figure-1 counter hooks here.
+	OnStall func()
+}
+
+// NewSender wires a sender to its congestion controller and transmit path.
+// The controller is attached (initializing cwnd/ssthresh) immediately.
+func NewSender(eng *sim.Engine, cfg Config, flow packet.FlowID, ctrl cc.Controller, path TransmitPath) *Sender {
+	if ctrl == nil {
+		panic("tcp: NewSender with nil controller")
+	}
+	if path == nil {
+		panic("tcp: NewSender with nil transmit path")
+	}
+	cfg = cfg.withDefaults()
+	s := &Sender{
+		eng:   eng,
+		cfg:   cfg,
+		flow:  flow,
+		ctrl:  ctrl,
+		path:  path,
+		stats: web100.New(eng.Now()),
+		rwnd:  cfg.RcvWnd,
+		est:   newRTTEstimator(cfg.InitialRTO, cfg.MinRTO, cfg.MaxRTO, cfg.RTOGranularity),
+	}
+	s.rto = sim.NewTimer(eng, s.onRTO)
+	ctrl.Attach(s)
+	s.stats.CurRTO = s.est.RTO()
+	return s
+}
+
+// --- cc.Window implementation ---
+
+// MSS returns the segment payload size.
+func (s *Sender) MSS() int { return s.cfg.MSS }
+
+// Cwnd returns the congestion window in bytes.
+func (s *Sender) Cwnd() int64 { return s.cwnd }
+
+// SetCwnd sets the congestion window, clamped to at least one MSS.
+func (s *Sender) SetCwnd(b int64) {
+	if b < int64(s.cfg.MSS) {
+		b = int64(s.cfg.MSS)
+	}
+	s.cwnd = b
+	s.stats.SetCwnd(b)
+}
+
+// Ssthresh returns the slow-start threshold in bytes.
+func (s *Sender) Ssthresh() int64 { return s.ssthresh }
+
+// SetSsthresh sets the slow-start threshold, clamped to >= 2 MSS.
+func (s *Sender) SetSsthresh(b int64) {
+	if b < 2*int64(s.cfg.MSS) {
+		b = 2 * int64(s.cfg.MSS)
+	}
+	s.ssthresh = b
+	s.stats.SetSsthresh(b)
+}
+
+// FlightSize returns the outstanding bytes (snd.nxt - snd.una).
+func (s *Sender) FlightSize() int64 { return s.sndNxt - s.sndUna }
+
+// SRTT returns the smoothed RTT (0 before the first sample).
+func (s *Sender) SRTT() time.Duration { return s.est.SRTT() }
+
+// LastRTT returns the most recent raw RTT sample (0 before the first).
+func (s *Sender) LastRTT() time.Duration { return s.lastRTT }
+
+// Now returns the current virtual time.
+func (s *Sender) Now() sim.Time { return s.eng.Now() }
+
+// --- application interface ---
+
+// Supply makes n more bytes available to transmit and kicks the sender.
+func (s *Sender) Supply(n int64) {
+	if n <= 0 || s.finished {
+		return
+	}
+	s.supplied += n
+	s.trySend()
+}
+
+// Close declares that no more data will be supplied; when everything
+// outstanding is acknowledged the transfer completes.
+func (s *Sender) Close() {
+	s.closed = true
+	s.checkComplete()
+}
+
+// Finished reports whether the transfer has completed.
+func (s *Sender) Finished() bool { return s.finished }
+
+// Stats returns the live Web100-style instrument set.
+func (s *Sender) Stats() *web100.Stats { return s.stats }
+
+// Controller returns the attached congestion controller.
+func (s *Sender) Controller() cc.Controller { return s.ctrl }
+
+// SndUna returns the oldest unacknowledged sequence number.
+func (s *Sender) SndUna() int64 { return s.sndUna }
+
+// SndNxt returns the next sequence number to be sent.
+func (s *Sender) SndNxt() int64 { return s.sndNxt }
+
+// InRecovery reports whether fast recovery is in progress.
+func (s *Sender) InRecovery() bool { return s.inRecovery }
+
+// RTO returns the current retransmission timeout value.
+func (s *Sender) RTO() time.Duration { return s.est.RTO() }
+
+// --- transmission ---
+
+// trySend transmits as much as windows, data and the IFQ allow.
+func (s *Sender) trySend() {
+	if s.finished {
+		return
+	}
+	// A pending fast retransmission goes out ahead of new data.
+	if s.rtxPending {
+		if !s.sendRetransmit() {
+			return // stalled; waker re-enters
+		}
+		s.rtxPending = false
+	}
+	// With SACK, recovery fills every known hole as pipe room allows
+	// (RFC 6675 flavour) instead of one retransmission per RTT.
+	if s.inRecovery && s.cfg.SACK {
+		if !s.sendSACKRetransmissions() {
+			return
+		}
+	}
+	burst := 0
+	for {
+		if s.cfg.MaxBurst > 0 && burst >= s.cfg.MaxBurst {
+			// Burst cap: later ACKs (or the NIC waker) release more.
+			return
+		}
+		avail := s.supplied - s.sndNxt
+		if avail <= 0 {
+			// Nothing from the application: sender-limited.
+			s.stats.SetSndLim(web100.SndLimSender, s.eng.Now())
+			return
+		}
+		n := s.cfg.MSS
+		if int64(n) > avail {
+			n = int(avail)
+		}
+		wnd := s.effectiveWindow()
+		inFlight := s.FlightSize()
+		if s.inRecovery && s.cfg.SACK {
+			// RFC 6675: during SACK recovery transmission is governed
+			// by the pipe estimate, not raw flight (which still counts
+			// lost segments).
+			inFlight = s.pipe()
+		}
+		if inFlight+int64(n) > wnd {
+			if min64(s.cwnd, s.rwnd) == s.cwnd {
+				s.stats.SetSndLim(web100.SndLimCwnd, s.eng.Now())
+			} else {
+				s.stats.SetSndLim(web100.SndLimRwnd, s.eng.Now())
+			}
+			return
+		}
+		seg := &packet.Segment{
+			Flow:   s.flow,
+			Seq:    s.sndNxt,
+			Len:    n,
+			Flags:  packet.FlagACK,
+			Wnd:    s.cfg.RcvWnd,
+			SentAt: s.eng.Now(),
+		}
+		rtx := s.sndNxt < s.rtxHigh
+		seg.Retransmit = rtx
+		if !s.path.Send(seg) {
+			s.onSendStall()
+			return
+		}
+		s.segs = append(s.segs, &sentRecord{
+			seq: s.sndNxt, length: n, sentAt: s.eng.Now(), rtx: rtx,
+		})
+		s.sndNxt += int64(n)
+		if s.sndNxt > s.maxSent {
+			s.maxSent = s.sndNxt
+		}
+		s.noteSent(n, rtx)
+		burst++
+		if !s.rto.Armed() {
+			s.rto.Arm(s.est.RTO())
+		}
+	}
+}
+
+// effectiveWindow is min(cwnd, rwnd) plus the RFC 3042 limited-transmit
+// allowance during the first duplicate ACKs.
+func (s *Sender) effectiveWindow() int64 {
+	wnd := min64(s.cwnd, s.rwnd)
+	if s.cfg.LimitedTransmit && !s.inRecovery &&
+		s.dupAcks > 0 && s.dupAcks < s.cfg.DupThresh {
+		wnd += int64(s.dupAcks) * int64(s.cfg.MSS)
+	}
+	return wnd
+}
+
+func (s *Sender) noteSent(n int, rtx bool) {
+	s.stats.SegsOut++
+	s.stats.DataSegsOut++
+	s.stats.DataOctetsOut += int64(n)
+	if rtx {
+		s.stats.SegsRetrans++
+		s.stats.OctetsRetran += int64(n)
+	}
+}
+
+// onSendStall handles a full IFQ: record the signal, optionally collapse
+// the window (Linux 2.4 behaviour), and arm the waker to resume.
+func (s *Sender) onSendStall() {
+	s.stats.SendStall++
+	s.stats.SetSndLim(web100.SndLimSender, s.eng.Now())
+	if s.OnStall != nil {
+		s.OnStall()
+	}
+	if s.cfg.Stall == StallCongestion && s.sndUna >= s.stallCwrHigh {
+		// At most one window collapse per RTT: suppress further stall
+		// signals until the current flight is acknowledged.
+		s.stallCwrHigh = s.sndNxt
+		s.stats.CongSignals++
+		s.stats.LocalCongCwnd++
+		wasSS := s.ctrl.InSlowStart()
+		s.ctrl.OnLocalStall()
+		if wasSS && !s.ctrl.InSlowStart() {
+			s.stats.SlowStartExits++
+		}
+	}
+	// One waker at a time: several code paths (each arriving ACK, the
+	// retransmit path) can hit a stall before the NIC drains.
+	if !s.wakerArmed {
+		s.wakerArmed = true
+		s.path.SetWaker(func() {
+			s.wakerArmed = false
+			s.trySend()
+		})
+	}
+}
+
+// sendRetransmit re-sends the first unacknowledged (and, with SACK, not yet
+// SACKed) segment. It returns false when the IFQ stalled the attempt.
+func (s *Sender) sendRetransmit() bool {
+	rec := s.firstRetransmittable()
+	if rec == nil {
+		return true
+	}
+	seg := &packet.Segment{
+		Flow:       s.flow,
+		Seq:        rec.seq,
+		Len:        rec.length,
+		Flags:      packet.FlagACK,
+		Wnd:        s.cfg.RcvWnd,
+		SentAt:     s.eng.Now(),
+		Retransmit: true,
+	}
+	if !s.path.Send(seg) {
+		s.onSendStall()
+		return false
+	}
+	rec.rtx = true
+	rec.rtxDone = true
+	rec.sentAt = s.eng.Now()
+	s.rtxOut += int64(rec.length)
+	s.noteSent(rec.length, true)
+	return true
+}
+
+// sackRepairBurst caps hole repairs per ACK event. Each duplicate ACK
+// signals one delivered segment, so two retransmissions per ACK is already
+// 2x the delivered rate (rate-halving flavour); more floods the congested
+// bottleneck with retransmissions that are then dropped themselves,
+// forcing the RTO the repair was meant to avoid.
+const sackRepairBurst = 2
+
+// sendSACKRetransmissions resends unSACKed holes below the recovery point
+// while the FACK pipe estimate leaves window room, bounded by the repair
+// burst cap — later ACKs continue the repair.
+// It returns false when the IFQ stalled the attempt.
+func (s *Sender) sendSACKRetransmissions() bool {
+	burst := 0
+	// A retransmission that has not been SACKed within ~1.5 smoothed RTTs
+	// was itself lost; re-arm it rather than waiting out the RTO.
+	stale := 3 * s.est.SRTT() / 2
+	if stale <= 0 {
+		stale = s.cfg.MinRTO
+	}
+	now := s.eng.Now()
+	for _, rec := range s.segs {
+		if burst >= sackRepairBurst {
+			break
+		}
+		if rec.seq >= s.recover {
+			break
+		}
+		if rec.sacked {
+			continue
+		}
+		if rec.rtxDone && now.Sub(rec.sentAt) <= stale {
+			continue
+		}
+		if rec.rtxDone {
+			// Lost retransmission: it is no longer in the pipe.
+			s.rtxOut -= int64(rec.length)
+		}
+		if s.pipe()+int64(rec.length) > min64(s.cwnd, s.rwnd) {
+			break
+		}
+		seg := &packet.Segment{
+			Flow:       s.flow,
+			Seq:        rec.seq,
+			Len:        rec.length,
+			Flags:      packet.FlagACK,
+			Wnd:        s.cfg.RcvWnd,
+			SentAt:     s.eng.Now(),
+			Retransmit: true,
+		}
+		if !s.path.Send(seg) {
+			s.onSendStall()
+			return false
+		}
+		rec.rtx = true
+		rec.rtxDone = true
+		rec.sentAt = s.eng.Now()
+		s.rtxOut += int64(rec.length)
+		s.noteSent(rec.length, true)
+		burst++
+	}
+	return true
+}
+
+// pipe estimates the bytes actually in the network, FACK-style: everything
+// above the forward ACK is presumed in flight; below it only segments we
+// have retransmitted count — the unSACKed remainder is presumed lost.
+// Counting lost bytes as in-flight (the naive flight − sacked) starves deep
+// -loss recovery behind the window check.
+func (s *Sender) pipe() int64 {
+	high := s.fack
+	if high < s.sndUna {
+		high = s.sndUna
+	}
+	inFlight := s.sndNxt - high
+	if inFlight < 0 {
+		inFlight = 0
+	}
+	return inFlight + s.rtxOut
+}
+
+func (s *Sender) firstRetransmittable() *sentRecord {
+	for _, rec := range s.segs {
+		if rec.rtxDone || (s.cfg.SACK && rec.sacked) {
+			continue
+		}
+		return rec
+	}
+	return nil
+}
+
+// --- ACK processing (netem.Receiver) ---
+
+// Receive processes an incoming ACK segment.
+func (s *Sender) Receive(seg *packet.Segment) {
+	if s.finished || !seg.Flags.Has(packet.FlagACK) {
+		return
+	}
+	s.stats.SegsIn++
+	s.rwnd = seg.Wnd
+	s.stats.CurRwnd = seg.Wnd
+	newSACK := int64(0)
+	if s.cfg.SACK && len(seg.SACK) > 0 {
+		s.stats.SACKsRcvd++
+		newSACK = s.applySACK(seg.SACK)
+	}
+	switch {
+	case seg.Ack > s.maxSent:
+		// Acks data never sent: ignore. (Acks above the post-RTO sndNxt
+		// but within the pre-RTO flight are legitimate — the receiver
+		// had the data all along.)
+	case seg.Ack > s.sndUna:
+		s.onNewAck(seg.Ack)
+	case seg.Ack == s.sndUna && s.FlightSize() > 0 && seg.IsPureAck():
+		// With SACK, a duplicate ACK only signals a missing segment if
+		// it carries new scoreboard information; echoes of duplicate
+		// arrivals (e.g. from go-back-N resends) carry none and are
+		// ignored, as in Linux.
+		if !s.cfg.SACK || newSACK > 0 {
+			s.onDupAck()
+		}
+	}
+	s.trySend()
+}
+
+func (s *Sender) onNewAck(ack int64) {
+	acked := ack - s.sndUna
+	s.sndUna = ack
+	if s.sndNxt < s.sndUna {
+		// An ACK above the rewound sndNxt (post-RTO): the receiver held
+		// the data; skip ahead rather than resending it.
+		s.sndNxt = s.sndUna
+	}
+	s.stats.ThruOctetsAcked += acked
+	if sample, ok := s.popAcked(ack); ok {
+		s.est.Update(sample)
+		s.lastRTT = sample
+		s.stats.ObserveRTT(sample)
+		s.stats.SmoothedRTT = s.est.SRTT()
+		s.stats.CurRTO = s.est.RTO()
+	}
+	if s.inRecovery {
+		if ack >= s.recover {
+			s.inRecovery = false
+			s.dupAcks = 0
+			for _, rec := range s.segs {
+				rec.rtxDone = false
+			}
+			s.ctrl.OnExitRecovery()
+		} else {
+			if !s.cfg.SACK {
+				// NewReno partial ACK: deflate and retransmit the next
+				// hole — the partial ACK is its only signal. With SACK
+				// the scoreboard repair path covers both roles, and
+				// NewReno deflation (cwnd -= acked) would collapse the
+				// window when batch repairs produce large jumps.
+				s.ctrl.OnPartialAck(acked)
+				s.rtxPending = true
+			}
+			s.rto.Arm(s.est.RTO()) // restart for the retransmission
+		}
+	} else {
+		s.dupAcks = 0
+		wasSS := s.ctrl.InSlowStart()
+		s.ctrl.OnAck(acked)
+		if wasSS && !s.ctrl.InSlowStart() {
+			s.stats.SlowStartExits++
+		}
+	}
+	if s.FlightSize() == 0 {
+		s.rto.Stop()
+	} else {
+		s.rto.Arm(s.est.RTO())
+	}
+	s.checkComplete()
+}
+
+func (s *Sender) onDupAck() {
+	s.dupAcks++
+	s.stats.DupAcksIn++
+	switch {
+	case s.inRecovery:
+		// Window inflation is NewReno's stand-in for knowing what left
+		// the network; with SACK the pipe estimate carries that role
+		// and inflation would just flood the congested link.
+		if !s.cfg.SACK {
+			s.ctrl.OnDupAck()
+		}
+	case s.dupAcks == s.cfg.DupThresh:
+		// RFC 6582 "careful" variant (non-SACK): duplicate ACKs at or
+		// below the previous recovery point are echoes of segments
+		// retransmitted during that recovery; re-entering would cut the
+		// window twice for one loss event. SACK flows discriminate via
+		// new-scoreboard-information instead (see Receive).
+		if !s.cfg.SACK && s.sndUna <= s.recover && s.recover > 0 {
+			return
+		}
+		s.enterRecovery()
+	}
+}
+
+func (s *Sender) enterRecovery() {
+	s.inRecovery = true
+	s.recover = s.sndNxt
+	s.stats.CongSignals++
+	s.stats.FastRetran++
+	wasSS := s.ctrl.InSlowStart()
+	s.ctrl.OnEnterRecovery()
+	if wasSS {
+		s.stats.SlowStartExits++
+	}
+	s.rtxPending = true
+	s.rto.Arm(s.est.RTO())
+}
+
+// popAcked removes records fully covered by ack and returns an RTT sample
+// from the most recent non-retransmitted one (Karn's rule).
+func (s *Sender) popAcked(ack int64) (time.Duration, bool) {
+	var sample time.Duration
+	ok := false
+	i := 0
+	for ; i < len(s.segs); i++ {
+		rec := s.segs[i]
+		if rec.end() > ack {
+			break
+		}
+		if rec.sacked {
+			s.sackedBytes -= int64(rec.length)
+		} else if rec.rtxDone {
+			s.rtxOut -= int64(rec.length)
+		}
+		// RTT samples come only from records that are neither
+		// retransmissions (Karn) nor previously SACKed: a SACKed record
+		// was delivered when its SACK arrived, not when the cumulative
+		// ACK finally covered it after hole repair.
+		if !rec.rtx && !rec.sacked {
+			sample = s.eng.Now().Sub(rec.sentAt)
+			ok = true
+		}
+	}
+	if i > 0 {
+		s.segs = append(s.segs[:0], s.segs[i:]...)
+	}
+	// Partial coverage of the front record (ack inside a segment) cannot
+	// happen with MSS-aligned acks, but trim defensively.
+	if len(s.segs) > 0 && s.segs[0].seq < ack {
+		rec := s.segs[0]
+		delta := ack - rec.seq
+		rec.seq = ack
+		rec.length -= int(delta)
+	}
+	return sample, ok
+}
+
+// applySACK marks records covered by the blocks as SACKed and returns the
+// number of newly covered bytes (zero for a SACK that repeats known state).
+func (s *Sender) applySACK(blocks []packet.SACKBlock) int64 {
+	var fresh int64
+	for _, b := range blocks {
+		for _, rec := range s.segs {
+			if !rec.sacked && rec.seq >= b.Start && rec.end() <= b.End {
+				rec.sacked = true
+				s.sackedBytes += int64(rec.length)
+				fresh += int64(rec.length)
+				if rec.rtxDone {
+					s.rtxOut -= int64(rec.length)
+				}
+				if rec.end() > s.fack {
+					s.fack = rec.end()
+				}
+			}
+		}
+	}
+	return fresh
+}
+
+// --- RTO ---
+
+func (s *Sender) onRTO() {
+	if s.finished || s.FlightSize() == 0 {
+		return
+	}
+	s.stats.Timeouts++
+	s.stats.CongSignals++
+	s.ctrl.OnRTO()
+	s.est.Backoff()
+	s.stats.CurRTO = s.est.RTO()
+	// Go-back-N: everything beyond snd.una is resent under the collapsed
+	// window; mark the range so Karn's rule skips its RTT samples.
+	if s.sndNxt > s.rtxHigh {
+		s.rtxHigh = s.sndNxt
+	}
+	s.sndNxt = s.sndUna
+	s.segs = s.segs[:0]
+	s.sackedBytes = 0
+	s.fack = s.sndUna
+	s.rtxOut = 0
+	s.dupAcks = 0
+	s.inRecovery = false
+	s.rtxPending = false
+	s.rto.Arm(s.est.RTO())
+	s.trySend()
+}
+
+func (s *Sender) checkComplete() {
+	if s.finished || !s.closed || s.sndUna < s.supplied {
+		return
+	}
+	s.finished = true
+	s.rto.Stop()
+	s.stats.SetSndLim(web100.SndLimNone, s.eng.Now())
+	s.stats.Finish(s.eng.Now())
+	if s.OnComplete != nil {
+		s.OnComplete()
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

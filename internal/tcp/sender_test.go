@@ -1,0 +1,465 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"rsstcp/internal/cc"
+	"rsstcp/internal/packet"
+	"rsstcp/internal/sim"
+)
+
+// fakePath captures transmissions and can simulate send-stalls.
+type fakePath struct {
+	sent     []*packet.Segment
+	failNext int
+	stalls   int
+	waker    func()
+}
+
+func (p *fakePath) Send(seg *packet.Segment) bool {
+	if p.failNext > 0 {
+		p.failNext--
+		p.stalls++
+		return false
+	}
+	p.sent = append(p.sent, seg)
+	return true
+}
+
+func (p *fakePath) SetWaker(fn func()) { p.waker = fn }
+
+func (p *fakePath) wake() {
+	if p.waker != nil {
+		w := p.waker
+		p.waker = nil
+		w()
+	}
+}
+
+func newTestSender(eng *sim.Engine, cfg Config) (*Sender, *fakePath) {
+	path := &fakePath{}
+	s := NewSender(eng, cfg, 1, cc.NewReno(cc.RenoConfig{IW: 2}), path)
+	return s, path
+}
+
+// ackUpTo delivers a cumulative ACK to the sender.
+func ackUpTo(s *Sender, ack int64) {
+	s.Receive(&packet.Segment{Flags: packet.FlagACK, Ack: ack, Wnd: 4 << 20})
+}
+
+func dupAck(s *Sender, ack int64) { ackUpTo(s, ack) }
+
+func TestSenderInitialWindowLimitsBurst(t *testing.T) {
+	eng := sim.NewEngine()
+	s, path := newTestSender(eng, Config{MSS: 1000})
+	s.Supply(100000)
+	// IW = 2 segments.
+	if len(path.sent) != 2 {
+		t.Fatalf("initial burst = %d segments, want 2", len(path.sent))
+	}
+	if path.sent[0].Seq != 0 || path.sent[1].Seq != 1000 {
+		t.Errorf("sequences = %d,%d want 0,1000", path.sent[0].Seq, path.sent[1].Seq)
+	}
+	if s.FlightSize() != 2000 {
+		t.Errorf("FlightSize = %d, want 2000", s.FlightSize())
+	}
+}
+
+func TestSenderAckAdvancesAndGrows(t *testing.T) {
+	eng := sim.NewEngine()
+	s, path := newTestSender(eng, Config{MSS: 1000})
+	s.Supply(1 << 20)
+	eng.RunFor(10 * time.Millisecond)
+	ackUpTo(s, 2000)
+	// Slow start: cwnd 2000 -> 3000; una 2000 -> can send 3 more segments.
+	if s.Cwnd() != 3000 {
+		t.Errorf("cwnd = %d, want 3000", s.Cwnd())
+	}
+	if s.SndUna() != 2000 {
+		t.Errorf("SndUna = %d, want 2000", s.SndUna())
+	}
+	if len(path.sent) != 5 {
+		t.Errorf("sent = %d segments, want 5", len(path.sent))
+	}
+	if s.Stats().ThruOctetsAcked != 2000 {
+		t.Errorf("ThruOctetsAcked = %d, want 2000", s.Stats().ThruOctetsAcked)
+	}
+}
+
+func TestSenderRespectsRwnd(t *testing.T) {
+	eng := sim.NewEngine()
+	s, path := newTestSender(eng, Config{MSS: 1000})
+	s.Supply(1 << 20)
+	// Ack with a tiny advertised window.
+	s.Receive(&packet.Segment{Flags: packet.FlagACK, Ack: 2000, Wnd: 3000})
+	// cwnd is 3000 after the ack but rwnd clamps flight to 3000.
+	for len(path.sent) > 0 && path.sent[len(path.sent)-1].Seq < 5000 {
+		break
+	}
+	if s.FlightSize() > 3000 {
+		t.Errorf("FlightSize = %d exceeds rwnd 3000", s.FlightSize())
+	}
+}
+
+func TestSenderShortFinalSegment(t *testing.T) {
+	eng := sim.NewEngine()
+	s, path := newTestSender(eng, Config{MSS: 1000})
+	s.Supply(1500) // one full + one half segment
+	if len(path.sent) != 2 {
+		t.Fatalf("sent %d segments, want 2", len(path.sent))
+	}
+	if path.sent[1].Len != 500 {
+		t.Errorf("tail segment len = %d, want 500", path.sent[1].Len)
+	}
+}
+
+func TestSenderCompletionCallback(t *testing.T) {
+	eng := sim.NewEngine()
+	s, _ := newTestSender(eng, Config{MSS: 1000})
+	done := false
+	s.OnComplete = func() { done = true }
+	s.Supply(2000)
+	s.Close()
+	if done {
+		t.Fatal("completed before data acked")
+	}
+	eng.RunFor(10 * time.Millisecond)
+	ackUpTo(s, 2000)
+	if !done || !s.Finished() {
+		t.Error("transfer did not complete after final ack")
+	}
+	if s.Stats().EndTime == 0 {
+		t.Error("stats EndTime not set")
+	}
+}
+
+func TestSenderIgnoresTrafficAfterFinish(t *testing.T) {
+	eng := sim.NewEngine()
+	s, _ := newTestSender(eng, Config{MSS: 1000})
+	s.Supply(1000)
+	s.Close()
+	ackUpTo(s, 1000)
+	before := s.Stats().SegsIn
+	ackUpTo(s, 1000)
+	if s.Stats().SegsIn != before {
+		t.Error("finished sender still counts segments")
+	}
+}
+
+func TestSenderFastRetransmitOnTripleDup(t *testing.T) {
+	eng := sim.NewEngine()
+	s, path := newTestSender(eng, Config{MSS: 1000})
+	s.Supply(1 << 20)
+	// Grow the window a little so there is plenty outstanding.
+	ackUpTo(s, 1000)
+	ackUpTo(s, 2000)
+	sentBefore := len(path.sent)
+	// Three duplicate ACKs at una=2000.
+	dupAck(s, 2000)
+	dupAck(s, 2000)
+	if s.InRecovery() {
+		t.Fatal("entered recovery before third dup ack")
+	}
+	dupAck(s, 2000)
+	if !s.InRecovery() {
+		t.Fatal("not in recovery after third dup ack")
+	}
+	st := s.Stats()
+	if st.FastRetran != 1 || st.CongSignals != 1 {
+		t.Errorf("FastRetran=%d CongSignals=%d, want 1/1", st.FastRetran, st.CongSignals)
+	}
+	// The retransmission is the segment at una.
+	var rtx *packet.Segment
+	for _, seg := range path.sent[sentBefore:] {
+		if seg.Retransmit {
+			rtx = seg
+			break
+		}
+	}
+	if rtx == nil {
+		t.Fatal("no retransmission emitted")
+	}
+	if rtx.Seq != 2000 {
+		t.Errorf("retransmit seq = %d, want 2000 (snd.una)", rtx.Seq)
+	}
+	if st.DupAcksIn != 3 {
+		t.Errorf("DupAcksIn = %d, want 3", st.DupAcksIn)
+	}
+}
+
+func TestSenderFullAckExitsRecovery(t *testing.T) {
+	eng := sim.NewEngine()
+	s, _ := newTestSender(eng, Config{MSS: 1000})
+	s.Supply(1 << 20)
+	ackUpTo(s, 2000)
+	recover := s.SndNxt()
+	dupAck(s, 2000)
+	dupAck(s, 2000)
+	dupAck(s, 2000)
+	if !s.InRecovery() {
+		t.Fatal("not in recovery")
+	}
+	ackUpTo(s, recover) // full ACK: everything sent before loss is covered
+	if s.InRecovery() {
+		t.Error("recovery did not end on full ack")
+	}
+	if s.Cwnd() != s.Ssthresh() {
+		t.Errorf("cwnd = %d, want deflated to ssthresh %d", s.Cwnd(), s.Ssthresh())
+	}
+}
+
+func TestSenderPartialAckRetransmits(t *testing.T) {
+	eng := sim.NewEngine()
+	s, path := newTestSender(eng, Config{MSS: 1000})
+	s.Supply(1 << 20)
+	// Build up a larger flight.
+	ackUpTo(s, 2000)
+	ackUpTo(s, 4000)
+	ackUpTo(s, 6000)
+	recover := s.SndNxt()
+	dupAck(s, 6000)
+	dupAck(s, 6000)
+	dupAck(s, 6000)
+	// Partial ACK: advances but not past the recovery point.
+	ackUpTo(s, 8000)
+	if s.SndNxt() < recover {
+		t.Fatal("test setup: recovery point not beyond partial ack")
+	}
+	if !s.InRecovery() {
+		t.Error("partial ack ended recovery prematurely")
+	}
+	// A second retransmission (the next hole at 8000) must have gone out.
+	found := false
+	for _, seg := range path.sent {
+		if seg.Retransmit && seg.Seq == 8000 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("partial ack did not trigger retransmission of next hole")
+	}
+}
+
+func TestSenderRTOCollapsesAndRetransmits(t *testing.T) {
+	eng := sim.NewEngine()
+	s, path := newTestSender(eng, Config{MSS: 1000})
+	s.Supply(1 << 20)
+	if s.FlightSize() == 0 {
+		t.Fatal("nothing outstanding")
+	}
+	// No ACKs arrive; the retransmission timer must fire.
+	eng.RunFor(5 * time.Second)
+	st := s.Stats()
+	if st.Timeouts == 0 {
+		t.Fatal("no RTO fired")
+	}
+	if s.Cwnd() != 1000 {
+		t.Errorf("cwnd after RTO = %d, want 1 MSS", s.Cwnd())
+	}
+	// First segment resent with the retransmit mark.
+	foundRtx := false
+	for _, seg := range path.sent {
+		if seg.Retransmit && seg.Seq == 0 {
+			foundRtx = true
+		}
+	}
+	if !foundRtx {
+		t.Error("RTO did not retransmit from snd.una")
+	}
+	if st.SegsRetrans == 0 {
+		t.Error("SegsRetrans not counted")
+	}
+}
+
+func TestSenderRTOBackoffOnRepeat(t *testing.T) {
+	eng := sim.NewEngine()
+	s, _ := newTestSender(eng, Config{MSS: 1000, InitialRTO: time.Second})
+	s.Supply(5000)
+	eng.RunFor(10 * time.Second)
+	st := s.Stats()
+	if st.Timeouts < 2 {
+		t.Fatalf("timeouts = %d, want >= 2", st.Timeouts)
+	}
+	// Exponential backoff: RTO grew beyond the initial value.
+	if s.RTO() <= time.Second {
+		t.Errorf("RTO = %v, want backed off beyond 1s", s.RTO())
+	}
+}
+
+func TestSenderKarnExcludesRetransmitsFromRTT(t *testing.T) {
+	eng := sim.NewEngine()
+	s, _ := newTestSender(eng, Config{MSS: 1000, InitialRTO: 500 * time.Millisecond})
+	s.Supply(1000)
+	// Let the RTO fire once: the segment is now a retransmission.
+	eng.RunFor(time.Second)
+	if s.Stats().Timeouts == 0 {
+		t.Fatal("expected an RTO")
+	}
+	countBefore := s.Stats().CountRTT
+	ackUpTo(s, 1000)
+	if s.Stats().CountRTT != countBefore {
+		t.Error("RTT sampled from a retransmitted segment (Karn violation)")
+	}
+}
+
+func TestSenderStallRaisesSignalAndCollapses(t *testing.T) {
+	eng := sim.NewEngine()
+	s, path := newTestSender(eng, Config{MSS: 1000, Stall: StallCongestion})
+	// Grow first so the collapse is visible.
+	s.Supply(1 << 20)
+	ackUpTo(s, 2000)
+	ackUpTo(s, 4000)
+	cwndBefore := s.Cwnd()
+	stalls := 0
+	s.OnStall = func() { stalls++ }
+	path.failNext = 1
+	ackUpTo(s, 6000) // triggers trySend, which hits the stall
+	st := s.Stats()
+	if st.SendStall != 1 || stalls != 1 {
+		t.Fatalf("SendStall = %d hook=%d, want 1/1", st.SendStall, stalls)
+	}
+	if st.LocalCongCwnd != 1 {
+		t.Errorf("LocalCongCwnd = %d, want 1", st.LocalCongCwnd)
+	}
+	if s.Cwnd() >= cwndBefore {
+		t.Errorf("cwnd = %d, want collapsed below %d", s.Cwnd(), cwndBefore)
+	}
+}
+
+func TestSenderStallWaitPolicyKeepsWindow(t *testing.T) {
+	eng := sim.NewEngine()
+	s, path := newTestSender(eng, Config{MSS: 1000, Stall: StallWait})
+	s.Supply(1 << 20)
+	ackUpTo(s, 2000)
+	cwndBefore := s.Cwnd()
+	path.failNext = 1
+	ackUpTo(s, 4000)
+	if s.Stats().SendStall != 1 {
+		t.Fatalf("SendStall = %d, want 1", s.Stats().SendStall)
+	}
+	if s.Stats().LocalCongCwnd != 0 {
+		t.Errorf("LocalCongCwnd = %d, want 0 under StallWait", s.Stats().LocalCongCwnd)
+	}
+	if s.Cwnd() < cwndBefore {
+		t.Errorf("cwnd = %d collapsed under StallWait", s.Cwnd())
+	}
+}
+
+func TestSenderStallResumesViaWaker(t *testing.T) {
+	eng := sim.NewEngine()
+	s, path := newTestSender(eng, Config{MSS: 1000, Stall: StallWait})
+	s.Supply(5000)
+	path.failNext = 1
+	ackUpTo(s, 2000)
+	sentBefore := len(path.sent)
+	path.wake()
+	if len(path.sent) <= sentBefore {
+		t.Error("waker did not resume transmission")
+	}
+}
+
+func TestSenderStallCongestionOncePerWindow(t *testing.T) {
+	eng := sim.NewEngine()
+	s, path := newTestSender(eng, Config{MSS: 1000, Stall: StallCongestion})
+	s.Supply(1 << 20)
+	ackUpTo(s, 2000)
+	ackUpTo(s, 4000) // cwnd 4000, flight 4000..8000 outstanding
+	path.failNext = 1
+	ackUpTo(s, 5000) // frees room; the attempted send stalls and collapses
+	if s.Stats().LocalCongCwnd != 1 {
+		t.Fatalf("LocalCongCwnd = %d, want 1", s.Stats().LocalCongCwnd)
+	}
+	// Ack most (not all) of the flight: room opens under the collapsed
+	// cwnd, but snd.una is still below the stall high-water mark.
+	path.failNext = 1
+	ackUpTo(s, 7000)
+	if s.Stats().SendStall != 2 {
+		t.Fatalf("SendStall = %d, want 2", s.Stats().SendStall)
+	}
+	if s.Stats().LocalCongCwnd != 1 {
+		t.Errorf("LocalCongCwnd = %d, want still 1 (suppressed within window)",
+			s.Stats().LocalCongCwnd)
+	}
+	// Once the whole pre-stall flight is acknowledged, a new stall may
+	// collapse the window again.
+	ackUpTo(s, 8000)
+	path.failNext = 1
+	ackUpTo(s, 9000)
+	if s.Stats().LocalCongCwnd != 2 {
+		t.Errorf("LocalCongCwnd = %d, want 2 after window passed", s.Stats().LocalCongCwnd)
+	}
+}
+
+func TestSenderLimitedTransmit(t *testing.T) {
+	eng := sim.NewEngine()
+	s, path := newTestSender(eng, Config{MSS: 1000, LimitedTransmit: true})
+	s.Supply(1 << 20)
+	// cwnd = 2000, flight = 2000: normally nothing more may go out.
+	sentBefore := len(path.sent)
+	dupAck(s, 0)
+	if len(path.sent) != sentBefore+1 {
+		t.Errorf("limited transmit sent %d new segments, want 1", len(path.sent)-sentBefore)
+	}
+	dupAck(s, 0)
+	if len(path.sent) != sentBefore+2 {
+		t.Errorf("second dup ack sent %d total, want 2", len(path.sent)-sentBefore)
+	}
+}
+
+func TestSenderDupAckRequiresOutstandingData(t *testing.T) {
+	eng := sim.NewEngine()
+	s, _ := newTestSender(eng, Config{MSS: 1000})
+	s.Supply(1000)
+	ackUpTo(s, 1000) // everything acked
+	dupAck(s, 1000)
+	dupAck(s, 1000)
+	dupAck(s, 1000)
+	if s.InRecovery() {
+		t.Error("entered recovery with no outstanding data")
+	}
+}
+
+func TestSenderWindowGauges(t *testing.T) {
+	eng := sim.NewEngine()
+	s, _ := newTestSender(eng, Config{MSS: 1000})
+	s.Supply(1 << 20)
+	ackUpTo(s, 2000)
+	st := s.Stats()
+	if st.CurCwnd != s.Cwnd() {
+		t.Errorf("CurCwnd = %d, want %d", st.CurCwnd, s.Cwnd())
+	}
+	if st.MaxCwnd < st.CurCwnd {
+		t.Errorf("MaxCwnd = %d below CurCwnd %d", st.MaxCwnd, st.CurCwnd)
+	}
+}
+
+func TestSenderSetCwndClampsToMSS(t *testing.T) {
+	eng := sim.NewEngine()
+	s, _ := newTestSender(eng, Config{MSS: 1000})
+	s.SetCwnd(10)
+	if s.Cwnd() != 1000 {
+		t.Errorf("cwnd = %d, want clamped to 1 MSS", s.Cwnd())
+	}
+	s.SetSsthresh(10)
+	if s.Ssthresh() != 2000 {
+		t.Errorf("ssthresh = %d, want clamped to 2 MSS", s.Ssthresh())
+	}
+}
+
+func TestSenderPanicsOnNilDeps(t *testing.T) {
+	eng := sim.NewEngine()
+	for name, fn := range map[string]func(){
+		"nil controller": func() { NewSender(eng, Config{}, 1, nil, &fakePath{}) },
+		"nil path":       func() { NewSender(eng, Config{}, 1, cc.NewReno(cc.RenoConfig{}), nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,139 @@
+// Package tcp implements the data-transfer machinery of a TCP connection on
+// the simulator: a sender with RFC 5681/6582 loss recovery, RFC 6298 RTO
+// management and pluggable congestion control (internal/cc), and a receiver
+// with delayed ACKs, out-of-order reassembly and SACK generation.
+//
+// Connections start established (no SYN exchange): the paper's experiments
+// are multi-second bulk transfers on which connection setup has no bearing.
+// Sequence numbers are absolute byte offsets from zero.
+package tcp
+
+import (
+	"time"
+
+	"rsstcp/internal/packet"
+)
+
+// TransmitPath is the sender's exit to the host NIC: Send returns false on
+// a send-stall (full IFQ), and SetWaker arms a one-shot resume callback.
+// host.Interface implements it.
+type TransmitPath interface {
+	Send(seg *packet.Segment) bool
+	SetWaker(func())
+}
+
+// StallPolicy selects how the sender reacts to a send-stall.
+type StallPolicy int
+
+// Stall policies.
+const (
+	// StallCongestion treats the stall as a congestion event and
+	// collapses the window — faithful to Linux 2.4, the behaviour the
+	// paper identifies as the throughput killer.
+	StallCongestion StallPolicy = iota
+	// StallWait merely waits for IFQ room without touching the window —
+	// an idealized sender used for ablation.
+	StallWait
+)
+
+// String names the policy.
+func (p StallPolicy) String() string {
+	switch p {
+	case StallCongestion:
+		return "congestion"
+	case StallWait:
+		return "wait"
+	default:
+		return "unknown"
+	}
+}
+
+// Config carries the connection parameters shared by sender and receiver.
+type Config struct {
+	// MSS is the maximum segment payload in bytes. 1448 matches an
+	// Ethernet MTU minus IP/TCP headers with timestamps.
+	MSS int
+	// RcvWnd is the receiver's advertised window in bytes. The paper-era
+	// labs tuned sockets well above the 750 KB path BDP.
+	RcvWnd int64
+	// AckEvery is the delayed-ACK segment threshold (2 per RFC 1122).
+	AckEvery int
+	// DelAckTimeout bounds how long an ACK may be delayed (Linux: 40 ms).
+	DelAckTimeout time.Duration
+	// DupThresh is the duplicate-ACK count triggering fast retransmit.
+	DupThresh int
+	// SACK enables selective-acknowledgment generation and use.
+	SACK bool
+	// LimitedTransmit enables RFC 3042 (send new data on first dupACKs).
+	LimitedTransmit bool
+	// MaxBurst caps the segments released by one send opportunity (one
+	// ACK arrival, one waker). Large cumulative ACKs — recovery exit,
+	// hole repair — otherwise dump hundreds of segments into the IFQ at
+	// once. 0 disables the cap; the default is 8 (the ns-2/BSD classic).
+	MaxBurst int
+	// MinRTO, MaxRTO, InitialRTO parameterize RFC 6298 (Linux values).
+	MinRTO     time.Duration
+	MaxRTO     time.Duration
+	InitialRTO time.Duration
+	// RTOGranularity is the timer granularity G of RFC 6298.
+	RTOGranularity time.Duration
+	// Stall selects the send-stall reaction.
+	Stall StallPolicy
+}
+
+// DefaultConfig returns parameters matching the paper's Linux 2.4 testbed.
+func DefaultConfig() Config {
+	return Config{
+		MSS:            1448,
+		RcvWnd:         4 << 20,
+		AckEvery:       2,
+		DelAckTimeout:  40 * time.Millisecond,
+		DupThresh:      3,
+		SACK:           false,
+		MaxBurst:       8,
+		MinRTO:         200 * time.Millisecond,
+		MaxRTO:         120 * time.Second,
+		InitialRTO:     time.Second,
+		RTOGranularity: time.Millisecond,
+		Stall:          StallCongestion,
+	}
+}
+
+// withDefaults fills zero fields from DefaultConfig.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.MSS <= 0 {
+		c.MSS = d.MSS
+	}
+	if c.RcvWnd <= 0 {
+		c.RcvWnd = d.RcvWnd
+	}
+	if c.AckEvery <= 0 {
+		c.AckEvery = d.AckEvery
+	}
+	if c.DelAckTimeout <= 0 {
+		c.DelAckTimeout = d.DelAckTimeout
+	}
+	if c.DupThresh <= 0 {
+		c.DupThresh = d.DupThresh
+	}
+	if c.MaxBurst == 0 {
+		c.MaxBurst = d.MaxBurst
+	}
+	if c.MaxBurst < 0 {
+		c.MaxBurst = 0 // explicit "unlimited"
+	}
+	if c.MinRTO <= 0 {
+		c.MinRTO = d.MinRTO
+	}
+	if c.MaxRTO <= 0 {
+		c.MaxRTO = d.MaxRTO
+	}
+	if c.InitialRTO <= 0 {
+		c.InitialRTO = d.InitialRTO
+	}
+	if c.RTOGranularity <= 0 {
+		c.RTOGranularity = d.RTOGranularity
+	}
+	return c
+}

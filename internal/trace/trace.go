@@ -1,0 +1,200 @@
+// Package trace records time series from a running simulation — sampled
+// gauges (cwnd, IFQ occupancy) and cumulative event counters (send-stalls) —
+// and renders them as CSV or aligned text for the figures.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"rsstcp/internal/sim"
+)
+
+// Point is one observation of a series.
+type Point struct {
+	T sim.Time
+	V float64
+}
+
+// Series is a named time series.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends an observation.
+func (s *Series) Add(t sim.Time, v float64) {
+	s.Points = append(s.Points, Point{T: t, V: v})
+}
+
+// Len returns the number of observations.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Last returns the most recent observation (zero Point when empty).
+func (s *Series) Last() Point {
+	if len(s.Points) == 0 {
+		return Point{}
+	}
+	return s.Points[len(s.Points)-1]
+}
+
+// At returns the value in effect at time t: the latest observation with
+// timestamp <= t, or 0 before the first observation. Series are recorded in
+// time order.
+func (s *Series) At(t sim.Time) float64 {
+	i := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T > t })
+	if i == 0 {
+		return 0
+	}
+	return s.Points[i-1].V
+}
+
+// Times returns the timestamps as float seconds (for analysis helpers).
+func (s *Series) Times() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.T.Seconds()
+	}
+	return out
+}
+
+// Values returns the observation values.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.V
+	}
+	return out
+}
+
+// Recorder collects named series, with optional periodic sampling.
+type Recorder struct {
+	eng    *sim.Engine
+	series map[string]*Series
+	order  []string
+	ticker *sim.Ticker
+	gauges []gauge
+}
+
+type gauge struct {
+	name string
+	fn   func() float64
+}
+
+// NewRecorder returns an empty recorder bound to the engine.
+func NewRecorder(eng *sim.Engine) *Recorder {
+	return &Recorder{eng: eng, series: map[string]*Series{}}
+}
+
+// Series returns (creating if needed) the series with the given name.
+func (r *Recorder) Series(name string) *Series {
+	s, ok := r.series[name]
+	if !ok {
+		s = &Series{Name: name}
+		r.series[name] = s
+		r.order = append(r.order, name)
+	}
+	return s
+}
+
+// Record appends an observation to the named series at the current time.
+func (r *Recorder) Record(name string, v float64) {
+	r.Series(name).Add(r.eng.Now(), v)
+}
+
+// Gauge registers a sampled quantity; once Sample is started, every tick
+// appends fn() to the named series.
+func (r *Recorder) Gauge(name string, fn func() float64) {
+	r.Series(name) // reserve order slot
+	r.gauges = append(r.gauges, gauge{name: name, fn: fn})
+}
+
+// Sample starts periodic sampling of all registered gauges.
+func (r *Recorder) Sample(period sim.Duration) {
+	if r.ticker != nil {
+		r.ticker.Stop()
+	}
+	r.ticker = sim.NewTicker(r.eng, period, func() {
+		for _, g := range r.gauges {
+			r.Record(g.name, g.fn())
+		}
+	})
+	r.ticker.Start()
+}
+
+// StopSampling halts periodic sampling.
+func (r *Recorder) StopSampling() {
+	if r.ticker != nil {
+		r.ticker.Stop()
+	}
+}
+
+// Names returns the series names in creation order.
+func (r *Recorder) Names() []string {
+	return append([]string(nil), r.order...)
+}
+
+// WriteCSV renders the named series as aligned rows on a shared time grid:
+// the union of all timestamps, with each series contributing its
+// latest-at-or-before value (step interpolation).
+func (r *Recorder) WriteCSV(w io.Writer, names ...string) error {
+	if len(names) == 0 {
+		names = r.order
+	}
+	// Collect the union of timestamps.
+	tset := map[sim.Time]struct{}{}
+	for _, n := range names {
+		s, ok := r.series[n]
+		if !ok {
+			return fmt.Errorf("trace: unknown series %q", n)
+		}
+		for _, p := range s.Points {
+			tset[p.T] = struct{}{}
+		}
+	}
+	times := make([]sim.Time, 0, len(tset))
+	for t := range tset {
+		times = append(times, t)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+
+	if _, err := fmt.Fprintf(w, "seconds,%s\n", strings.Join(names, ",")); err != nil {
+		return err
+	}
+	for _, t := range times {
+		row := make([]string, 0, len(names)+1)
+		row = append(row, fmt.Sprintf("%.6f", t.Seconds()))
+		for _, n := range names {
+			row = append(row, fmt.Sprintf("%g", r.series[n].At(t)))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Counter is a monotone event counter that records a point on every
+// increment — ideal for "cumulative signals vs time" figures like Figure 1.
+type Counter struct {
+	series *Series
+	eng    *sim.Engine
+	n      int64
+}
+
+// NewCounter returns a counter recording into rec's series of the
+// given name.
+func NewCounter(rec *Recorder, name string) *Counter {
+	return &Counter{series: rec.Series(name), eng: rec.eng}
+}
+
+// Inc increments the counter and records the new cumulative value.
+func (c *Counter) Inc() {
+	c.n++
+	c.series.Add(c.eng.Now(), float64(c.n))
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n }

@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rsstcp/internal/sim"
+)
+
+func TestSeriesAddAndLast(t *testing.T) {
+	var s Series
+	s.Add(sim.At(time.Second), 1)
+	s.Add(sim.At(2*time.Second), 5)
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+	if got := s.Last(); got.V != 5 || got.T != sim.At(2*time.Second) {
+		t.Errorf("Last = %+v, want {2s 5}", got)
+	}
+}
+
+func TestSeriesLastEmpty(t *testing.T) {
+	var s Series
+	if got := s.Last(); got.T != 0 || got.V != 0 {
+		t.Errorf("Last on empty = %+v, want zero", got)
+	}
+}
+
+func TestSeriesAtStepInterpolation(t *testing.T) {
+	var s Series
+	s.Add(sim.At(1*time.Second), 10)
+	s.Add(sim.At(3*time.Second), 30)
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{500 * time.Millisecond, 0}, // before first point
+		{1 * time.Second, 10},
+		{2 * time.Second, 10},
+		{3 * time.Second, 30},
+		{9 * time.Second, 30},
+	}
+	for _, c := range cases {
+		if got := s.At(sim.At(c.at)); got != c.want {
+			t.Errorf("At(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+func TestSeriesTimesValues(t *testing.T) {
+	var s Series
+	s.Add(sim.At(time.Second), 1)
+	s.Add(sim.At(2*time.Second), 4)
+	ts, vs := s.Times(), s.Values()
+	if len(ts) != 2 || ts[0] != 1 || ts[1] != 2 {
+		t.Errorf("Times = %v, want [1 2]", ts)
+	}
+	if len(vs) != 2 || vs[0] != 1 || vs[1] != 4 {
+		t.Errorf("Values = %v, want [1 4]", vs)
+	}
+}
+
+func TestRecorderRecordAndNames(t *testing.T) {
+	eng := sim.NewEngine()
+	rec := NewRecorder(eng)
+	rec.Record("b", 1)
+	rec.Record("a", 2)
+	rec.Record("b", 3)
+	names := rec.Names()
+	if len(names) != 2 || names[0] != "b" || names[1] != "a" {
+		t.Errorf("Names = %v, want [b a] (creation order)", names)
+	}
+	if rec.Series("b").Len() != 2 {
+		t.Errorf("series b has %d points, want 2", rec.Series("b").Len())
+	}
+}
+
+func TestRecorderGaugeSampling(t *testing.T) {
+	eng := sim.NewEngine()
+	rec := NewRecorder(eng)
+	v := 0.0
+	rec.Gauge("g", func() float64 { v += 1; return v })
+	rec.Sample(10 * time.Millisecond)
+	eng.RunUntil(sim.At(35 * time.Millisecond))
+	if got := rec.Series("g").Len(); got != 3 {
+		t.Errorf("sampled %d points, want 3", got)
+	}
+	rec.StopSampling()
+	eng.RunUntil(sim.At(100 * time.Millisecond))
+	if got := rec.Series("g").Len(); got != 3 {
+		t.Errorf("sampling continued after stop: %d points", got)
+	}
+}
+
+func TestCounterRecordsCumulative(t *testing.T) {
+	eng := sim.NewEngine()
+	rec := NewRecorder(eng)
+	c := NewCounter(rec, "stalls")
+	eng.Schedule(sim.At(time.Second), func() { c.Inc() })
+	eng.Schedule(sim.At(2*time.Second), func() { c.Inc(); c.Inc() })
+	eng.Run()
+	if c.Value() != 3 {
+		t.Errorf("Value = %d, want 3", c.Value())
+	}
+	s := rec.Series("stalls")
+	if s.Len() != 3 {
+		t.Fatalf("points = %d, want 3", s.Len())
+	}
+	if s.At(sim.At(1500*time.Millisecond)) != 1 {
+		t.Errorf("cumulative at 1.5s = %v, want 1", s.At(sim.At(1500*time.Millisecond)))
+	}
+	if s.Last().V != 3 {
+		t.Errorf("final cumulative = %v, want 3", s.Last().V)
+	}
+}
+
+func TestWriteCSVAlignsSeries(t *testing.T) {
+	eng := sim.NewEngine()
+	rec := NewRecorder(eng)
+	eng.Schedule(sim.At(1*time.Second), func() { rec.Record("x", 1) })
+	eng.Schedule(sim.At(2*time.Second), func() { rec.Record("y", 9) })
+	eng.Run()
+	var sb strings.Builder
+	if err := rec.WriteCSV(&sb, "x", "y"); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3 (header + 2 rows):\n%s", len(lines), sb.String())
+	}
+	if lines[0] != "seconds,x,y" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "1.000000,1,0" {
+		t.Errorf("row1 = %q, want %q", lines[1], "1.000000,1,0")
+	}
+	if lines[2] != "2.000000,1,9" {
+		t.Errorf("row2 = %q, want %q", lines[2], "2.000000,1,9")
+	}
+}
+
+func TestWriteCSVUnknownSeries(t *testing.T) {
+	rec := NewRecorder(sim.NewEngine())
+	var sb strings.Builder
+	if err := rec.WriteCSV(&sb, "nope"); err == nil {
+		t.Error("unknown series did not error")
+	}
+}

@@ -1,0 +1,109 @@
+// Package unit provides physical quantities used throughout the simulator:
+// bandwidths, byte sizes and the derived path quantities (serialization
+// delay, bandwidth-delay product) that the experiments are parameterized by.
+package unit
+
+import (
+	"fmt"
+	"time"
+)
+
+// Bandwidth is a link rate in bits per second.
+type Bandwidth int64
+
+// Common bandwidths.
+const (
+	BitPerSecond Bandwidth = 1
+	Kbps                   = 1000 * BitPerSecond
+	Mbps                   = 1000 * Kbps
+	Gbps                   = 1000 * Mbps
+)
+
+// String formats the bandwidth with a binary-free SI suffix, e.g. "100Mbps".
+func (b Bandwidth) String() string {
+	switch {
+	case b >= Gbps && b%Gbps == 0:
+		return fmt.Sprintf("%dGbps", int64(b/Gbps))
+	case b >= Mbps && b%Mbps == 0:
+		return fmt.Sprintf("%dMbps", int64(b/Mbps))
+	case b >= Kbps && b%Kbps == 0:
+		return fmt.Sprintf("%dKbps", int64(b/Kbps))
+	default:
+		return fmt.Sprintf("%dbps", int64(b))
+	}
+}
+
+// BitsPerSecond returns the rate as a plain int64.
+func (b Bandwidth) BitsPerSecond() int64 { return int64(b) }
+
+// BytesPerSecond returns the rate in bytes per second.
+func (b Bandwidth) BytesPerSecond() float64 { return float64(b) / 8 }
+
+// Serialization returns the time to clock n bytes onto a link of this rate.
+// A zero bandwidth means "infinitely fast" and yields zero delay.
+func (b Bandwidth) Serialization(n ByteSize) time.Duration {
+	if b <= 0 {
+		return 0
+	}
+	bits := int64(n) * 8
+	// bits / (bits/sec) = sec; keep nanosecond precision without overflow
+	// for any realistic packet size and rate.
+	sec := float64(bits) / float64(b)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// ByteSize is a size in bytes.
+type ByteSize int64
+
+// Common sizes.
+const (
+	Byte ByteSize = 1
+	KB            = 1000 * Byte
+	MB            = 1000 * KB
+	GB            = 1000 * MB
+	KiB           = 1024 * Byte
+	MiB           = 1024 * KiB
+)
+
+// String formats the size with an SI suffix when it divides evenly.
+func (s ByteSize) String() string {
+	switch {
+	case s >= GB && s%GB == 0:
+		return fmt.Sprintf("%dGB", int64(s/GB))
+	case s >= MB && s%MB == 0:
+		return fmt.Sprintf("%dMB", int64(s/MB))
+	case s >= KB && s%KB == 0:
+		return fmt.Sprintf("%dKB", int64(s/KB))
+	default:
+		return fmt.Sprintf("%dB", int64(s))
+	}
+}
+
+// Bytes returns the size as a plain int64.
+func (s ByteSize) Bytes() int64 { return int64(s) }
+
+// BDP returns the bandwidth-delay product of a path in bytes.
+func BDP(rate Bandwidth, rtt time.Duration) ByteSize {
+	bits := float64(rate) * rtt.Seconds()
+	return ByteSize(bits / 8)
+}
+
+// BDPSegments returns the bandwidth-delay product expressed in MSS-sized
+// segments, rounded up; it is the window needed to fill the path.
+func BDPSegments(rate Bandwidth, rtt time.Duration, mss ByteSize) int {
+	if mss <= 0 {
+		return 0
+	}
+	bdp := BDP(rate, rtt)
+	segs := (bdp + mss - 1) / mss
+	return int(segs)
+}
+
+// Throughput returns the achieved rate for n bytes delivered in d.
+func Throughput(n ByteSize, d time.Duration) Bandwidth {
+	if d <= 0 {
+		return 0
+	}
+	bits := float64(n) * 8
+	return Bandwidth(bits / d.Seconds())
+}

@@ -1,0 +1,160 @@
+package web100
+
+import (
+	"testing"
+	"time"
+
+	"rsstcp/internal/sim"
+	"rsstcp/internal/unit"
+)
+
+func at(d time.Duration) sim.Time { return sim.At(d) }
+
+func TestObserveRTTMinMax(t *testing.T) {
+	s := New(0)
+	s.ObserveRTT(60 * time.Millisecond)
+	s.ObserveRTT(45 * time.Millisecond)
+	s.ObserveRTT(90 * time.Millisecond)
+	if s.MinRTT != 45*time.Millisecond {
+		t.Errorf("MinRTT = %v, want 45ms", s.MinRTT)
+	}
+	if s.MaxRTT != 90*time.Millisecond {
+		t.Errorf("MaxRTT = %v, want 90ms", s.MaxRTT)
+	}
+	if s.CountRTT != 3 {
+		t.Errorf("CountRTT = %d, want 3", s.CountRTT)
+	}
+}
+
+func TestMinRTTUnsetSentinel(t *testing.T) {
+	s := New(0)
+	if s.MinRTT >= 0 {
+		t.Error("MinRTT should start unset (negative)")
+	}
+	s.ObserveRTT(time.Millisecond)
+	if s.MinRTT != time.Millisecond {
+		t.Errorf("first sample should set MinRTT, got %v", s.MinRTT)
+	}
+}
+
+func TestCwndGauges(t *testing.T) {
+	s := New(0)
+	s.SetCwnd(10000)
+	s.SetCwnd(50000)
+	s.SetCwnd(25000)
+	if s.CurCwnd != 25000 {
+		t.Errorf("CurCwnd = %d, want 25000", s.CurCwnd)
+	}
+	if s.MaxCwnd != 50000 {
+		t.Errorf("MaxCwnd = %d, want 50000", s.MaxCwnd)
+	}
+}
+
+func TestSsthreshGauges(t *testing.T) {
+	s := New(0)
+	s.SetSsthresh(100000)
+	s.SetSsthresh(40000)
+	s.SetSsthresh(70000)
+	if s.CurSsthresh != 70000 {
+		t.Errorf("CurSsthresh = %d, want 70000", s.CurSsthresh)
+	}
+	if s.MinSsthresh != 40000 {
+		t.Errorf("MinSsthresh = %d, want 40000", s.MinSsthresh)
+	}
+}
+
+func TestSndLimTimeAccounting(t *testing.T) {
+	s := New(0)
+	s.SetSndLim(SndLimCwnd, at(0))
+	s.SetSndLim(SndLimSender, at(3*time.Second))
+	s.SetSndLim(SndLimCwnd, at(5*time.Second))
+	s.Finish(at(10 * time.Second))
+	if s.SndLimTimeCwnd != 8*time.Second {
+		t.Errorf("SndLimTimeCwnd = %v, want 8s", s.SndLimTimeCwnd)
+	}
+	if s.SndLimTimeSender != 2*time.Second {
+		t.Errorf("SndLimTimeSender = %v, want 2s", s.SndLimTimeSender)
+	}
+	if s.SndLimTransCwnd != 2 || s.SndLimTransSnd != 1 {
+		t.Errorf("transitions cwnd=%d snd=%d, want 2/1", s.SndLimTransCwnd, s.SndLimTransSnd)
+	}
+}
+
+func TestSndLimSameStateNoTransition(t *testing.T) {
+	s := New(0)
+	s.SetSndLim(SndLimCwnd, at(time.Second))
+	s.SetSndLim(SndLimCwnd, at(2*time.Second))
+	if s.SndLimTransCwnd != 1 {
+		t.Errorf("transitions = %d, want 1 (idempotent set)", s.SndLimTransCwnd)
+	}
+}
+
+func TestSnapshotChargesOpenInterval(t *testing.T) {
+	s := New(0)
+	s.SetSndLim(SndLimRwnd, at(0))
+	snap := s.Snapshot(at(4 * time.Second))
+	if snap.SndLimTimeRwnd != 4*time.Second {
+		t.Errorf("snapshot SndLimTimeRwnd = %v, want 4s", snap.SndLimTimeRwnd)
+	}
+	// The original is not disturbed by snapshotting.
+	s.Finish(at(6 * time.Second))
+	if s.SndLimTimeRwnd != 6*time.Second {
+		t.Errorf("original SndLimTimeRwnd = %v, want 6s", s.SndLimTimeRwnd)
+	}
+}
+
+func TestThroughputAndElapsed(t *testing.T) {
+	s := New(at(time.Second))
+	s.ThruOctetsAcked = 125_000_000 // 125 MB
+	s.Finish(at(11 * time.Second))  // 10 s transfer
+	if got := s.Elapsed(at(99 * time.Second)); got != 10*time.Second {
+		t.Errorf("Elapsed = %v, want 10s (uses EndTime)", got)
+	}
+	if got := s.Throughput(at(99 * time.Second)); got != 100*unit.Mbps {
+		t.Errorf("Throughput = %v, want 100Mbps", got)
+	}
+}
+
+func TestElapsedBeforeFinishUsesNow(t *testing.T) {
+	s := New(at(time.Second))
+	if got := s.Elapsed(at(5 * time.Second)); got != 4*time.Second {
+		t.Errorf("Elapsed = %v, want 4s", got)
+	}
+}
+
+func TestDeltaCounters(t *testing.T) {
+	s := New(0)
+	s.SendStall = 2
+	s.CongSignals = 3
+	s.ThruOctetsAcked = 1000
+	older := s.Snapshot(at(time.Second))
+	s.SendStall = 7
+	s.CongSignals = 4
+	s.ThruOctetsAcked = 5000
+	newer := s.Snapshot(at(2 * time.Second))
+	d := Delta(older, newer)
+	if d.SendStall != 5 {
+		t.Errorf("delta SendStall = %d, want 5", d.SendStall)
+	}
+	if d.CongSignals != 1 {
+		t.Errorf("delta CongSignals = %d, want 1", d.CongSignals)
+	}
+	if d.ThruOctetsAcked != 4000 {
+		t.Errorf("delta ThruOctetsAcked = %d, want 4000", d.ThruOctetsAcked)
+	}
+}
+
+func TestSndLimStateString(t *testing.T) {
+	cases := map[SndLimState]string{
+		SndLimNone:      "none",
+		SndLimCwnd:      "cwnd",
+		SndLimRwnd:      "rwnd",
+		SndLimSender:    "sender",
+		SndLimState(99): "SndLimState(99)",
+	}
+	for st, want := range cases {
+		if got := st.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(st), got, want)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package workload drives simulated applications: bulk transfers, chunked
+// (application-limited) sources, on-off cross traffic and Poisson arrival
+// processes. Generators talk to senders through the small App interface so
+// they stay independent of the TCP machinery.
+package workload
+
+import (
+	"time"
+
+	"rsstcp/internal/sim"
+	"rsstcp/internal/unit"
+)
+
+// App is the application side of a sender: make bytes available, declare
+// the end of the stream. tcp.Sender satisfies it.
+type App interface {
+	Supply(n int64)
+	Close()
+}
+
+// Bulk makes the entire transfer available immediately — the paper's
+// workload: a single greedy memory-to-memory stream.
+func Bulk(app App, bytes int64) {
+	app.Supply(bytes)
+	app.Close()
+}
+
+// Unbounded keeps the sender permanently backlogged; use for timed
+// experiments where the run duration, not a byte count, ends the transfer.
+func Unbounded(app App) {
+	app.Supply(1 << 62)
+}
+
+// Chunked supplies fixed-size chunks on a fixed period, modelling an
+// application-limited source (e.g. a disk reader). It closes the app after
+// the final chunk.
+type Chunked struct {
+	eng       *sim.Engine
+	app       App
+	chunk     int64
+	period    time.Duration
+	remaining int64
+}
+
+// NewChunked builds a chunked source delivering total bytes in chunk-sized
+// supplies every period.
+func NewChunked(eng *sim.Engine, app App, total, chunk int64, period time.Duration) *Chunked {
+	if chunk <= 0 || total <= 0 || period <= 0 {
+		panic("workload: NewChunked requires positive total, chunk and period")
+	}
+	return &Chunked{eng: eng, app: app, chunk: chunk, period: period, remaining: total}
+}
+
+// Start begins supplying; the first chunk is immediate.
+func (c *Chunked) Start() { c.step() }
+
+func (c *Chunked) step() {
+	n := c.chunk
+	if n > c.remaining {
+		n = c.remaining
+	}
+	c.app.Supply(n)
+	c.remaining -= n
+	if c.remaining <= 0 {
+		c.app.Close()
+		return
+	}
+	c.eng.ScheduleAfter(c.period, c.step)
+}
+
+// OnOff alternates between an active phase, during which it supplies at a
+// target rate in MSS-sized parcels, and a silent phase. Classic bursty
+// cross traffic.
+type OnOff struct {
+	eng     *sim.Engine
+	app     App
+	on, off time.Duration
+	rate    unit.Bandwidth
+	parcel  int64
+	active  bool
+	stopped bool
+}
+
+// NewOnOff builds an on-off source. parcel is the supply granularity in
+// bytes (e.g. one MSS).
+func NewOnOff(eng *sim.Engine, app App, on, off time.Duration, rate unit.Bandwidth, parcel int64) *OnOff {
+	if on <= 0 || off < 0 || rate <= 0 || parcel <= 0 {
+		panic("workload: NewOnOff requires positive on, rate, parcel and non-negative off")
+	}
+	return &OnOff{eng: eng, app: app, on: on, off: off, rate: rate, parcel: parcel}
+}
+
+// Start enters the first active phase immediately.
+func (o *OnOff) Start() {
+	o.active = true
+	o.eng.ScheduleAfter(o.on, o.toggle)
+	o.pump()
+}
+
+// Stop ends the source permanently (the app is not closed; timed
+// experiments read counters instead).
+func (o *OnOff) Stop() { o.stopped = true }
+
+// Active reports whether the source is currently in an on phase.
+func (o *OnOff) Active() bool { return o.active && !o.stopped }
+
+func (o *OnOff) toggle() {
+	if o.stopped {
+		return
+	}
+	o.active = !o.active
+	next := o.off
+	if o.active {
+		next = o.on
+		o.pump()
+	}
+	o.eng.ScheduleAfter(next, o.toggle)
+}
+
+func (o *OnOff) pump() {
+	if o.stopped || !o.active {
+		return
+	}
+	o.app.Supply(o.parcel)
+	interval := o.rate.Serialization(unit.ByteSize(o.parcel))
+	o.eng.ScheduleAfter(interval, o.pump)
+}
+
+// PoissonArrivals schedules fn at exponentially distributed intervals with
+// the given mean rate (events per second) until the returned stop function
+// is called. Used to launch flow arrivals.
+func PoissonArrivals(eng *sim.Engine, rng *sim.RNG, perSecond float64, fn func()) (stop func()) {
+	if perSecond <= 0 {
+		panic("workload: PoissonArrivals requires a positive rate")
+	}
+	stopped := false
+	var next func()
+	next = func() {
+		if stopped {
+			return
+		}
+		gap := time.Duration(rng.ExpFloat64() / perSecond * float64(time.Second))
+		eng.ScheduleAfter(gap, func() {
+			if stopped {
+				return
+			}
+			fn()
+			next()
+		})
+	}
+	next()
+	return func() { stopped = true }
+}

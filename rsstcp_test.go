@@ -1,0 +1,90 @@
+package rsstcp_test
+
+import (
+	"testing"
+	"time"
+
+	"rsstcp"
+)
+
+func TestRunQuickstart(t *testing.T) {
+	res, err := rsstcp.Run(rsstcp.Options{
+		Path:     rsstcp.PaperPath(),
+		Flows:    []rsstcp.Flow{{Alg: rsstcp.Restricted}},
+		Duration: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= 0 {
+		t.Error("no throughput")
+	}
+	if res.Alg != rsstcp.Restricted {
+		t.Errorf("Alg = %q, want restricted", res.Alg)
+	}
+}
+
+func TestRunRejectsBadAlgorithm(t *testing.T) {
+	_, err := rsstcp.Run(rsstcp.Options{Flows: []rsstcp.Flow{{Alg: "nope"}}})
+	if err == nil {
+		t.Fatal("bad algorithm accepted")
+	}
+}
+
+func TestBuildExposesComponents(t *testing.T) {
+	s, err := rsstcp.Build(rsstcp.Options{
+		Flows:    []rsstcp.Flow{{Alg: rsstcp.Restricted}},
+		Duration: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Flows[0].Sender == nil || s.Flows[0].NIC == nil || s.Flows[0].RSS == nil {
+		t.Error("scenario components not exposed")
+	}
+	res := s.Run()
+	if res.Duration != time.Second {
+		t.Errorf("Duration = %v, want 1s", res.Duration)
+	}
+}
+
+func TestDefaultGainsFollowPaperRule(t *testing.T) {
+	c := rsstcp.DefaultCritical()
+	g := rsstcp.DefaultGains()
+	if g.Kp != 0.33*c.Kc {
+		t.Errorf("Kp = %v, want 0.33*Kc = %v", g.Kp, 0.33*c.Kc)
+	}
+	if g.Ti != time.Duration(0.5*float64(c.Tc)) {
+		t.Errorf("Ti = %v, want 0.5*Tc", g.Ti)
+	}
+}
+
+func TestPaperPathConstants(t *testing.T) {
+	p := rsstcp.PaperPath()
+	if p.Bottleneck != 100*rsstcp.Mbps || p.RTT != 60*time.Millisecond || p.TxQueueLen != 100 {
+		t.Errorf("PaperPath = %+v", p)
+	}
+}
+
+func TestFigure1Facade(t *testing.T) {
+	fig, err := rsstcp.Figure1(rsstcp.PaperPath(), 3*time.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Seconds) != 4 {
+		t.Errorf("rows = %d, want 4", len(fig.Seconds))
+	}
+	if fig.Table() == nil {
+		t.Error("nil table")
+	}
+}
+
+func TestThroughputFacade(t *testing.T) {
+	thr, err := rsstcp.Throughput(rsstcp.PaperPath(), rsstcp.Standard, 3*time.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thr <= 0 || thr > 100*rsstcp.Mbps {
+		t.Errorf("throughput = %v outside (0, 100Mbps]", thr)
+	}
+}
