@@ -1,0 +1,165 @@
+// Command rsstcp-campaign sweeps a declarative parameter grid — the
+// cartesian product of bottleneck bandwidth, RTT, router queue, txqueuelen,
+// loss rate, algorithm and flow count — on a bounded worker pool, and
+// prints per-cell aggregates (replicate mean, stddev, percentiles).
+//
+// Results are byte-identical for any -workers value: replicate seeds are
+// derived from the base seed and each cell's parameters, never from the
+// schedule.
+//
+// Examples:
+//
+//	rsstcp-campaign
+//	rsstcp-campaign -bw 10,100,500 -rtt 20ms,60ms -alg standard,restricted -replicates 3
+//	rsstcp-campaign -loss 0,0.001,0.01 -duration 10s -workers 4 -json out.json -csv out.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"rsstcp"
+	"rsstcp/internal/unit"
+)
+
+func main() {
+	var (
+		bws        = flag.String("bw", "10,100,500", "bottleneck bandwidths in Mbps (comma list)")
+		rtts       = flag.String("rtt", "20ms,60ms", "round-trip delays (comma list of durations)")
+		rqs        = flag.String("rq", "250", "router queue sizes in packets (comma list)")
+		ifqs       = flag.String("ifq", "50,100", "txqueuelen values in packets (comma list)")
+		losses     = flag.String("loss", "0", "bottleneck loss probabilities (comma list)")
+		algs       = flag.String("alg", "standard,restricted", "algorithms (comma list)")
+		flows      = flag.String("flows", "1", "concurrent flow counts (comma list)")
+		replicates = flag.Int("replicates", 2, "replicates per cell")
+		duration   = flag.Duration("duration", 10*time.Second, "virtual run length per replicate")
+		seed       = flag.Uint64("seed", 1, "base seed for replicate derivation")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		jsonPath   = flag.String("json", "", "write full results (runs + aggregates) as JSON to this file, or - for stdout")
+		csvPath    = flag.String("csv", "", "write the aggregate table as CSV to this file, or - for stdout")
+		quiet      = flag.Bool("quiet", false, "suppress progress reporting on stderr")
+	)
+	flag.Parse()
+
+	grid := rsstcp.Grid{
+		RouterQueues: parseInts(*rqs, "rq"),
+		TxQueueLens:  parseInts(*ifqs, "ifq"),
+		LossRates:    parseFloats(*losses, "loss"),
+		FlowCounts:   parseInts(*flows, "flows"),
+		Replicates:   *replicates,
+		Duration:     *duration,
+		BaseSeed:     *seed,
+	}
+	for _, mbps := range parseInts(*bws, "bw") {
+		grid.Bandwidths = append(grid.Bandwidths, unit.Bandwidth(mbps)*unit.Mbps)
+	}
+	for _, s := range split(*rtts) {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			fatalf("bad -rtt value %q: %v", s, err)
+		}
+		grid.RTTs = append(grid.RTTs, d)
+	}
+	for _, s := range split(*algs) {
+		grid.Algorithms = append(grid.Algorithms, rsstcp.Algorithm(s))
+	}
+
+	opts := rsstcp.CampaignOptions{Workers: *workers}
+	if !*quiet {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rcampaign: %d/%d runs", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "campaign: %d cells × %d replicates on %d workers\n",
+			len(grid.Cells()), *replicates, effectiveWorkers(*workers))
+	}
+
+	res, err := rsstcp.RunCampaign(grid, opts)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	wrote := false
+	if *jsonPath != "" {
+		writeTo(*jsonPath, res.WriteJSON)
+		wrote = true
+	}
+	if *csvPath != "" {
+		writeTo(*csvPath, res.WriteCSV)
+		wrote = true
+	}
+	// With no export flags (or when both went to files), print the table.
+	if !wrote || (*jsonPath != "-" && *csvPath != "-") {
+		if err := res.Table().Render(os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+	}
+}
+
+func effectiveWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return rsstcp.DefaultCampaignWorkers()
+}
+
+func writeTo(path string, write func(io.Writer) error) {
+	w := io.Writer(os.Stdout)
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := write(w); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func split(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseInts(s, flagName string) []int {
+	var out []int
+	for _, part := range split(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			fatalf("bad -%s value %q: %v", flagName, part, err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseFloats(s, flagName string) []float64 {
+	var out []float64
+	for _, part := range split(s) {
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			fatalf("bad -%s value %q: %v", flagName, part, err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rsstcp-campaign: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module rsstcp
+
+go 1.24

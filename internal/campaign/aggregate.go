@@ -1,0 +1,50 @@
+package campaign
+
+import (
+	"rsstcp/internal/stats"
+)
+
+// CellResult is one cell's replicate set plus its aggregate statistics.
+// ThroughputMbps is summarized in Mbps (not bps) so exported numbers match
+// the tables the rest of the repo prints.
+type CellResult struct {
+	Cell Cell  `json:"cell"`
+	Runs []Run `json:"runs"`
+
+	ThroughputMbps stats.Summary `json:"throughput_mbps"`
+	Stalls         stats.Summary `json:"stalls"`
+	CongSignals    stats.Summary `json:"cong_signals"`
+	RouterDrops    stats.Summary `json:"router_drops"`
+	InjectedDrops  stats.Summary `json:"injected_drops"`
+	Utilization    stats.Summary `json:"utilization"`
+}
+
+// Result is a completed campaign: the (defaulted) grid and one aggregated
+// entry per cell, in canonical grid order.
+type Result struct {
+	Grid  Grid         `json:"grid"`
+	Cells []CellResult `json:"cells"`
+}
+
+// aggregate folds a cell's replicate runs into summaries. Replicates are
+// already in replicate order, so the summaries are independent of the
+// worker schedule that produced them.
+func aggregate(cell Cell, runs []Run) CellResult {
+	pick := func(f func(Run) float64) stats.Summary {
+		xs := make([]float64, len(runs))
+		for i, r := range runs {
+			xs[i] = f(r)
+		}
+		return stats.Describe(xs)
+	}
+	return CellResult{
+		Cell:           cell,
+		Runs:           runs,
+		ThroughputMbps: pick(func(r Run) float64 { return r.ThroughputBps / 1e6 }),
+		Stalls:         pick(func(r Run) float64 { return float64(r.Stalls) }),
+		CongSignals:    pick(func(r Run) float64 { return float64(r.CongSignals) }),
+		RouterDrops:    pick(func(r Run) float64 { return float64(r.RouterDrops) }),
+		InjectedDrops:  pick(func(r Run) float64 { return float64(r.InjectedDrops) }),
+		Utilization:    pick(func(r Run) float64 { return r.Utilization }),
+	}
+}

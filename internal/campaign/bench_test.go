@@ -1,0 +1,84 @@
+package campaign
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"rsstcp/internal/experiment"
+	"rsstcp/internal/unit"
+)
+
+// speedupGrid is heavy enough that per-run work dominates pool overhead:
+// 16 cells of 10-second virtual runs.
+func speedupGrid() Grid {
+	return Grid{
+		Bandwidths:  []unit.Bandwidth{50 * unit.Mbps, 100 * unit.Mbps},
+		RTTs:        []time.Duration{30 * time.Millisecond, 60 * time.Millisecond},
+		TxQueueLens: []int{50, 100},
+		Algorithms:  []experiment.Algorithm{experiment.AlgStandard, experiment.AlgRestricted},
+		Replicates:  1,
+		Duration:    10 * time.Second,
+	}
+}
+
+// TestParallelSpeedup demonstrates the worker pool scales: 4 workers must
+// finish the same campaign at least twice as fast as 1 worker. The
+// simulations are pure CPU work, so the test needs real cores to mean
+// anything and is skipped on smaller machines and in -short runs.
+func TestParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speedup measurement skipped in -short")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 CPUs to demonstrate 4-worker speedup, have %d", runtime.NumCPU())
+	}
+	g := speedupGrid()
+
+	// Warm up once so allocator/cache effects don't bias the serial leg.
+	if _, err := Execute(g, Options{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	if _, err := Execute(g, Options{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	serial := time.Since(start)
+
+	start = time.Now()
+	if _, err := Execute(g, Options{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	parallel := time.Since(start)
+
+	speedup := float64(serial) / float64(parallel)
+	t.Logf("serial %v, 4 workers %v, speedup %.2fx", serial, parallel, speedup)
+	if speedup < 2.0 {
+		t.Errorf("speedup = %.2fx, want >= 2x on 4 workers", speedup)
+	}
+}
+
+func benchmarkCampaign(b *testing.B, workers int) {
+	g := smallGridBench()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Execute(g, Options{Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func smallGridBench() Grid {
+	return Grid{
+		Bandwidths: []unit.Bandwidth{50 * unit.Mbps, 100 * unit.Mbps},
+		RTTs:       []time.Duration{30 * time.Millisecond, 60 * time.Millisecond},
+		Algorithms: []experiment.Algorithm{experiment.AlgStandard, experiment.AlgRestricted},
+		Replicates: 1,
+		Duration:   5 * time.Second,
+	}
+}
+
+func BenchmarkCampaignSerial(b *testing.B)     { benchmarkCampaign(b, 1) }
+func BenchmarkCampaign4Workers(b *testing.B)   { benchmarkCampaign(b, 4) }
+func BenchmarkCampaignGOMAXPROCS(b *testing.B) { benchmarkCampaign(b, 0) }

@@ -1,0 +1,12 @@
+// Package campaign turns the single-scenario experiment harness into a
+// sweep engine: a declarative Grid names the parameter axes (bottleneck
+// bandwidth, RTT, router queue, txqueuelen, loss rate, algorithm, flow
+// count), the engine expands the cartesian product into cells, runs every
+// cell's replicates concurrently on a bounded worker pool, and aggregates
+// replicate results into per-cell means, deviations and percentiles.
+//
+// Determinism is the design invariant: each replicate's seed is derived
+// from the grid's base seed and the cell's canonical key alone, and results
+// are collected by precomputed index, so the aggregate output is
+// byte-identical whether the campaign runs on one worker or sixteen.
+package campaign

@@ -1,0 +1,97 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"rsstcp/internal/experiment"
+)
+
+// Table renders the per-cell aggregates as an experiment.Table, one row per
+// cell in canonical grid order, ready for aligned text or CSV output.
+func (r *Result) Table() *experiment.Table {
+	t := &experiment.Table{
+		Title: fmt.Sprintf("Campaign: %d cells × %d replicates (%v per run)",
+			len(r.Cells), r.Grid.Replicates, r.Grid.Duration),
+		Header: []string{
+			"bw", "rtt-ms", "rq", "ifq", "loss", "alg", "flows",
+			"mbps-mean", "mbps-std", "mbps-p90",
+			"stalls-mean", "cong-mean", "drops-mean", "util-mean",
+		},
+		Notes: []string{
+			fmt.Sprintf("base seed %d; replicate seeds derived per cell key", r.Grid.BaseSeed),
+		},
+	}
+	for _, c := range r.Cells {
+		t.Add(
+			c.Cell.Path.Bottleneck.String(),
+			int(c.Cell.Path.RTT/time.Millisecond),
+			c.Cell.Path.RouterQueue,
+			c.Cell.Path.TxQueueLen,
+			fmt.Sprintf("%g", c.Cell.Path.Loss),
+			string(c.Cell.Alg),
+			c.Cell.Flows,
+			c.ThroughputMbps.Mean,
+			c.ThroughputMbps.Std,
+			c.ThroughputMbps.P90,
+			c.Stalls.Mean,
+			c.CongSignals.Mean,
+			c.RouterDrops.Mean,
+			fmt.Sprintf("%.3f", c.Utilization.Mean),
+		)
+	}
+	return t
+}
+
+// WriteCSV writes the aggregate table as CSV.
+func (r *Result) WriteCSV(w io.Writer) error { return r.Table().CSV(w) }
+
+// jsonResult is the serialized shape: the grid is flattened to strings so
+// the file is self-describing without Go-specific types.
+type jsonResult struct {
+	Grid  jsonGrid     `json:"grid"`
+	Cells []CellResult `json:"cells"`
+}
+
+type jsonGrid struct {
+	Bandwidths   []string  `json:"bandwidths"`
+	RTTs         []string  `json:"rtts"`
+	RouterQueues []int     `json:"router_queues"`
+	TxQueueLens  []int     `json:"tx_queue_lens"`
+	LossRates    []float64 `json:"loss_rates"`
+	Algorithms   []string  `json:"algorithms"`
+	FlowCounts   []int     `json:"flow_counts"`
+	Replicates   int       `json:"replicates"`
+	Duration     string    `json:"duration"`
+	BaseSeed     uint64    `json:"base_seed"`
+}
+
+// WriteJSON writes the full campaign — grid, per-replicate runs and
+// per-cell aggregates — as indented JSON. Output is byte-deterministic for
+// a given grid regardless of worker count.
+func (r *Result) WriteJSON(w io.Writer) error {
+	g := r.Grid.withDefaults()
+	jg := jsonGrid{
+		RouterQueues: g.RouterQueues,
+		TxQueueLens:  g.TxQueueLens,
+		LossRates:    g.LossRates,
+		FlowCounts:   g.FlowCounts,
+		Replicates:   g.Replicates,
+		Duration:     g.Duration.String(),
+		BaseSeed:     g.BaseSeed,
+	}
+	for _, bw := range g.Bandwidths {
+		jg.Bandwidths = append(jg.Bandwidths, bw.String())
+	}
+	for _, rtt := range g.RTTs {
+		jg.RTTs = append(jg.RTTs, rtt.String())
+	}
+	for _, a := range g.Algorithms {
+		jg.Algorithms = append(jg.Algorithms, string(a))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonResult{Grid: jg, Cells: r.Cells})
+}

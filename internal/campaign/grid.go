@@ -1,0 +1,228 @@
+package campaign
+
+import (
+	"fmt"
+	"time"
+
+	"rsstcp/internal/experiment"
+	"rsstcp/internal/unit"
+)
+
+// Grid declares a parameter sweep as the cartesian product of its axes.
+// An empty axis collapses to the paper-path value for that parameter, so
+// the zero Grid is a single cell on the Section 4 testbed.
+type Grid struct {
+	// Bandwidths are the bottleneck rates to sweep.
+	Bandwidths []unit.Bandwidth
+	// RTTs are the round-trip propagation delays.
+	RTTs []time.Duration
+	// RouterQueues are bottleneck buffer sizes in packets.
+	RouterQueues []int
+	// TxQueueLens are sender IFQ capacities in packets.
+	TxQueueLens []int
+	// LossRates are independent drop probabilities at the bottleneck
+	// ingress; non-zero rates make replicates statistically distinct.
+	LossRates []float64
+	// Algorithms are the slow-start schemes to compare.
+	Algorithms []experiment.Algorithm
+	// FlowCounts are the number of concurrent same-algorithm flows (each
+	// on its own host) sharing the bottleneck.
+	FlowCounts []int
+	// Replicates runs each cell this many times with distinct derived
+	// seeds (default 1).
+	Replicates int
+	// Duration is the virtual run length per replicate (default 25 s).
+	Duration time.Duration
+	// BaseSeed roots every derived replicate seed (default 1).
+	BaseSeed uint64
+}
+
+func (g Grid) withDefaults() Grid {
+	paper := experiment.PaperPath()
+	if len(g.Bandwidths) == 0 {
+		g.Bandwidths = []unit.Bandwidth{paper.Bottleneck}
+	}
+	if len(g.RTTs) == 0 {
+		g.RTTs = []time.Duration{paper.RTT}
+	}
+	if len(g.RouterQueues) == 0 {
+		g.RouterQueues = []int{paper.RouterQueue}
+	}
+	if len(g.TxQueueLens) == 0 {
+		g.TxQueueLens = []int{paper.TxQueueLen}
+	}
+	if len(g.LossRates) == 0 {
+		g.LossRates = []float64{0}
+	}
+	if len(g.Algorithms) == 0 {
+		g.Algorithms = []experiment.Algorithm{experiment.AlgStandard, experiment.AlgRestricted}
+	}
+	if len(g.FlowCounts) == 0 {
+		g.FlowCounts = []int{1}
+	}
+	if g.Replicates <= 0 {
+		g.Replicates = 1
+	}
+	if g.Duration <= 0 {
+		g.Duration = 25 * time.Second
+	}
+	if g.BaseSeed == 0 {
+		g.BaseSeed = 1
+	}
+	return g
+}
+
+// Size returns the number of cells the grid expands to.
+func (g Grid) Size() int { return len(g.Cells()) }
+
+// Runs returns the total number of simulations (cells × replicates).
+func (g Grid) Runs() int {
+	g = g.withDefaults()
+	return g.Size() * g.Replicates
+}
+
+// Validate rejects axis values the experiment harness cannot build.
+func (g Grid) Validate() error {
+	g = g.withDefaults()
+	for _, bw := range g.Bandwidths {
+		if bw <= 0 {
+			return fmt.Errorf("campaign: non-positive bandwidth %v", bw)
+		}
+	}
+	for _, rtt := range g.RTTs {
+		if rtt <= 0 {
+			return fmt.Errorf("campaign: non-positive RTT %v", rtt)
+		}
+	}
+	for _, q := range g.RouterQueues {
+		if q <= 0 {
+			return fmt.Errorf("campaign: non-positive router queue %d", q)
+		}
+	}
+	for _, q := range g.TxQueueLens {
+		if q <= 0 {
+			return fmt.Errorf("campaign: non-positive txqueuelen %d", q)
+		}
+	}
+	for _, p := range g.LossRates {
+		if p < 0 || p >= 1 {
+			return fmt.Errorf("campaign: loss rate %v outside [0, 1)", p)
+		}
+	}
+	known := map[experiment.Algorithm]bool{}
+	for _, a := range experiment.Algorithms() {
+		known[a] = true
+	}
+	for _, a := range g.Algorithms {
+		if !known[a] {
+			return fmt.Errorf("campaign: unknown algorithm %q", a)
+		}
+	}
+	for _, n := range g.FlowCounts {
+		if n <= 0 {
+			return fmt.Errorf("campaign: non-positive flow count %d", n)
+		}
+	}
+	return nil
+}
+
+// Cell is one point of the expanded grid: a fully specified scenario shape,
+// before replication.
+type Cell struct {
+	// Index is the cell's position in canonical grid order.
+	Index int
+	Path  experiment.PathConfig
+	Alg   experiment.Algorithm
+	Flows int
+}
+
+// Key is the canonical label of the cell's parameters. It is stable across
+// runs and worker counts, and it is the sole cell-side input to replicate
+// seed derivation.
+func (c Cell) Key() string {
+	return fmt.Sprintf("bw=%s/rtt=%s/rq=%d/ifq=%d/loss=%g/alg=%s/flows=%d",
+		c.Path.Bottleneck, c.Path.RTT, c.Path.RouterQueue, c.Path.TxQueueLen,
+		c.Path.Loss, c.Alg, c.Flows)
+}
+
+// Cells expands the grid in canonical order: bandwidth outermost, then RTT,
+// router queue, txqueuelen, loss, algorithm, and flow count innermost.
+func (g Grid) Cells() []Cell {
+	g = g.withDefaults()
+	var cells []Cell
+	for _, bw := range g.Bandwidths {
+		for _, rtt := range g.RTTs {
+			for _, rq := range g.RouterQueues {
+				for _, ifq := range g.TxQueueLens {
+					for _, loss := range g.LossRates {
+						for _, alg := range g.Algorithms {
+							for _, flows := range g.FlowCounts {
+								cells = append(cells, Cell{
+									Index: len(cells),
+									Path: experiment.PathConfig{
+										Bottleneck:  bw,
+										RTT:         rtt,
+										RouterQueue: rq,
+										TxQueueLen:  ifq,
+										Loss:        loss,
+									},
+									Alg:   alg,
+									Flows: flows,
+								})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// Config assembles the experiment configuration for one replicate of the
+// cell. Flows all run the cell's algorithm on separate hosts (Host = 0),
+// sharing only the bottleneck.
+func (g Grid) Config(c Cell, replicate int) experiment.Config {
+	g = g.withDefaults()
+	flows := make([]experiment.FlowSpec, c.Flows)
+	for i := range flows {
+		flows[i] = experiment.FlowSpec{Alg: c.Alg}
+	}
+	return experiment.Config{
+		Path:     c.Path,
+		Flows:    flows,
+		Duration: g.Duration,
+		Seed:     DeriveSeed(g.BaseSeed, c.Key(), replicate),
+	}
+}
+
+// DeriveSeed maps (base seed, cell key, replicate index) to a replicate
+// seed: an FNV-1a digest of the key and replicate folded into the base,
+// then finalized with the splitmix64 mixer so near-identical keys land far
+// apart. The result is never zero (zero means "use the default seed"
+// downstream).
+func DeriveSeed(base uint64, key string, replicate int) uint64 {
+	const (
+		fnvOffset = 1469598103934665603
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime
+	}
+	h ^= uint64(replicate) + 0x9e3779b97f4a7c15
+	h *= fnvPrime
+	h ^= base
+
+	// splitmix64 finalizer.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	if h == 0 {
+		h = 0x9e3779b97f4a7c15
+	}
+	return h
+}

@@ -1,0 +1,160 @@
+package campaign
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"rsstcp/internal/experiment"
+	"rsstcp/internal/unit"
+)
+
+func sweepGrid() Grid {
+	return Grid{
+		Bandwidths:  []unit.Bandwidth{10 * unit.Mbps, 100 * unit.Mbps, 500 * unit.Mbps},
+		RTTs:        []time.Duration{20 * time.Millisecond, 60 * time.Millisecond},
+		TxQueueLens: []int{50, 100},
+		Algorithms:  []experiment.Algorithm{experiment.AlgStandard, experiment.AlgRestricted},
+		Replicates:  2,
+		Duration:    2 * time.Second,
+	}
+}
+
+func TestGridExpansionOrderAndSize(t *testing.T) {
+	g := sweepGrid()
+	cells := g.Cells()
+	if len(cells) != 3*2*2*2 {
+		t.Fatalf("cells = %d, want 24", len(cells))
+	}
+	if g.Runs() != 48 {
+		t.Errorf("runs = %d, want 48", g.Runs())
+	}
+	// Canonical order: bandwidth outermost, flow count innermost.
+	if cells[0].Path.Bottleneck != 10*unit.Mbps || cells[0].Alg != experiment.AlgStandard {
+		t.Errorf("first cell = %+v", cells[0])
+	}
+	if cells[1].Alg != experiment.AlgRestricted {
+		t.Errorf("algorithm must vary fastest among the set axes, got %+v", cells[1])
+	}
+	last := cells[len(cells)-1]
+	if last.Path.Bottleneck != 500*unit.Mbps || last.Path.TxQueueLen != 100 {
+		t.Errorf("last cell = %+v", last)
+	}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Fatalf("cell %d carries index %d", i, c.Index)
+		}
+	}
+}
+
+func TestGridDefaultsCollapseToPaperPath(t *testing.T) {
+	cells := Grid{}.Cells()
+	if len(cells) != 2 { // standard + restricted on the paper path
+		t.Fatalf("cells = %d, want 2", len(cells))
+	}
+	paper := experiment.PaperPath()
+	got := cells[0].Path
+	got.Loss = 0
+	if got != paper {
+		t.Errorf("default cell path = %+v, want paper path %+v", cells[0].Path, paper)
+	}
+}
+
+func TestGridValidate(t *testing.T) {
+	bad := []Grid{
+		{Bandwidths: []unit.Bandwidth{-1}},
+		{RTTs: []time.Duration{0, time.Millisecond}},
+		{RouterQueues: []int{-5}},
+		{TxQueueLens: []int{0, 10}},
+		{LossRates: []float64{1.5}},
+		{LossRates: []float64{-0.1}},
+		{Algorithms: []experiment.Algorithm{"bogus"}},
+		{FlowCounts: []int{0}},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("grid %d accepted: %+v", i, g)
+		}
+	}
+	if err := sweepGrid().Validate(); err != nil {
+		t.Errorf("valid grid rejected: %v", err)
+	}
+}
+
+func TestCellKeyUniqueAndStable(t *testing.T) {
+	cells := sweepGrid().Cells()
+	seen := map[string]int{}
+	for _, c := range cells {
+		if prev, dup := seen[c.Key()]; dup {
+			t.Fatalf("cells %d and %d share key %q", prev, c.Index, c.Key())
+		}
+		seen[c.Key()] = c.Index
+	}
+	// The key must not depend on expansion order (only on parameters).
+	again := sweepGrid().Cells()
+	for i := range cells {
+		if cells[i].Key() != again[i].Key() {
+			t.Fatalf("key unstable across expansions: %q vs %q", cells[i].Key(), again[i].Key())
+		}
+	}
+}
+
+// TestReplicateSeedsNeverCollide is the satellite determinism requirement:
+// across a realistic grid, every (cell, replicate) pair must get its own
+// seed, and the same pair must always get the same seed.
+func TestReplicateSeedsNeverCollide(t *testing.T) {
+	g := sweepGrid()
+	g.LossRates = []float64{0, 0.001, 0.01}
+	g.Replicates = 8
+	cells := g.Cells()
+	seeds := map[uint64]string{}
+	for _, c := range cells {
+		for rep := 0; rep < g.Replicates; rep++ {
+			cfg := g.Config(c, rep)
+			if cfg.Seed == 0 {
+				t.Fatalf("zero seed for %s rep %d (would collapse to the default)", c.Key(), rep)
+			}
+			who := fmt.Sprintf("%s#%d", c.Key(), rep)
+			if prev, dup := seeds[cfg.Seed]; dup {
+				t.Fatalf("seed %d shared by %s and %s", cfg.Seed, prev, who)
+			}
+			seeds[cfg.Seed] = who
+			if again := g.Config(c, rep); again.Seed != cfg.Seed {
+				t.Fatalf("seed not stable for %s", who)
+			}
+		}
+	}
+	if len(seeds) != len(cells)*g.Replicates {
+		t.Fatalf("seeds = %d, want %d", len(seeds), len(cells)*g.Replicates)
+	}
+}
+
+func TestDeriveSeedSensitivity(t *testing.T) {
+	base := DeriveSeed(1, "a", 0)
+	if DeriveSeed(2, "a", 0) == base {
+		t.Error("base seed ignored")
+	}
+	if DeriveSeed(1, "b", 0) == base {
+		t.Error("key ignored")
+	}
+	if DeriveSeed(1, "a", 1) == base {
+		t.Error("replicate ignored")
+	}
+}
+
+func TestConfigBuildsRequestedFlows(t *testing.T) {
+	g := Grid{FlowCounts: []int{3}, Algorithms: []experiment.Algorithm{experiment.AlgRestricted}}
+	cells := g.Cells()
+	if len(cells) != 1 {
+		t.Fatalf("cells = %d, want 1", len(cells))
+	}
+	cfg := g.Config(cells[0], 0)
+	if len(cfg.Flows) != 3 {
+		t.Fatalf("flows = %d, want 3", len(cfg.Flows))
+	}
+	for _, f := range cfg.Flows {
+		if f.Alg != experiment.AlgRestricted {
+			t.Errorf("flow alg = %q", f.Alg)
+		}
+	}
+}

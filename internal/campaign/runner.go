@@ -1,0 +1,146 @@
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"rsstcp/internal/experiment"
+)
+
+// Options tunes campaign execution. The zero value runs on GOMAXPROCS
+// workers with no progress reporting.
+type Options struct {
+	// Workers bounds the number of concurrent simulations (0 =
+	// GOMAXPROCS). Worker count never changes results, only wall time.
+	Workers int
+	// Progress, when non-nil, is called after each replicate finishes
+	// with the number of completed and total runs. Calls are serialized
+	// but arrive in completion order, which is nondeterministic.
+	Progress func(done, total int)
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return DefaultWorkers()
+}
+
+// DefaultWorkers is the pool size used when Options.Workers is zero.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Run is one replicate's raw outcome. Throughput and utilization are summed
+// and averaged over the cell's flows respectively; queue drops are
+// scenario-global.
+type Run struct {
+	Replicate int    `json:"replicate"`
+	Seed      uint64 `json:"seed"`
+	// ThroughputBps is the aggregate goodput over all flows, bits/s.
+	ThroughputBps float64 `json:"throughput_bps"`
+	Stalls        int64   `json:"stalls"`
+	CongSignals   int64   `json:"cong_signals"`
+	Timeouts      int64   `json:"timeouts"`
+	RouterDrops   int64   `json:"router_drops"`
+	InjectedDrops int64   `json:"injected_drops"`
+	Utilization   float64 `json:"utilization"`
+}
+
+// Execute runs every cell of the grid, replicated and aggregated. It is the
+// package's entry point.
+func Execute(g Grid, opts Options) (*Result, error) {
+	g = g.withDefaults()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	cells := g.Cells()
+	total := len(cells) * g.Replicates
+
+	type job struct{ cell, rep int }
+	jobs := make(chan job)
+	// runs[cell][rep] and errs[cell][rep] are each written by exactly
+	// one worker, so the only shared state below is the channel, the
+	// wait group, and the progress counter.
+	runs := make([][]Run, len(cells))
+	errs := make([][]error, len(cells))
+	for i := range runs {
+		runs[i] = make([]Run, g.Replicates)
+		errs[i] = make([]error, g.Replicates)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		progMu   sync.Mutex
+		done     int
+		progress = opts.Progress
+	)
+	for w := 0; w < opts.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				r, err := runReplicate(g, cells[j.cell], j.rep)
+				if err != nil {
+					errs[j.cell][j.rep] = err
+				} else {
+					runs[j.cell][j.rep] = r
+				}
+				if progress != nil {
+					progMu.Lock()
+					done++
+					progress(done, total)
+					progMu.Unlock()
+				}
+			}
+		}()
+	}
+	for c := range cells {
+		for rep := 0; rep < g.Replicates; rep++ {
+			jobs <- job{c, rep}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Report the first failure in canonical (cell, replicate) order so
+	// the error is deterministic too.
+	for i, cellErrs := range errs {
+		for rep, err := range cellErrs {
+			if err != nil {
+				return nil, fmt.Errorf("campaign: cell %d (%s) replicate %d: %w",
+					i, cells[i].Key(), rep, err)
+			}
+		}
+	}
+
+	res := &Result{Grid: g, Cells: make([]CellResult, len(cells))}
+	for i, cell := range cells {
+		res.Cells[i] = aggregate(cell, runs[i])
+	}
+	return res, nil
+}
+
+// runReplicate builds and runs one simulation and condenses it to a Run.
+func runReplicate(g Grid, c Cell, rep int) (Run, error) {
+	cfg := g.Config(c, rep)
+	s, err := experiment.Build(cfg)
+	if err != nil {
+		return Run{}, err
+	}
+	first := s.Run()
+	out := Run{
+		Replicate:     rep,
+		Seed:          cfg.Seed,
+		RouterDrops:   first.RouterDrops,
+		InjectedDrops: first.InjectedDrops,
+		Utilization:   first.Utilization,
+	}
+	for i := 0; i < c.Flows; i++ {
+		r := s.ResultFor(i)
+		out.ThroughputBps += float64(r.Throughput)
+		out.Stalls += r.Stalls
+		out.CongSignals += r.Stats.CongSignals
+		out.Timeouts += r.Stats.Timeouts
+	}
+	return out, nil
+}

@@ -9,6 +9,7 @@ import (
 // TestDeterministicReplay backs the README claim: same seed, same virtual
 // time, bit-identical results — counters, gauges and the recorded series.
 func TestDeterministicReplay(t *testing.T) {
+	t.Parallel()
 	run := func() (Result, string) {
 		s, err := Build(Config{
 			Path:     PaperPath(),
@@ -40,10 +41,47 @@ func TestDeterministicReplay(t *testing.T) {
 	}
 }
 
+// TestLossyPathSeededAndReplayable: with Path.Loss set, the injector draws
+// from the run seed — the same seed replays identically and different seeds
+// give different drop patterns, which is what campaign replicates aggregate
+// over.
+func TestLossyPathSeededAndReplayable(t *testing.T) {
+	t.Parallel()
+	run := func(seed uint64) (int64, int64) {
+		path := PaperPath()
+		path.Bottleneck = 20 * 1000 * 1000
+		path.Loss = 0.02
+		s, err := Build(Config{
+			Path:     path,
+			Flows:    []FlowSpec{{Alg: AlgStandard, SACK: true}},
+			Duration: 3 * time.Second,
+			Seed:     seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := s.Run()
+		return res.InjectedDrops, int64(res.Throughput)
+	}
+	d1, thr1 := run(5)
+	d1b, thr1b := run(5)
+	if d1 != d1b || thr1 != thr1b {
+		t.Errorf("same seed diverged: drops %d/%d thr %d/%d", d1, d1b, thr1, thr1b)
+	}
+	if d1 == 0 {
+		t.Error("no injected drops at p=0.02")
+	}
+	d2, thr2 := run(6)
+	if d1 == d2 && thr1 == thr2 {
+		t.Errorf("seeds 5 and 6 produced identical lossy runs (drops %d, thr %d)", d1, thr1)
+	}
+}
+
 // TestSeedChangesNothingOnDeterministicPath: the paper-path experiments use
 // no randomness (no loss injectors), so even different seeds agree — which
 // is why single-seed tables are meaningful.
 func TestSeedChangesNothingOnDeterministicPath(t *testing.T) {
+	t.Parallel()
 	thr := func(seed uint64) int64 {
 		s, err := Build(Config{
 			Path:     PaperPath(),

@@ -1,0 +1,138 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"rsstcp/internal/pid"
+	"rsstcp/internal/unit"
+)
+
+// Consolidated assertions for the control-loop and recovery dynamics that
+// used to live in one-off -v debug tests (debug_test.go, t7_debug_test.go,
+// tunedebug_test.go, hystart_debug_test.go).
+
+// TestRSSTrajectoryHoldsSetpoint: the PID loop must drive the IFQ up to the
+// 90% set point and hold it there without ever tripping a stall — the
+// trajectory the old TestDebugRSSTrajectory printed.
+func TestRSSTrajectoryHoldsSetpoint(t *testing.T) {
+	t.Parallel()
+	s, err := Build(Config{
+		Path:     PaperPath(),
+		Flows:    []FlowSpec{{Alg: AlgRestricted}},
+		Duration: 4 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := s.Flows[0]
+	var maxOcc float64
+	f.RSS.OnTick = func(occ float64, _ float64, _ int64) {
+		if occ > maxOcc {
+			maxOcc = occ
+		}
+	}
+	res := s.Run()
+	if res.Stalls != 0 {
+		t.Errorf("restricted run stalled %d times", res.Stalls)
+	}
+	if maxOcc < 80 {
+		t.Errorf("peak IFQ occupancy %.1f never approached the 90-packet set point", maxOcc)
+	}
+	if res.NIC.MaxQueue > 100 {
+		t.Errorf("IFQ high-water %d exceeded txqueuelen 100", res.NIC.MaxQueue)
+	}
+}
+
+// TestFastNICShiftsOverloadToRouter: with a 1 Gbps NIC in front of the
+// 100 Mbps bottleneck the slow-start burst must land in the router buffer
+// (drops, retransmits) instead of the IFQ (stalls), and the SACK sender
+// must recover and keep the link busy — the loop the old TestDebugT7Recovery
+// traced.
+func TestFastNICShiftsOverloadToRouter(t *testing.T) {
+	t.Parallel()
+	path := PaperPath()
+	path.NICRate = 1000 * unit.Mbps
+	s, err := Build(Config{
+		Path:     path,
+		Flows:    []FlowSpec{{Alg: AlgStandard, SACK: true}},
+		Duration: 8 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if res.Stalls != 0 {
+		t.Errorf("fast NIC still produced %d send-stalls", res.Stalls)
+	}
+	if res.RouterDrops == 0 {
+		t.Error("no router drops: the burst landed nowhere")
+	}
+	if res.Stats.SegsRetrans == 0 {
+		t.Error("no retransmissions after router drops")
+	}
+	if thr := float64(res.Throughput); thr < 50e6 {
+		t.Errorf("post-recovery throughput %.1f Mbps — recovery never completed", thr/1e6)
+	}
+}
+
+// TestTuneFindsCriticalPoint: the Ziegler-Nichols sweep must converge to a
+// positive critical gain and period and derive positive paper-rule gains —
+// the numbers the old TestDebugTuneCriticalPoint logged.
+func TestTuneFindsCriticalPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tuning sweep is slow")
+	}
+	t.Parallel()
+	res, gains, err := Tune(PaperPath(), 30*time.Second, pid.RulePaper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) == 0 {
+		t.Fatal("no tuning trials recorded")
+	}
+	if res.Critical.Kc <= 0 {
+		t.Errorf("critical gain Kc = %v, want > 0", res.Critical.Kc)
+	}
+	if res.Critical.Tc <= 0 {
+		t.Errorf("critical period Tc = %v, want > 0", res.Critical.Tc)
+	}
+	if gains.Kp <= 0 || gains.Ti <= 0 || gains.Td <= 0 {
+		t.Errorf("paper-rule gains not all positive: %+v", gains)
+	}
+	// The sweep must actually have reached sustained oscillation.
+	sustained := false
+	for _, tr := range res.Trials {
+		if tr.AtOrAbove {
+			sustained = true
+		}
+	}
+	if !sustained {
+		t.Error("no trial reached sustained oscillation")
+	}
+}
+
+// TestHyStartExitsSlowStartEarly: the delay detector must end slow-start
+// within the first seconds on the paper path, well before the window could
+// overflow the IFQ — what the old TestDebugHyStart showed interactively.
+func TestHyStartExitsSlowStartEarly(t *testing.T) {
+	t.Parallel()
+	s, err := Build(Config{
+		Path:     PaperPath(),
+		Flows:    []FlowSpec{{Alg: AlgHyStart}},
+		Duration: 3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if res.Stats.SlowStartExits < 1 {
+		t.Errorf("SlowStartExits = %d, detector never fired", res.Stats.SlowStartExits)
+	}
+	if s.Flows[0].Sender.Controller().InSlowStart() {
+		t.Error("still in slow-start after 3s")
+	}
+	if res.NIC.MaxQueue > 100 {
+		t.Errorf("IFQ high-water %d exceeded txqueuelen", res.NIC.MaxQueue)
+	}
+}

@@ -11,6 +11,10 @@ import (
 // EXPERIMENTS.md reports; keep them tight but not brittle.
 
 func TestFigure1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 25s figure regeneration")
+	}
+	t.Parallel()
 	fig, err := Figure1(PaperPath(), 25*time.Second, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -45,6 +49,7 @@ func TestFigure1Shape(t *testing.T) {
 }
 
 func TestFigure1TableRendering(t *testing.T) {
+	t.Parallel()
 	fig, err := Figure1(PaperPath(), 5*time.Second, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -62,6 +67,10 @@ func TestFigure1TableRendering(t *testing.T) {
 }
 
 func TestThroughputImprovement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full 25s runs")
+	}
+	t.Parallel()
 	// The paper's headline: restricted beats standard by tens of percent
 	// on the 100 Mbps / 60 ms path (paper: ~40%, shape target: >= 15%).
 	std, err := ThroughputOf(PaperPath(), AlgStandard, 25*time.Second, 1)
@@ -81,6 +90,10 @@ func TestThroughputImprovement(t *testing.T) {
 }
 
 func TestRestrictedApproachesIdealUpperBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full 25s runs")
+	}
+	t.Parallel()
 	rss, err := ThroughputOf(PaperPath(), AlgRestricted, 25*time.Second, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -96,6 +109,10 @@ func TestRestrictedApproachesIdealUpperBound(t *testing.T) {
 }
 
 func TestThroughputTableContainsAllAlgorithms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("six 10s runs")
+	}
+	t.Parallel()
 	tbl, err := ThroughputTable(PaperPath(), 10*time.Second, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -112,6 +129,10 @@ func TestThroughputTableContainsAllAlgorithms(t *testing.T) {
 }
 
 func TestIFQSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four 20s runs")
+	}
+	t.Parallel()
 	tbl, err := IFQSweep(PaperPath(), []int{100, 2000}, 20*time.Second, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -133,6 +154,10 @@ func TestIFQSweepShape(t *testing.T) {
 }
 
 func TestRTTSweepAdvantageGrowsWithRTT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("eight 25s runs")
+	}
+	t.Parallel()
 	tbl, err := RTTSweep(PaperPath(), []time.Duration{10 * time.Millisecond, 120 * time.Millisecond},
 		25*time.Second, 1)
 	if err != nil {
@@ -146,6 +171,10 @@ func TestRTTSweepAdvantageGrowsWithRTT(t *testing.T) {
 }
 
 func TestSetpointSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two 15s runs")
+	}
+	t.Parallel()
 	tbl, err := SetpointSweep(PaperPath(), []float64{0.5, 0.9}, 15*time.Second, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -162,6 +191,10 @@ func TestSetpointSweepShape(t *testing.T) {
 }
 
 func TestFriendlinessPrimaryDoesNotStarveCross(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three 30s two-flow runs")
+	}
+	t.Parallel()
 	tbl, err := FriendlinessTable(PaperPath(), 30*time.Second, 1)
 	if err != nil {
 		t.Fatal(err)

@@ -62,6 +62,11 @@ type PathConfig struct {
 	NICRate unit.Bandwidth
 	// TxQueueLen is the sender IFQ capacity in packets (txqueuelen).
 	TxQueueLen int
+	// Loss is an independent drop probability applied to data segments
+	// entering the bottleneck (0 = lossless, the paper's testbed). When
+	// non-zero the drops are drawn from the run's seed, so replicates
+	// with different seeds see different loss patterns.
+	Loss float64
 }
 
 // PaperPath returns the testbed of Section 4: a 100 Mbps ANL↔LBNL path with
@@ -185,6 +190,8 @@ type Scenario struct {
 	Rec        *trace.Recorder
 	Bottleneck *netem.Link
 	routerQ    *netem.DropTail
+	entry      netem.Receiver // bottleneck ingress (loss injector when Path.Loss > 0)
+	loss       *netem.Loss
 	drops      int64
 	hosts      map[int]*host.Interface           // shared NICs by FlowSpec.Host
 	rssByHost  map[int]*core.RestrictedSlowStart // shared controllers by FlowSpec.Host
@@ -220,6 +227,11 @@ func Build(cfg Config) (*Scenario, error) {
 	s.routerQ = netem.NewDropTail(cfg.Path.RouterQueue)
 	s.Bottleneck = netem.NewLink(eng, cfg.Path.Bottleneck, owd, s.routerQ, dm)
 	s.Bottleneck.OnDrop = func(*packet.Segment) { s.drops++ }
+	s.entry = s.Bottleneck
+	if cfg.Path.Loss > 0 {
+		s.loss = &netem.Loss{P: cfg.Path.Loss, RNG: sim.NewRNG(cfg.Seed), Next: s.Bottleneck}
+		s.entry = s.loss
+	}
 
 	for i, spec := range cfg.Flows {
 		id := packet.FlowID(i + 1)
@@ -253,7 +265,7 @@ func buildFlow(s *Scenario, spec FlowSpec, id packet.FlowID, owd time.Duration, 
 		nic = host.NewInterface(eng, host.InterfaceConfig{
 			Rate:       cfg.Path.NICRate,
 			TxQueueLen: cfg.Path.TxQueueLen,
-		}, s.Bottleneck)
+		}, s.entry)
 		if spec.Host != 0 {
 			s.hosts[spec.Host] = nic
 		}
@@ -355,7 +367,9 @@ type Result struct {
 	NIC         host.InterfaceStats
 	Utilization float64
 	RouterDrops int64
-	Duration    time.Duration
+	// InjectedDrops counts segments discarded by the Path.Loss injector.
+	InjectedDrops int64
+	Duration      time.Duration
 	// Series exposes the recorder for figure generation.
 	Rec *trace.Recorder
 }
@@ -372,16 +386,21 @@ func (s *Scenario) resultFor(i int) Result {
 	f := s.Flows[i]
 	now := s.Eng.Now()
 	st := f.Sender.Stats().Snapshot(now)
+	var injected int64
+	if s.loss != nil {
+		injected = s.loss.Dropped()
+	}
 	return Result{
-		Alg:         f.Spec.Alg,
-		Stats:       st,
-		Throughput:  st.Throughput(now),
-		Stalls:      f.Stalls.Value(),
-		NIC:         f.NIC.Stats(),
-		Utilization: s.Bottleneck.Utilization(now),
-		RouterDrops: s.drops,
-		Duration:    now.Duration(),
-		Rec:         s.Rec,
+		Alg:           f.Spec.Alg,
+		Stats:         st,
+		Throughput:    st.Throughput(now),
+		Stalls:        f.Stalls.Value(),
+		NIC:           f.NIC.Stats(),
+		Utilization:   s.Bottleneck.Utilization(now),
+		RouterDrops:   s.drops,
+		InjectedDrops: injected,
+		Duration:      now.Duration(),
+		Rec:           s.Rec,
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 )
 
 func TestBuildDefaults(t *testing.T) {
+	t.Parallel()
 	s, err := Build(Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -25,6 +26,7 @@ func TestBuildDefaults(t *testing.T) {
 }
 
 func TestBuildRejectsUnknownAlgorithm(t *testing.T) {
+	t.Parallel()
 	_, err := Build(Config{Flows: []FlowSpec{{Alg: "bogus"}}})
 	if err == nil {
 		t.Fatal("unknown algorithm accepted")
@@ -35,6 +37,7 @@ func TestBuildRejectsUnknownAlgorithm(t *testing.T) {
 }
 
 func TestPaperPathParameters(t *testing.T) {
+	t.Parallel()
 	p := PaperPath()
 	if p.Bottleneck != 100*unit.Mbps {
 		t.Errorf("bottleneck = %v, want 100Mbps", p.Bottleneck)
@@ -48,6 +51,7 @@ func TestPaperPathParameters(t *testing.T) {
 }
 
 func TestFixedSizeTransferStopsEarly(t *testing.T) {
+	t.Parallel()
 	s, err := Build(Config{
 		Path:     PaperPath(),
 		Flows:    []FlowSpec{{Alg: AlgRestricted, Bytes: 5 << 20}},
@@ -70,6 +74,7 @@ func TestFixedSizeTransferStopsEarly(t *testing.T) {
 }
 
 func TestRestrictedFlowExposesRSS(t *testing.T) {
+	t.Parallel()
 	s, err := Build(Config{Flows: []FlowSpec{{Alg: AlgRestricted}}})
 	if err != nil {
 		t.Fatal(err)
@@ -91,6 +96,7 @@ func TestRestrictedFlowExposesRSS(t *testing.T) {
 }
 
 func TestSeriesAccessors(t *testing.T) {
+	t.Parallel()
 	s, err := Build(Config{Flows: []FlowSpec{{Alg: AlgStandard}}, Duration: 2 * time.Second})
 	if err != nil {
 		t.Fatal(err)
@@ -107,6 +113,10 @@ func TestSeriesAccessors(t *testing.T) {
 }
 
 func TestParallelStreamsShareOneHost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("eight 20s parallel-stream runs")
+	}
+	t.Parallel()
 	// Four streams on one host (GridFTP style) share the IFQ. Four
 	// independent PID controllers quadruple the loop gain, so a few
 	// residual stalls are physical — but RSS must still beat four
@@ -151,6 +161,7 @@ func TestParallelStreamsShareOneHost(t *testing.T) {
 }
 
 func TestSeparateHostsByDefault(t *testing.T) {
+	t.Parallel()
 	s, err := Build(Config{Flows: []FlowSpec{{Alg: AlgStandard}, {Alg: AlgStandard}}})
 	if err != nil {
 		t.Fatal(err)
@@ -161,6 +172,7 @@ func TestSeparateHostsByDefault(t *testing.T) {
 }
 
 func TestCrossTrafficCausesRouterDrops(t *testing.T) {
+	t.Parallel()
 	// Two standard flows on separate hosts into one bottleneck: combined
 	// arrivals exceed the service rate, the router queue fills, drops
 	// follow, and both flows still make progress.
@@ -185,6 +197,7 @@ func TestCrossTrafficCausesRouterDrops(t *testing.T) {
 }
 
 func TestTunePlantProducesTrajectory(t *testing.T) {
+	t.Parallel()
 	plant := TunePlant(PaperPath(), 3*time.Second)
 	ts, pv := plant.RunP(500) // rate units: segments/second per packet of error
 	if len(ts) < 100 || len(ts) != len(pv) {

@@ -9,6 +9,10 @@ import (
 // run with -v to inspect. Assertions here are deliberately loose — the
 // tight shape checks live in figures_test.go.
 func TestSmokePaperDynamics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three full 25s runs")
+	}
+	t.Parallel()
 	for _, alg := range []Algorithm{AlgStandard, AlgRestricted, AlgStallWait} {
 		s, err := Build(Config{
 			Path:     PaperPath(),

@@ -1,0 +1,35 @@
+package stats
+
+// Summary condenses a batch of observations into the moments and order
+// statistics the campaign aggregator reports per grid cell. The zero value
+// describes an empty batch.
+type Summary struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+}
+
+// Describe summarizes xs. An empty slice yields the zero Summary (not NaNs),
+// so serialized results stay valid JSON.
+func Describe(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	return Summary{
+		N:    len(xs),
+		Mean: w.Mean(),
+		Std:  w.Std(),
+		Min:  w.Min(),
+		Max:  w.Max(),
+		P50:  Percentile(xs, 0.50),
+		P90:  Percentile(xs, 0.90),
+	}
+}

@@ -23,6 +23,7 @@ package rsstcp
 import (
 	"time"
 
+	"rsstcp/internal/campaign"
 	"rsstcp/internal/core"
 	"rsstcp/internal/experiment"
 	"rsstcp/internal/pid"
@@ -61,6 +62,16 @@ type (
 	TuneResult = zntune.Result
 	// Bandwidth is a link or goodput rate in bits per second.
 	Bandwidth = unit.Bandwidth
+	// Grid declares a parameter sweep: the cartesian product of bandwidth,
+	// RTT, queue, loss, algorithm and flow-count axes, with replicates.
+	Grid = campaign.Grid
+	// CampaignOptions tunes sweep execution (worker count, progress).
+	CampaignOptions = campaign.Options
+	// CampaignResult is a completed sweep: per-cell replicate runs plus
+	// aggregate statistics, with JSON/CSV/table exporters.
+	CampaignResult = campaign.Result
+	// CampaignCell is one aggregated grid cell of a CampaignResult.
+	CampaignCell = campaign.CellResult
 )
 
 // Algorithms.
@@ -135,6 +146,17 @@ func ThroughputTable(path Path, duration time.Duration, seed uint64) (*Table, er
 func Tune(path Path, duration time.Duration, rule TuneRule) (TuneResult, Gains, error) {
 	return experiment.Tune(path, duration, rule)
 }
+
+// RunCampaign expands the grid into cells and executes every replicate on
+// a bounded worker pool. Aggregated results are byte-identical regardless
+// of the worker count.
+func RunCampaign(g Grid, opts CampaignOptions) (*CampaignResult, error) {
+	return campaign.Execute(g, opts)
+}
+
+// DefaultCampaignWorkers returns the worker-pool size used when
+// CampaignOptions.Workers is zero (GOMAXPROCS).
+func DefaultCampaignWorkers() int { return campaign.DefaultWorkers() }
 
 // Throughput measures one algorithm's goodput on the path.
 func Throughput(path Path, alg Algorithm, duration time.Duration, seed uint64) (Bandwidth, error) {

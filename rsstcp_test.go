@@ -79,6 +79,28 @@ func TestFigure1Facade(t *testing.T) {
 	}
 }
 
+func TestRunCampaignFacade(t *testing.T) {
+	res, err := rsstcp.RunCampaign(rsstcp.Grid{
+		RTTs:       []time.Duration{20 * time.Millisecond, 60 * time.Millisecond},
+		Algorithms: []rsstcp.Algorithm{rsstcp.Standard, rsstcp.Restricted},
+		Duration:   time.Second,
+	}, rsstcp.CampaignOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.ThroughputMbps.Mean <= 0 {
+			t.Errorf("cell %s made no progress", c.Cell.Key())
+		}
+	}
+	if rsstcp.DefaultCampaignWorkers() < 1 {
+		t.Error("DefaultCampaignWorkers < 1")
+	}
+}
+
 func TestThroughputFacade(t *testing.T) {
 	thr, err := rsstcp.Throughput(rsstcp.PaperPath(), rsstcp.Standard, 3*time.Second, 1)
 	if err != nil {
