@@ -1,7 +1,12 @@
-// Command rsstcp-campaign sweeps a declarative parameter grid — the
-// cartesian product of bottleneck bandwidth, RTT, router queue, txqueuelen,
-// loss rate, algorithm and flow count — on a bounded worker pool, and
-// prints per-cell aggregates (replicate mean, stddev, percentiles).
+// Command rsstcp-campaign sweeps a parameter space on a bounded worker pool
+// and prints per-cell aggregates (replicate mean, stddev, percentiles).
+//
+// The classic flags (-bw, -rtt, -rq, -ifq, -loss, -alg, -flows) declare the
+// legacy seven-dimension grid. New-style flags open the generic axis engine:
+// -setpoints, -ticks and the repeatable -axis flag add sweep dimensions the
+// fixed grid cannot express, and -metrics selects and orders the output
+// columns from the pluggable metric registry. Using any new-style flag
+// switches the output to the generic report (axis columns + chosen metrics).
 //
 // Results are byte-identical for any -workers value: replicate seeds are
 // derived from the base seed and each cell's parameters, never from the
@@ -12,6 +17,10 @@
 //	rsstcp-campaign
 //	rsstcp-campaign -bw 10,100,500 -rtt 20ms,60ms -alg standard,restricted -replicates 3
 //	rsstcp-campaign -loss 0,0.001,0.01 -duration 10s -workers 4 -json out.json -csv out.csv
+//	rsstcp-campaign -bw 100 -rtt 20ms,60ms -ifq 100 -alg restricted \
+//	    -setpoints 0.5,0.7,0.9 -metrics throughput_mbps,fairness,t90_util_s
+//	rsstcp-campaign -bw 100 -rtt 60ms -ifq 100 -alg restricted \
+//	    -axis tick=5ms,10ms,20ms -axis mss=1448,8948 -metrics throughput_mbps,collapses
 package main
 
 import (
@@ -43,7 +52,25 @@ func main() {
 		jsonPath   = flag.String("json", "", "write full results (runs + aggregates) as JSON to this file, or - for stdout")
 		csvPath    = flag.String("csv", "", "write the aggregate table as CSV to this file, or - for stdout")
 		quiet      = flag.Bool("quiet", false, "suppress progress reporting on stderr")
+
+		// New-style flags: the generic axis/metric engine.
+		metrics   = flag.String("metrics", "", "metric columns to report, in order (comma list; known: "+strings.Join(rsstcp.MetricNames(), ",")+")")
+		setpoints = flag.String("setpoints", "", "RSS IFQ set-point fractions to sweep (comma list; adds a 'setpoint' axis)")
+		ticks     = flag.String("ticks", "", "RSS control periods to sweep (comma list of durations; adds a 'tick' axis)")
 	)
+	var extraAxes []rsstcp.Axis
+	flag.Func("axis", "extra sweep axis as name=v1,v2 (repeatable; names: "+strings.Join(rsstcp.StockAxisNames(), ",")+")", func(s string) error {
+		name, vals, ok := strings.Cut(s, "=")
+		if !ok {
+			return fmt.Errorf("want name=v1,v2, got %q", s)
+		}
+		a, err := rsstcp.ParseAxis(name, split(vals))
+		if err != nil {
+			return err
+		}
+		extraAxes = append(extraAxes, a)
+		return nil
+	})
 	flag.Parse()
 
 	grid := rsstcp.Grid{
@@ -69,38 +96,147 @@ func main() {
 		grid.Algorithms = append(grid.Algorithms, rsstcp.Algorithm(s))
 	}
 
+	if *setpoints != "" {
+		axisOrDie(&extraAxes, "setpoint", *setpoints)
+	}
+	if *ticks != "" {
+		axisOrDie(&extraAxes, "tick", *ticks)
+	}
+
 	opts := rsstcp.CampaignOptions{Workers: *workers}
-	if !*quiet {
+	progress := func(runs int) {
+		if *quiet {
+			return
+		}
 		opts.Progress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rcampaign: %d/%d runs", done, total)
 			if done == total {
 				fmt.Fprintln(os.Stderr)
 			}
 		}
-		fmt.Fprintf(os.Stderr, "campaign: %d cells × %d replicates on %d workers\n",
-			len(grid.Cells()), *replicates, effectiveWorkers(*workers))
+		fmt.Fprintf(os.Stderr, "campaign: %d runs on %d workers\n",
+			runs, effectiveWorkers(*workers))
 	}
 
+	if len(extraAxes) > 0 || *metrics != "" {
+		// Generic path: legacy flags compile to stock axes, new flags
+		// stack more dimensions and choose the metric columns — no
+		// campaign-internal edits involved.
+		//
+		// Reconcile the grid's seven default axes with the generic flags.
+		// An -axis naming a legacy dimension supersedes that dimension's
+		// default axis (the legacy flag and -axis together are ambiguous
+		// and rejected), and the matchup axis replaces the flow list, so
+		// it cannot coexist with the grid's alg/flows axes. Legacy flags
+		// conveniently share their axis names (-rtt sets axis "rtt").
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		gridAxes := grid.Axes()
+		for _, a := range extraAxes {
+			if rsstcp.IsLegacyAxis(a.Name) {
+				if explicit[a.Name] {
+					fatalf("-%s and -axis %s=... both sweep the %q axis; use one", a.Name, a.Name, a.Name)
+				}
+				gridAxes = dropAxes(gridAxes, a.Name)
+			}
+		}
+		if hasAxis(extraAxes, "matchup") {
+			if explicit["alg"] || explicit["flows"] {
+				fatalf("-axis matchup=... replaces the flow list; drop the -alg and -flows flags")
+			}
+			gridAxes = dropAxes(gridAxes, "alg", "flows")
+		}
+		builderOpts := []rsstcp.CampaignOpt{
+			rsstcp.SweepAxis(gridAxes...),
+			rsstcp.SweepAxis(extraAxes...),
+			rsstcp.Replicates(*replicates),
+			rsstcp.Duration(*duration),
+			rsstcp.BaseSeed(*seed),
+		}
+		if *metrics != "" {
+			builderOpts = append(builderOpts, rsstcp.MeasureNamed(split(*metrics)...))
+		}
+		c := rsstcp.NewCampaign(builderOpts...)
+		plan, err := c.Plan()
+		if err == nil {
+			err = plan.Validate()
+		}
+		if err != nil {
+			fatalf("%v", err)
+		}
+		progress(plan.Runs())
+		rep, err := c.Run(opts)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		render(*jsonPath, *csvPath, rep.WriteJSON, rep.WriteCSV, func(w io.Writer) error {
+			return rep.Table().Render(w)
+		})
+		return
+	}
+
+	// Legacy path: fixed grid in, fixed columns out (byte-compatible with
+	// the original engine).
+	progress(grid.Runs())
 	res, err := rsstcp.RunCampaign(grid, opts)
 	if err != nil {
 		fatalf("%v", err)
 	}
+	render(*jsonPath, *csvPath, res.WriteJSON, res.WriteCSV, func(w io.Writer) error {
+		return res.Table().Render(w)
+	})
+}
 
+// render dispatches the selected exports; with no export flags (or when both
+// went to files), the aggregate table goes to stdout.
+func render(jsonPath, csvPath string, writeJSON, writeCSV, table func(io.Writer) error) {
 	wrote := false
-	if *jsonPath != "" {
-		writeTo(*jsonPath, res.WriteJSON)
+	if jsonPath != "" {
+		writeTo(jsonPath, writeJSON)
 		wrote = true
 	}
-	if *csvPath != "" {
-		writeTo(*csvPath, res.WriteCSV)
+	if csvPath != "" {
+		writeTo(csvPath, writeCSV)
 		wrote = true
 	}
-	// With no export flags (or when both went to files), print the table.
-	if !wrote || (*jsonPath != "-" && *csvPath != "-") {
-		if err := res.Table().Render(os.Stdout); err != nil {
+	if !wrote || (jsonPath != "-" && csvPath != "-") {
+		if err := table(os.Stdout); err != nil {
 			fatalf("%v", err)
 		}
 	}
+}
+
+func axisOrDie(axes *[]rsstcp.Axis, name, csv string) {
+	a, err := rsstcp.ParseAxis(name, split(csv))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	*axes = append(*axes, a)
+}
+
+func hasAxis(axes []rsstcp.Axis, name string) bool {
+	for _, a := range axes {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func dropAxes(axes []rsstcp.Axis, names ...string) []rsstcp.Axis {
+	var out []rsstcp.Axis
+	for _, a := range axes {
+		drop := false
+		for _, n := range names {
+			if a.Name == n {
+				drop = true
+			}
+		}
+		if !drop {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 func effectiveWorkers(n int) int {

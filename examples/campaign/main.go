@@ -1,6 +1,8 @@
-// Campaign example: sweep restricted vs standard slow-start across a small
-// bandwidth × RTT × txqueuelen grid with replicated lossy runs, executed on
-// all cores, and print the aggregate table.
+// Campaign example, in two acts. First the legacy grid shorthand: sweep
+// restricted vs standard slow-start across a small bandwidth × RTT ×
+// txqueuelen grid with replicated lossy runs, executed on all cores. Then
+// the composable builder: a set-point sweep with fairness and ramp-time
+// metric columns — a campaign the fixed grid cannot express.
 package main
 
 import (
@@ -39,4 +41,26 @@ func main() {
 	fmt.Println()
 	fmt.Println("Each row is one cell; mbps-std is the replicate-to-replicate")
 	fmt.Println("spread introduced by seeded random loss.")
+
+	// Act two: the builder composes axes the grid does not have — here the
+	// RSS IFQ set point — and picks the metric columns, including Jain's
+	// fairness over two concurrent flows and the time to 90% utilization.
+	fmt.Println()
+	rep, err := rsstcp.NewCampaign(
+		rsstcp.Sweep("rtt", "20ms", "60ms"),
+		rsstcp.Sweep("alg", rsstcp.Restricted),
+		rsstcp.Sweep("flows", 2),
+		rsstcp.Sweep("setpoint", 0.5, 0.9),
+		rsstcp.Measure(rsstcp.MetricThroughput, rsstcp.MetricFairness, rsstcp.MetricTimeToUtil90),
+		rsstcp.Duration(5*time.Second),
+	).Run(rsstcp.CampaignOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rep.Table().Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println("Same engine, open axes: adding a sweep dimension or a metric")
+	fmt.Println("is one option in the builder, not a campaign-engine edit.")
 }

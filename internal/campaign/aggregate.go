@@ -1,12 +1,84 @@
 package campaign
 
 import (
+	"fmt"
+
+	"rsstcp/internal/experiment"
 	"rsstcp/internal/stats"
 )
 
-// CellResult is one cell's replicate set plus its aggregate statistics.
-// ThroughputMbps is summarized in Mbps (not bps) so exported numbers match
-// the tables the rest of the repo prints.
+// MetricSummary is one metric's aggregate statistics over a cell's
+// replicates.
+type MetricSummary struct {
+	Name string `json:"name"`
+	stats.Summary
+}
+
+// ReportCell is one axis-product cell's replicate set plus the summaries of
+// every plan metric, in plan-metric order.
+type ReportCell struct {
+	// Index is the cell's position in canonical expansion order.
+	Index int `json:"index"`
+	// Key is the canonical cell identity ("name=label" pairs joined
+	// with "/").
+	Key string `json:"key"`
+	// Labels are the per-axis "name=label" pairs.
+	Labels []string `json:"labels"`
+	// Runs are the replicates in replicate order.
+	Runs []Replicate `json:"runs"`
+	// Metrics are the per-metric summaries, in plan-metric order.
+	Metrics []MetricSummary `json:"metrics"`
+	// config is the cell's composed configuration, kept for legacy-shape
+	// conversion without re-expanding the axis product (not serialized).
+	config experiment.Config
+}
+
+// Config returns the cell's composed (seedless) configuration.
+func (c ReportCell) Config() experiment.Config { return c.config }
+
+// Metric returns the summary with the given name (zero Summary, false when
+// the plan did not measure it).
+func (c ReportCell) Metric(name string) (stats.Summary, bool) {
+	for _, m := range c.Metrics {
+		if m.Name == name {
+			return m.Summary, true
+		}
+	}
+	return stats.Summary{}, false
+}
+
+// Report is a completed generic campaign: the (defaulted) plan and one
+// aggregated entry per cell, in canonical expansion order.
+type Report struct {
+	Plan  Plan
+	Cells []ReportCell
+}
+
+// aggregateCell folds a cell's replicates into per-metric summaries.
+// Replicates are already in replicate order, so the summaries are
+// independent of the worker schedule that produced them.
+func aggregateCell(p Plan, c PlanCell, runs []Replicate) ReportCell {
+	out := ReportCell{
+		Index:   c.Index,
+		Key:     c.Key,
+		Labels:  c.Labels,
+		Runs:    runs,
+		Metrics: make([]MetricSummary, len(p.Metrics)),
+		config:  c.Config,
+	}
+	xs := make([]float64, len(runs))
+	for mi, m := range p.Metrics {
+		for ri, r := range runs {
+			xs[ri] = r.Values[mi]
+		}
+		out.Metrics[mi] = MetricSummary{Name: m.Name, Summary: stats.Describe(xs)}
+	}
+	return out
+}
+
+// CellResult is one legacy grid cell's replicate set plus its aggregate
+// statistics. ThroughputMbps is summarized in Mbps (not bps) so exported
+// numbers match the tables the rest of the repo prints.
 type CellResult struct {
 	Cell Cell  `json:"cell"`
 	Runs []Run `json:"runs"`
@@ -19,32 +91,54 @@ type CellResult struct {
 	Utilization    stats.Summary `json:"utilization"`
 }
 
-// Result is a completed campaign: the (defaulted) grid and one aggregated
-// entry per cell, in canonical grid order.
+// Result is a completed legacy grid campaign: the (defaulted) grid and one
+// aggregated entry per cell, in canonical grid order.
 type Result struct {
 	Grid  Grid         `json:"grid"`
 	Cells []CellResult `json:"cells"`
 }
 
-// aggregate folds a cell's replicate runs into summaries. Replicates are
-// already in replicate order, so the summaries are independent of the
-// worker schedule that produced them.
-func aggregate(cell Cell, runs []Run) CellResult {
-	pick := func(f func(Run) float64) stats.Summary {
-		xs := make([]float64, len(runs))
-		for i, r := range runs {
-			xs[i] = f(r)
+// legacyResult folds a generic report of a grid-compiled plan back into the
+// legacy fixed-field Result. The report's stock-metric summaries become the
+// named summary fields, and each cell's composed config is projected onto
+// the legacy (Path, Alg, Flows) triple.
+func legacyResult(g Grid, rep *Report) (*Result, error) {
+	res := &Result{Grid: g, Cells: make([]CellResult, len(rep.Cells))}
+	for i, rc := range rep.Cells {
+		cfg := rc.Config()
+		if len(cfg.Flows) == 0 {
+			return nil, fmt.Errorf("campaign: cell %d (%s): no flows after axis composition", i, rc.Key)
 		}
-		return stats.Describe(xs)
+		out := CellResult{
+			Cell: Cell{
+				Index: rc.Index,
+				Path:  cfg.Path,
+				Alg:   cfg.Flows[0].Alg,
+				Flows: len(cfg.Flows),
+			},
+			Runs: make([]Run, len(rc.Runs)),
+		}
+		for ri, r := range rc.Runs {
+			out.Runs[ri] = r.Run
+		}
+		for _, want := range []struct {
+			name string
+			dst  *stats.Summary
+		}{
+			{MetricThroughputMbps.Name, &out.ThroughputMbps},
+			{MetricStalls.Name, &out.Stalls},
+			{MetricCongSignals.Name, &out.CongSignals},
+			{MetricRouterDrops.Name, &out.RouterDrops},
+			{MetricInjectedDrops.Name, &out.InjectedDrops},
+			{MetricUtilization.Name, &out.Utilization},
+		} {
+			s, ok := rc.Metric(want.name)
+			if !ok {
+				return nil, fmt.Errorf("campaign: grid plan missing stock metric %q", want.name)
+			}
+			*want.dst = s
+		}
+		res.Cells[i] = out
 	}
-	return CellResult{
-		Cell:           cell,
-		Runs:           runs,
-		ThroughputMbps: pick(func(r Run) float64 { return r.ThroughputBps / 1e6 }),
-		Stalls:         pick(func(r Run) float64 { return float64(r.Stalls) }),
-		CongSignals:    pick(func(r Run) float64 { return float64(r.CongSignals) }),
-		RouterDrops:    pick(func(r Run) float64 { return float64(r.RouterDrops) }),
-		InjectedDrops:  pick(func(r Run) float64 { return float64(r.InjectedDrops) }),
-		Utilization:    pick(func(r Run) float64 { return r.Utilization }),
-	}
+	return res, nil
 }

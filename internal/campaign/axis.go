@@ -1,0 +1,235 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"rsstcp/internal/experiment"
+)
+
+// Value is one labeled point of an axis: a canonical label (it becomes part
+// of the cell key, and therefore of the derived replicate seeds) and a
+// mutator that imprints the value on an experiment configuration.
+type Value struct {
+	// Label is the canonical text form of the value. It must be unique
+	// within its axis and must not contain '=' or '/' (the key syntax).
+	Label string
+	// Set applies the value to a configuration under construction.
+	Set func(*experiment.Config)
+}
+
+// Val builds a Value from a label and mutator.
+func Val(label string, set func(*experiment.Config)) Value {
+	return Value{Label: label, Set: set}
+}
+
+// Axis is a named sweep dimension: an ordered list of labeled configuration
+// mutators. The engine runs the cartesian product of all axes, so any
+// experiment.Config field — path shape, per-flow tuning, workload — can
+// become a sweep dimension without touching the engine.
+type Axis struct {
+	// Name identifies the dimension in cell keys ("name=label") and table
+	// headers. It must not contain '=' or '/'.
+	Name string
+	// Values are the points swept along this axis, in declaration order.
+	Values []Value
+	// err records a domain violation caught at construction (e.g. a
+	// non-positive bandwidth). The experiment harness silently replaces
+	// out-of-range values with paper defaults, so an unvalidated axis
+	// would run the default while its cell label claims the bad value;
+	// Plan.Validate surfaces the error before anything runs.
+	err error
+}
+
+// fail records the axis's first construction error.
+func (a *Axis) fail(format string, args ...any) {
+	if a.err == nil {
+		a.err = fmt.Errorf("campaign: axis %q: "+format, append([]any{a.Name}, args...)...)
+	}
+}
+
+// Plan is a declarative campaign over arbitrary axes: the engine expands the
+// cartesian product of Axes into cells, runs Replicates seeded simulations
+// per cell, and summarizes the Metrics over each cell's replicates.
+//
+// Plan generalizes Grid: Grid.Plan() compiles the seven fixed grid fields to
+// stock axes, and Execute runs grids through this engine.
+type Plan struct {
+	// Axes are the sweep dimensions, outermost first. No axes means a
+	// single cell of pure defaults.
+	Axes []Axis
+	// Metrics are the per-replicate extractors to summarize per cell
+	// (default: StockMetrics()).
+	Metrics []Metric
+	// Replicates runs each cell this many times with distinct derived
+	// seeds (default 1).
+	Replicates int
+	// Duration is the virtual run length per replicate (default 25 s).
+	Duration time.Duration
+	// BaseSeed roots every derived replicate seed (default 1).
+	BaseSeed uint64
+}
+
+func (p Plan) withDefaults() Plan {
+	if len(p.Metrics) == 0 {
+		p.Metrics = StockMetrics()
+	}
+	if p.Replicates <= 0 {
+		p.Replicates = 1
+	}
+	if p.Duration <= 0 {
+		p.Duration = 25 * time.Second
+	}
+	if p.BaseSeed == 0 {
+		p.BaseSeed = 1
+	}
+	return p
+}
+
+// Validate rejects plans whose axes or metrics would corrupt cell keys or
+// crash the runner: duplicate or malformed axis names, empty axes, duplicate
+// or malformed value labels, nil mutators, and unnamed or nil metrics.
+func (p Plan) Validate() error {
+	p = p.withDefaults()
+	axisPos := map[string]int{}
+	for i, a := range p.Axes {
+		if a.err != nil {
+			return a.err
+		}
+		if a.Name == "" || strings.ContainsAny(a.Name, "=/") {
+			return fmt.Errorf("campaign: bad axis name %q (empty, or contains '=' or '/')", a.Name)
+		}
+		if _, dup := axisPos[a.Name]; dup {
+			return fmt.Errorf("campaign: duplicate axis %q", a.Name)
+		}
+		axisPos[a.Name] = i
+	}
+	// Stock-axis semantic conflicts around matchup, which replaces the
+	// flow list: alg/flows clash in either order, and per-flow axes are
+	// silently discarded when matchup comes after them — both would make
+	// cell labels lie about what ran.
+	if mi, ok := axisPos["matchup"]; ok {
+		for _, clash := range matchupHardConflicts {
+			if _, ok := axisPos[clash]; ok {
+				return fmt.Errorf("campaign: axis %q replaces the flow list and conflicts with axis %q; sweep one or the other", "matchup", clash)
+			}
+		}
+		for _, pf := range perFlowAxes {
+			if pi, ok := axisPos[pf]; ok && pi < mi {
+				return fmt.Errorf("campaign: axis %q must come before axis %q, whose values it would otherwise discard when rebuilding the flow list", "matchup", pf)
+			}
+		}
+	}
+	for _, a := range p.Axes {
+		if len(a.Values) == 0 {
+			return fmt.Errorf("campaign: axis %q has no values", a.Name)
+		}
+		seenVal := map[string]bool{}
+		for _, v := range a.Values {
+			if v.Label == "" || strings.ContainsAny(v.Label, "=/") {
+				return fmt.Errorf("campaign: axis %q: bad value label %q (empty, or contains '=' or '/')", a.Name, v.Label)
+			}
+			if seenVal[v.Label] {
+				return fmt.Errorf("campaign: axis %q: duplicate value %q", a.Name, v.Label)
+			}
+			seenVal[v.Label] = true
+			if v.Set == nil {
+				return fmt.Errorf("campaign: axis %q value %q has no mutator", a.Name, v.Label)
+			}
+		}
+	}
+	seenMetric := map[string]bool{}
+	for _, m := range p.Metrics {
+		if m.Name == "" {
+			return fmt.Errorf("campaign: unnamed metric")
+		}
+		if seenMetric[m.Name] {
+			return fmt.Errorf("campaign: duplicate metric %q", m.Name)
+		}
+		seenMetric[m.Name] = true
+		if m.Extract == nil {
+			return fmt.Errorf("campaign: metric %q has no extractor", m.Name)
+		}
+	}
+	return nil
+}
+
+// PlanCell is one point of the expanded axis product: the canonical key, the
+// per-axis "name=label" pairs, and the composed configuration (seedless; the
+// runner derives one seed per replicate from the key).
+type PlanCell struct {
+	// Index is the cell's position in canonical expansion order.
+	Index int
+	// Key is the canonical cell identity: the "name=label" pairs joined
+	// with "/". It is the sole cell-side input to replicate seed
+	// derivation, so seeds depend only on parameters.
+	Key string
+	// Labels are the per-axis "name=label" pairs in axis order.
+	Labels []string
+	// Config is the composed configuration, before seeding.
+	Config experiment.Config
+}
+
+// Size returns the number of cells the plan expands to.
+func (p Plan) Size() int {
+	n := 1
+	for _, a := range p.Axes {
+		n *= len(a.Values)
+	}
+	return n
+}
+
+// Runs returns the total number of simulations (cells × replicates).
+func (p Plan) Runs() int {
+	p = p.withDefaults()
+	return p.Size() * p.Replicates
+}
+
+// Cells expands the axis product in canonical order: the first axis is
+// outermost, the last varies fastest. Mutators are applied in axis order on
+// a fresh configuration per cell.
+func (p Plan) Cells() []PlanCell {
+	p = p.withDefaults()
+	cells := make([]PlanCell, 0, p.Size())
+	labels := make([]string, len(p.Axes))
+	var rec func(axis int, cfg experiment.Config)
+	rec = func(axis int, cfg experiment.Config) {
+		if axis == len(p.Axes) {
+			cells = append(cells, PlanCell{
+				Index:  len(cells),
+				Key:    strings.Join(labels, "/"),
+				Labels: append([]string(nil), labels...),
+				Config: cfg,
+			})
+			return
+		}
+		a := p.Axes[axis]
+		for _, v := range a.Values {
+			labels[axis] = a.Name + "=" + v.Label
+			next := cloneConfig(cfg)
+			v.Set(&next)
+			rec(axis+1, next)
+		}
+	}
+	rec(0, experiment.Config{Duration: p.Duration})
+	return cells
+}
+
+// cloneConfig deep-copies the parts of a Config that axis mutators touch, so
+// sibling cells never alias each other's flow specs.
+func cloneConfig(cfg experiment.Config) experiment.Config {
+	out := cfg
+	out.Flows = append([]experiment.FlowSpec(nil), cfg.Flows...)
+	return out
+}
+
+// Config returns the fully seeded configuration for one replicate of the
+// cell. The seed depends only on (BaseSeed, cell key, replicate) — never on
+// scheduling — preserving the byte-determinism invariant.
+func (p Plan) Config(c PlanCell, replicate int) experiment.Config {
+	p = p.withDefaults()
+	cfg := cloneConfig(c.Config)
+	cfg.Seed = DeriveSeed(p.BaseSeed, c.Key, replicate)
+	return cfg
+}

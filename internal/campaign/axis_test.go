@@ -1,0 +1,280 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rsstcp/internal/experiment"
+	"rsstcp/internal/unit"
+)
+
+func TestPlanExpansionOrderKeysAndSeeds(t *testing.T) {
+	p := Plan{
+		Axes: []Axis{
+			AxisSetpoints(0.5, 0.9),
+			AxisRTTs(20*time.Millisecond, 60*time.Millisecond),
+		},
+		Replicates: 2,
+		BaseSeed:   5,
+	}
+	cells := p.Cells()
+	if len(cells) != 4 || p.Size() != 4 || p.Runs() != 8 {
+		t.Fatalf("size/runs = %d/%d/%d, want 4/4/8", len(cells), p.Size(), p.Runs())
+	}
+	wantKeys := []string{
+		"setpoint=0.5/rtt=20ms",
+		"setpoint=0.5/rtt=60ms",
+		"setpoint=0.9/rtt=20ms",
+		"setpoint=0.9/rtt=60ms",
+	}
+	seeds := map[uint64]bool{}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Errorf("cell %d carries index %d", i, c.Index)
+		}
+		if c.Key != wantKeys[i] {
+			t.Errorf("cell %d key = %q, want %q", i, c.Key, wantKeys[i])
+		}
+		for rep := 0; rep < p.Replicates; rep++ {
+			cfg := p.Config(c, rep)
+			if cfg.Seed == 0 || seeds[cfg.Seed] {
+				t.Errorf("cell %d rep %d: zero or colliding seed %d", i, rep, cfg.Seed)
+			}
+			seeds[cfg.Seed] = true
+			if again := p.Config(c, rep); again.Seed != cfg.Seed {
+				t.Errorf("seed unstable for cell %d rep %d", i, rep)
+			}
+		}
+	}
+}
+
+func TestAxisMutatorsCompose(t *testing.T) {
+	p := Plan{Axes: []Axis{
+		AxisSetpoints(0.7),
+		AxisTicks(5 * time.Millisecond),
+		AxisMSS(9000),
+		AxisSACK(true),
+		AxisAlgorithms(experiment.AlgRestricted),
+		AxisFlowCounts(3),
+		AxisNICRates(unit.Gbps),
+		AxisBytes(1 << 20),
+	}}
+	cells := p.Cells()
+	if len(cells) != 1 {
+		t.Fatalf("cells = %d, want 1", len(cells))
+	}
+	cfg := cells[0].Config
+	if len(cfg.Flows) != 3 {
+		t.Fatalf("flows = %d, want 3", len(cfg.Flows))
+	}
+	for i, f := range cfg.Flows {
+		if f.Alg != experiment.AlgRestricted || f.SetpointFraction != 0.7 ||
+			f.Tick != 5*time.Millisecond || f.MSS != 9000 || !f.SACK || f.Bytes != 1<<20 {
+			t.Errorf("flow %d did not receive all per-flow axis values: %+v", i, f)
+		}
+	}
+	if cfg.Path.NICRate != unit.Gbps {
+		t.Errorf("NICRate = %v, want 1Gbps", cfg.Path.NICRate)
+	}
+}
+
+func TestAxisCellsDoNotAliasFlows(t *testing.T) {
+	// Sibling cells must own their flow slices: mutating one cell's flows
+	// (as the matchup axis and runner seeding do) must not leak into
+	// another cell.
+	p := Plan{Axes: []Axis{
+		AxisFlowCounts(2),
+		AxisSetpoints(0.5, 0.9),
+	}}
+	cells := p.Cells()
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(cells))
+	}
+	if cells[0].Config.Flows[0].SetpointFraction != 0.5 ||
+		cells[1].Config.Flows[0].SetpointFraction != 0.9 {
+		t.Fatalf("setpoints = %g/%g, want 0.5/0.9",
+			cells[0].Config.Flows[0].SetpointFraction,
+			cells[1].Config.Flows[0].SetpointFraction)
+	}
+	cells[0].Config.Flows[0].SetpointFraction = 0.1
+	if cells[1].Config.Flows[0].SetpointFraction != 0.9 {
+		t.Error("cells share a flow slice")
+	}
+}
+
+func TestAxisMatchupBuildsOneFlowPerAlgorithm(t *testing.T) {
+	a := AxisMatchups(
+		[]experiment.Algorithm{experiment.AlgStandard, experiment.AlgRestricted},
+		[]experiment.Algorithm{experiment.AlgRestricted, experiment.AlgRestricted},
+	)
+	if a.Values[0].Label != "standard+restricted" {
+		t.Errorf("label = %q", a.Values[0].Label)
+	}
+	var cfg experiment.Config
+	a.Values[0].Set(&cfg)
+	if len(cfg.Flows) != 2 || cfg.Flows[0].Alg != experiment.AlgStandard || cfg.Flows[1].Alg != experiment.AlgRestricted {
+		t.Errorf("matchup flows = %+v", cfg.Flows)
+	}
+}
+
+func TestPlanValidateRejectsMalformedAxes(t *testing.T) {
+	bad := []Plan{
+		{Axes: []Axis{{Name: "", Values: []Value{Val("x", func(*experiment.Config) {})}}}},
+		{Axes: []Axis{{Name: "a=b", Values: []Value{Val("x", func(*experiment.Config) {})}}}},
+		{Axes: []Axis{{Name: "dup", Values: []Value{Val("x", func(*experiment.Config) {})}},
+			{Name: "dup", Values: []Value{Val("y", func(*experiment.Config) {})}}}},
+		{Axes: []Axis{{Name: "empty"}}},
+		{Axes: []Axis{{Name: "a", Values: []Value{Val("x/y", func(*experiment.Config) {})}}}},
+		{Axes: []Axis{{Name: "a", Values: []Value{Val("x", func(*experiment.Config) {}), Val("x", func(*experiment.Config) {})}}}},
+		{Axes: []Axis{{Name: "a", Values: []Value{{Label: "x"}}}}},
+		{Metrics: []Metric{{Name: ""}}},
+		{Metrics: []Metric{{Name: "m"}}},
+		{Metrics: []Metric{MetricFairness, MetricFairness}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %d accepted", i)
+		}
+	}
+	if err := (Plan{Axes: []Axis{AxisSetpoints(0.5)}}).Validate(); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+// TestPlanValidateRejectsOutOfDomainValues: the experiment harness silently
+// replaces out-of-range values with paper defaults, so an unvalidated axis
+// would run the default while its label claims the bad value. Every stock
+// constructor must catch its domain at construction.
+func TestPlanValidateRejectsOutOfDomainValues(t *testing.T) {
+	bad := []Axis{
+		AxisBandwidths(0),
+		AxisBandwidths(-unit.Mbps),
+		AxisRTTs(0),
+		AxisRouterQueues(0),
+		AxisTxQueueLens(-1),
+		AxisLossRates(1.5),
+		AxisLossRates(-0.1),
+		AxisAlgorithms("bogus"),
+		AxisFlowCounts(0),
+		AxisSetpoints(0),
+		AxisSetpoints(1.5),
+		AxisTicks(0),
+		AxisMSS(0),
+		AxisNICRates(0),
+		AxisMatchups([]experiment.Algorithm{}),
+		AxisMatchups([]experiment.Algorithm{"bogus"}),
+		AxisBytes(-1),
+	}
+	for i, a := range bad {
+		if err := (Plan{Axes: []Axis{a}}).Validate(); err == nil {
+			t.Errorf("axis %d (%s) accepted an out-of-domain value", i, a.Name)
+		}
+	}
+	// The registry surfaces the same domain errors eagerly.
+	if _, err := NewAxis("setpoint", 0.0); err == nil {
+		t.Error("NewAxis accepted setpoint 0")
+	}
+	if _, err := ParseAxis("bw", []string{"0"}); err == nil {
+		t.Error("ParseAxis accepted bw 0")
+	}
+}
+
+// TestPlanValidateRejectsMatchupConflicts: matchup replaces the flow list,
+// so combining it with the alg or flows axes would run mislabeled cells.
+func TestPlanValidateRejectsMatchupConflicts(t *testing.T) {
+	matchup := AxisMatchups([]experiment.Algorithm{experiment.AlgStandard, experiment.AlgRestricted})
+	for _, clash := range []Axis{
+		AxisAlgorithms(experiment.AlgStandard),
+		AxisFlowCounts(1, 2),
+	} {
+		p := Plan{Axes: []Axis{clash, matchup}}
+		if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "matchup") {
+			t.Errorf("matchup + %s accepted (err=%v)", clash.Name, err)
+		}
+	}
+	if err := (Plan{Axes: []Axis{matchup}}).Validate(); err != nil {
+		t.Errorf("matchup alone rejected: %v", err)
+	}
+	// Per-flow axes compose with matchup only when they come after it:
+	// matchup-first decorates the rebuilt flow list; matchup-last would
+	// silently discard the per-flow values under a lying label.
+	perFlow := AxisSetpoints(0.5, 0.9)
+	if err := (Plan{Axes: []Axis{perFlow, matchup}}).Validate(); err == nil {
+		t.Error("setpoint before matchup accepted — its values would be discarded")
+	}
+	after := Plan{Axes: []Axis{matchup, perFlow}}
+	if err := after.Validate(); err != nil {
+		t.Errorf("matchup before setpoint rejected: %v", err)
+	}
+	cells := after.Cells()
+	if len(cells) != 2 || cells[0].Config.Flows[0].SetpointFraction != 0.5 ||
+		cells[0].Config.Flows[1].SetpointFraction != 0.5 {
+		t.Errorf("setpoint did not decorate matchup flows: %+v", cells)
+	}
+}
+
+func TestNewAxisRegistry(t *testing.T) {
+	a, err := NewAxis("setpoint", 0.5, "0.7", 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Values) != 3 || a.Values[1].Label != "0.7" {
+		t.Fatalf("axis = %+v", a)
+	}
+	if _, err := NewAxis("bogus", 1); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("unknown axis error = %v", err)
+	}
+	if _, err := NewAxis("setpoint"); err == nil {
+		t.Error("empty value list accepted")
+	}
+	if _, err := NewAxis("alg", "nope"); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := NewAxis("rtt", "not-a-duration"); err == nil {
+		t.Error("bad duration accepted")
+	}
+}
+
+func TestParseAxisMatchesCLIConventions(t *testing.T) {
+	bw, err := ParseAxis("bw", []string{"10", "100"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw.Values[0].Label != "10Mbps" || bw.Values[1].Label != "100Mbps" {
+		t.Errorf("bw labels = %q, %q", bw.Values[0].Label, bw.Values[1].Label)
+	}
+	m, err := ParseAxis("matchup", []string{"standard+restricted"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Values[0].Label != "standard+restricted" {
+		t.Errorf("matchup label = %q", m.Values[0].Label)
+	}
+	if _, err := ParseAxis("sack", []string{"maybe"}); err == nil {
+		t.Error("bad bool accepted")
+	}
+	for _, name := range StockAxisNames() {
+		if AxisHelp(name) == "" {
+			t.Errorf("stock axis %q has no help text", name)
+		}
+	}
+}
+
+func TestZeroAxisPlanIsOneDefaultCell(t *testing.T) {
+	p := Plan{Duration: time.Second}
+	cells := p.Cells()
+	if len(cells) != 1 || cells[0].Key != "" {
+		t.Fatalf("cells = %+v", cells)
+	}
+	rep, err := ExecutePlan(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 1 {
+		t.Fatalf("report cells = %d", len(rep.Cells))
+	}
+	if thr, ok := rep.Cells[0].Metric("throughput_mbps"); !ok || thr.Mean <= 0 {
+		t.Errorf("default cell made no progress: %+v", rep.Cells[0].Metrics)
+	}
+}

@@ -1,12 +1,22 @@
 // Package campaign turns the single-scenario experiment harness into a
-// sweep engine: a declarative Grid names the parameter axes (bottleneck
-// bandwidth, RTT, router queue, txqueuelen, loss rate, algorithm, flow
-// count), the engine expands the cartesian product into cells, runs every
-// cell's replicates concurrently on a bounded worker pool, and aggregates
-// replicate results into per-cell means, deviations and percentiles.
+// composable sweep engine built on two open abstractions:
+//
+//   - Axis: a named sweep dimension whose values are labeled
+//     experiment.Config mutators. A Plan is the cartesian product of
+//     arbitrary axes — path shape, per-flow tuning (set point, control
+//     tick, MSS, SACK), mixed-algorithm match-ups, workload shape — run
+//     replicated on a bounded worker pool.
+//   - Metric: a named per-replicate extractor func(experiment.Result)
+//     float64. Each cell summarizes a caller-chosen metric set (means,
+//     deviations, percentiles) instead of a fixed struct.
+//
+// The legacy Grid — seven fixed fields — survives as a thin compiler onto
+// stock axes (Grid.Plan); Execute runs grids through the same engine and
+// reproduces the original output byte-for-byte (see TestGridGoldenOutput).
 //
 // Determinism is the design invariant: each replicate's seed is derived
-// from the grid's base seed and the cell's canonical key alone, and results
-// are collected by precomputed index, so the aggregate output is
-// byte-identical whether the campaign runs on one worker or sixteen.
+// from the plan's base seed and the cell's canonical "axis=value" key
+// alone, and results are collected by precomputed index, so the aggregate
+// output is byte-identical whether the campaign runs on one worker or
+// sixteen.
 package campaign

@@ -1,0 +1,164 @@
+package campaign
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"rsstcp/internal/experiment"
+	"rsstcp/internal/unit"
+)
+
+// goldenGrid is the exact campaign that produced testdata/grid_golden.json
+// on the PR-1 fixed-field engine, before the axis redesign. Do not change
+// it: the golden file is the byte-compatibility contract.
+func goldenGrid() Grid {
+	return Grid{
+		Bandwidths: []unit.Bandwidth{10 * unit.Mbps, 50 * unit.Mbps},
+		RTTs:       []time.Duration{10 * time.Millisecond, 40 * time.Millisecond},
+		LossRates:  []float64{0.005},
+		Algorithms: []experiment.Algorithm{experiment.AlgStandard, experiment.AlgRestricted},
+		FlowCounts: []int{1, 2},
+		Replicates: 2,
+		Duration:   time.Second,
+		BaseSeed:   7,
+	}
+}
+
+// TestGridGoldenOutput pins the redesign's back-compat guarantee: a legacy
+// Grid campaign, now compiled to axes and run by the generic engine, must
+// emit WriteJSON bytes identical to the pre-redesign engine's output
+// (captured in testdata before the refactor).
+func TestGridGoldenOutput(t *testing.T) {
+	want, err := os.ReadFile("testdata/grid_golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(goldenGrid(), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if got != string(want) {
+		t.Fatalf("grid JSON diverged from pre-redesign golden output\ngolden %d bytes, got %d bytes\n%s",
+			len(want), len(got), firstDiff(string(want), got))
+	}
+}
+
+// firstDiff renders the neighborhood of the first byte difference.
+func firstDiff(a, b string) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo := i - 120
+			if lo < 0 {
+				lo = 0
+			}
+			hiA, hiB := i+120, i+120
+			if hiA > len(a) {
+				hiA = len(a)
+			}
+			if hiB > len(b) {
+				hiB = len(b)
+			}
+			return "first diff at byte " + strconv.Itoa(i) + ":\n--- golden ---\n" + a[lo:hiA] + "\n--- got ---\n" + b[lo:hiB]
+		}
+	}
+	return "one output is a prefix of the other"
+}
+
+// TestGridMatchesHandCompiledAxes proves the grid path has no bespoke
+// execution logic left: a plan assembled by hand from the stock axis
+// constructors reproduces the legacy engine's cell keys, seeds, runs and
+// summaries exactly.
+func TestGridMatchesHandCompiledAxes(t *testing.T) {
+	g := goldenGrid()
+	legacy, err := Execute(g, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan := Plan{
+		Axes: []Axis{
+			AxisBandwidths(10*unit.Mbps, 50*unit.Mbps),
+			AxisRTTs(10*time.Millisecond, 40*time.Millisecond),
+			AxisRouterQueues(250),
+			AxisTxQueueLens(100),
+			AxisLossRates(0.005),
+			AxisAlgorithms(experiment.AlgStandard, experiment.AlgRestricted),
+			AxisFlowCounts(1, 2),
+		},
+		Metrics:    StockMetrics(),
+		Replicates: 2,
+		Duration:   time.Second,
+		BaseSeed:   7,
+	}
+	rep, err := ExecutePlan(plan, Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(rep.Cells) != len(legacy.Cells) {
+		t.Fatalf("cells: %d generic vs %d legacy", len(rep.Cells), len(legacy.Cells))
+	}
+	legacyCells := g.Cells()
+	for i, rc := range rep.Cells {
+		if rc.Key != legacyCells[i].Key() {
+			t.Errorf("cell %d key %q != legacy key %q", i, rc.Key, legacyCells[i].Key())
+		}
+		for ri, r := range rc.Runs {
+			if r.Run != legacy.Cells[i].Runs[ri] {
+				t.Errorf("cell %d replicate %d diverged:\ngeneric %+v\nlegacy  %+v",
+					i, ri, r.Run, legacy.Cells[i].Runs[ri])
+			}
+		}
+		thr, ok := rc.Metric("throughput_mbps")
+		if !ok {
+			t.Fatalf("cell %d missing throughput_mbps", i)
+		}
+		if thr != legacy.Cells[i].ThroughputMbps {
+			t.Errorf("cell %d throughput summary diverged: %+v vs %+v",
+				i, thr, legacy.Cells[i].ThroughputMbps)
+		}
+	}
+}
+
+// TestPlanWorkerCountDoesNotChangeReport extends the PR-1 invariant to the
+// generic engine: one worker and eight workers must emit byte-identical
+// report JSON, including custom metric values.
+func TestPlanWorkerCountDoesNotChangeReport(t *testing.T) {
+	plan := Plan{
+		Axes: []Axis{
+			AxisSetpoints(0.5, 0.9),
+			AxisAlgorithms(experiment.AlgRestricted),
+			AxisLossRates(0.005),
+		},
+		Metrics:    []Metric{MetricThroughputMbps, MetricFairness, MetricTimeToUtil90},
+		Replicates: 2,
+		Duration:   time.Second,
+		BaseSeed:   3,
+	}
+	render := func(workers int) string {
+		rep, err := ExecutePlan(plan, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := rep.WriteJSON(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if j1, j8 := render(1), render(8); j1 != j8 {
+		t.Errorf("report JSON diverged between 1 and 8 workers:\n%.1500s\nvs\n%.1500s", j1, j8)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"rsstcp/internal/experiment"
@@ -95,3 +96,88 @@ func (r *Result) WriteJSON(w io.Writer) error {
 	enc.SetIndent("", "  ")
 	return enc.Encode(jsonResult{Grid: jg, Cells: r.Cells})
 }
+
+// --- generic report exporters ---
+
+// jsonReport is the serialized shape of a generic campaign: the plan is
+// flattened to axis/metric names so the file is self-describing.
+type jsonReport struct {
+	Plan  jsonPlan     `json:"plan"`
+	Cells []ReportCell `json:"cells"`
+}
+
+type jsonPlan struct {
+	Axes       []jsonAxis `json:"axes"`
+	Metrics    []string   `json:"metrics"`
+	Replicates int        `json:"replicates"`
+	Duration   string     `json:"duration"`
+	BaseSeed   uint64     `json:"base_seed"`
+}
+
+type jsonAxis struct {
+	Name   string   `json:"name"`
+	Labels []string `json:"labels"`
+}
+
+// WriteJSON writes the full report — plan, per-replicate runs and metric
+// values, and per-cell metric summaries — as indented JSON. Output is
+// byte-deterministic for a given plan regardless of worker count.
+func (r *Report) WriteJSON(w io.Writer) error {
+	p := r.Plan.withDefaults()
+	jp := jsonPlan{
+		Replicates: p.Replicates,
+		Duration:   p.Duration.String(),
+		BaseSeed:   p.BaseSeed,
+	}
+	for _, a := range p.Axes {
+		ja := jsonAxis{Name: a.Name}
+		for _, v := range a.Values {
+			ja.Labels = append(ja.Labels, v.Label)
+		}
+		jp.Axes = append(jp.Axes, ja)
+	}
+	for _, m := range p.Metrics {
+		jp.Metrics = append(jp.Metrics, m.Name)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonReport{Plan: jp, Cells: r.Cells})
+}
+
+// Table renders the report as an experiment.Table: one column per axis, then
+// mean and std columns for every plan metric, one row per cell in canonical
+// expansion order.
+func (r *Report) Table() *experiment.Table {
+	p := r.Plan.withDefaults()
+	t := &experiment.Table{
+		Title: fmt.Sprintf("Campaign: %d cells × %d replicates (%v per run)",
+			len(r.Cells), p.Replicates, p.Duration),
+		Notes: []string{
+			fmt.Sprintf("base seed %d; replicate seeds derived per cell key", p.BaseSeed),
+		},
+	}
+	for _, a := range p.Axes {
+		t.Header = append(t.Header, a.Name)
+	}
+	for _, m := range p.Metrics {
+		t.Header = append(t.Header, m.Name+"-mean", m.Name+"-std")
+	}
+	for _, c := range r.Cells {
+		row := make([]any, 0, len(t.Header))
+		for _, l := range c.Labels {
+			if _, label, ok := strings.Cut(l, "="); ok {
+				row = append(row, label)
+			} else {
+				row = append(row, l)
+			}
+		}
+		for _, m := range c.Metrics {
+			row = append(row, m.Mean, m.Std)
+		}
+		t.Add(row...)
+	}
+	return t
+}
+
+// WriteCSV writes the report's aggregate table as CSV.
+func (r *Report) WriteCSV(w io.Writer) error { return r.Table().CSV(w) }

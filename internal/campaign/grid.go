@@ -126,6 +126,36 @@ func (g Grid) Validate() error {
 	return nil
 }
 
+// Axes compiles the (defaulted) grid's seven fixed fields to stock axes in
+// canonical grid order. The compiled axes reproduce the legacy cell keys —
+// and therefore the legacy derived seeds — exactly.
+func (g Grid) Axes() []Axis {
+	g = g.withDefaults()
+	return []Axis{
+		AxisBandwidths(g.Bandwidths...),
+		AxisRTTs(g.RTTs...),
+		AxisRouterQueues(g.RouterQueues...),
+		AxisTxQueueLens(g.TxQueueLens...),
+		AxisLossRates(g.LossRates...),
+		AxisAlgorithms(g.Algorithms...),
+		AxisFlowCounts(g.FlowCounts...),
+	}
+}
+
+// Plan compiles the grid to a generic campaign plan: the seven stock axes
+// plus the legacy stock metrics. Grid is now a thin frontend — Execute runs
+// grids exclusively through the axis engine.
+func (g Grid) Plan() Plan {
+	g = g.withDefaults()
+	return Plan{
+		Axes:       g.Axes(),
+		Metrics:    StockMetrics(),
+		Replicates: g.Replicates,
+		Duration:   g.Duration,
+		BaseSeed:   g.BaseSeed,
+	}
+}
+
 // Cell is one point of the expanded grid: a fully specified scenario shape,
 // before replication.
 type Cell struct {

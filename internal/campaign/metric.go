@@ -1,0 +1,164 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rsstcp/internal/experiment"
+)
+
+// Metric is a named per-replicate extractor: it reads one scalar from a
+// finished run's Result (the measured flow's summary, which also carries
+// scenario-global fields — utilization, drop counters, per-flow throughputs
+// and cross-flow totals). The engine summarizes each metric over a cell's
+// replicates, so a campaign reports a caller-chosen metric set instead of a
+// fixed struct.
+type Metric struct {
+	// Name is the column/JSON name, e.g. "throughput_mbps".
+	Name string
+	// Extract reads the metric from one replicate's result.
+	Extract func(experiment.Result) float64
+}
+
+// Stock metrics. The first six mirror the legacy CellResult summaries; the
+// rest are new dimensions of merit the fixed struct could not report.
+var (
+	// MetricThroughputMbps is aggregate goodput over all flows, Mbps.
+	MetricThroughputMbps = Metric{
+		Name: "throughput_mbps",
+		Extract: func(r experiment.Result) float64 {
+			var bps float64
+			for _, tp := range r.FlowThroughputs {
+				bps += float64(tp)
+			}
+			return bps / 1e6
+		},
+	}
+	// MetricStalls is the send-stall count summed over all flows.
+	MetricStalls = Metric{
+		Name:    "stalls",
+		Extract: func(r experiment.Result) float64 { return float64(r.Totals.Stalls) },
+	}
+	// MetricCongSignals is the congestion-episode count over all flows.
+	MetricCongSignals = Metric{
+		Name:    "cong_signals",
+		Extract: func(r experiment.Result) float64 { return float64(r.Totals.CongSignals) },
+	}
+	// MetricRouterDrops counts segments dropped at the bottleneck buffer.
+	MetricRouterDrops = Metric{
+		Name:    "router_drops",
+		Extract: func(r experiment.Result) float64 { return float64(r.RouterDrops) },
+	}
+	// MetricInjectedDrops counts segments discarded by the loss injector.
+	MetricInjectedDrops = Metric{
+		Name:    "injected_drops",
+		Extract: func(r experiment.Result) float64 { return float64(r.InjectedDrops) },
+	}
+	// MetricUtilization is the bottleneck's cumulative busy fraction.
+	MetricUtilization = Metric{
+		Name:    "utilization",
+		Extract: func(r experiment.Result) float64 { return r.Utilization },
+	}
+	// MetricTimeouts is the RTO count summed over all flows.
+	MetricTimeouts = Metric{
+		Name:    "timeouts",
+		Extract: func(r experiment.Result) float64 { return float64(r.Totals.Timeouts) },
+	}
+	// MetricFairness is Jain's fairness index over per-flow goodputs:
+	// (Σx)² / (n·Σx²), 1.0 when all flows share equally, 1/n when one
+	// flow starves the rest. All-zero throughputs are an equal (if empty)
+	// share and score 1, so starvation is never conflated with "no data
+	// moved"; a cell with no flows scores 0.
+	MetricFairness = Metric{
+		Name: "fairness",
+		Extract: func(r experiment.Result) float64 {
+			var sum, sumsq float64
+			for _, tp := range r.FlowThroughputs {
+				x := float64(tp)
+				sum += x
+				sumsq += x * x
+			}
+			n := float64(len(r.FlowThroughputs))
+			if n == 0 {
+				return 0
+			}
+			if sumsq == 0 {
+				return 1
+			}
+			return sum * sum / (n * sumsq)
+		},
+	}
+	// MetricCollapses counts send-stall-induced cwnd collapses (Web100
+	// LocalCongCwnd) over all flows — the failure mode restricted
+	// slow-start exists to eliminate.
+	MetricCollapses = Metric{
+		Name:    "collapses",
+		Extract: func(r experiment.Result) float64 { return float64(r.Totals.Collapses) },
+	}
+	// MetricTimeToUtil90 is the virtual time, in seconds, at which the
+	// bottleneck's cumulative utilization first reached 90% — a ramp-speed
+	// figure of merit for slow-start schemes. Runs that never get there
+	// score the full run duration.
+	MetricTimeToUtil90 = Metric{
+		Name: "t90_util_s",
+		Extract: func(r experiment.Result) float64 {
+			if r.Rec != nil {
+				for _, p := range r.Rec.Series("util").Points {
+					if p.V >= 0.9 {
+						return p.T.Seconds()
+					}
+				}
+			}
+			return r.Duration.Seconds()
+		},
+	}
+)
+
+// StockMetrics returns the default metric set — the six summaries the legacy
+// grid engine reported per cell, in the legacy column order.
+func StockMetrics() []Metric {
+	return []Metric{
+		MetricThroughputMbps, MetricStalls, MetricCongSignals,
+		MetricRouterDrops, MetricInjectedDrops, MetricUtilization,
+	}
+}
+
+// Metrics lists every registered metric, stock set first.
+func Metrics() []Metric {
+	return []Metric{
+		MetricThroughputMbps, MetricStalls, MetricCongSignals,
+		MetricRouterDrops, MetricInjectedDrops, MetricUtilization,
+		MetricTimeouts, MetricFairness, MetricCollapses, MetricTimeToUtil90,
+	}
+}
+
+// MetricNames lists the registered metric names, sorted.
+func MetricNames() []string {
+	ms := Metrics()
+	names := make([]string, len(ms))
+	for i, m := range ms {
+		names[i] = m.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MetricsByName resolves registered metrics in the order requested — the
+// CLI's -metrics flag selects and orders output columns with it.
+func MetricsByName(names ...string) ([]Metric, error) {
+	byName := map[string]Metric{}
+	for _, m := range Metrics() {
+		byName[m.Name] = m
+	}
+	out := make([]Metric, 0, len(names))
+	for _, n := range names {
+		m, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("campaign: unknown metric %q (known: %s)",
+				n, strings.Join(MetricNames(), ", "))
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

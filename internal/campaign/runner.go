@@ -30,9 +30,10 @@ func (o Options) workers() int {
 // DefaultWorkers is the pool size used when Options.Workers is zero.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
-// Run is one replicate's raw outcome. Throughput and utilization are summed
-// and averaged over the cell's flows respectively; queue drops are
-// scenario-global.
+// Run is one replicate's stock scalar record. Throughput and event counters
+// are summed over the cell's flows; queue drops and utilization are
+// scenario-global. Every replicate carries these regardless of the plan's
+// metric selection, so raw exports stay self-describing.
 type Run struct {
 	Replicate int    `json:"replicate"`
 	Seed      uint64 `json:"seed"`
@@ -46,26 +47,35 @@ type Run struct {
 	Utilization   float64 `json:"utilization"`
 }
 
-// Execute runs every cell of the grid, replicated and aggregated. It is the
-// package's entry point.
-func Execute(g Grid, opts Options) (*Result, error) {
-	g = g.withDefaults()
-	if err := g.Validate(); err != nil {
+// Replicate is one finished run of a plan cell: the stock scalar record plus
+// the plan's metric values, in plan-metric order.
+type Replicate struct {
+	Run
+	// Values holds one extracted value per plan metric.
+	Values []float64 `json:"values"`
+}
+
+// ExecutePlan runs every cell of the plan's axis product, replicated on a
+// bounded worker pool, and summarizes the plan's metrics per cell. It is the
+// engine's entry point; Execute routes legacy grids through it.
+func ExecutePlan(p Plan, opts Options) (*Report, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	cells := g.Cells()
-	total := len(cells) * g.Replicates
+	cells := p.Cells()
+	total := len(cells) * p.Replicates
 
 	type job struct{ cell, rep int }
 	jobs := make(chan job)
 	// runs[cell][rep] and errs[cell][rep] are each written by exactly
 	// one worker, so the only shared state below is the channel, the
 	// wait group, and the progress counter.
-	runs := make([][]Run, len(cells))
+	runs := make([][]Replicate, len(cells))
 	errs := make([][]error, len(cells))
 	for i := range runs {
-		runs[i] = make([]Run, g.Replicates)
-		errs[i] = make([]error, g.Replicates)
+		runs[i] = make([]Replicate, p.Replicates)
+		errs[i] = make([]error, p.Replicates)
 	}
 
 	var (
@@ -79,7 +89,7 @@ func Execute(g Grid, opts Options) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				r, err := runReplicate(g, cells[j.cell], j.rep)
+				r, err := runReplicate(p, cells[j.cell], j.rep)
 				if err != nil {
 					errs[j.cell][j.rep] = err
 				} else {
@@ -95,7 +105,7 @@ func Execute(g Grid, opts Options) (*Result, error) {
 		}()
 	}
 	for c := range cells {
-		for rep := 0; rep < g.Replicates; rep++ {
+		for rep := 0; rep < p.Replicates; rep++ {
 			jobs <- job{c, rep}
 		}
 	}
@@ -108,39 +118,61 @@ func Execute(g Grid, opts Options) (*Result, error) {
 		for rep, err := range cellErrs {
 			if err != nil {
 				return nil, fmt.Errorf("campaign: cell %d (%s) replicate %d: %w",
-					i, cells[i].Key(), rep, err)
+					i, cells[i].Key, rep, err)
 			}
 		}
 	}
 
-	res := &Result{Grid: g, Cells: make([]CellResult, len(cells))}
+	rep := &Report{Plan: p, Cells: make([]ReportCell, len(cells))}
 	for i, cell := range cells {
-		res.Cells[i] = aggregate(cell, runs[i])
+		rep.Cells[i] = aggregateCell(p, cell, runs[i])
 	}
-	return res, nil
+	return rep, nil
 }
 
-// runReplicate builds and runs one simulation and condenses it to a Run.
-func runReplicate(g Grid, c Cell, rep int) (Run, error) {
-	cfg := g.Config(c, rep)
+// runReplicate builds and runs one simulation, condenses it to the stock
+// scalars, and extracts the plan's metrics.
+func runReplicate(p Plan, c PlanCell, rep int) (Replicate, error) {
+	cfg := p.Config(c, rep)
 	s, err := experiment.Build(cfg)
 	if err != nil {
-		return Run{}, err
+		return Replicate{}, err
 	}
-	first := s.Run()
-	out := Run{
-		Replicate:     rep,
-		Seed:          cfg.Seed,
-		RouterDrops:   first.RouterDrops,
-		InjectedDrops: first.InjectedDrops,
-		Utilization:   first.Utilization,
+	res := s.Run()
+	out := Replicate{
+		Run: Run{
+			Replicate:     rep,
+			Seed:          cfg.Seed,
+			Stalls:        res.Totals.Stalls,
+			CongSignals:   res.Totals.CongSignals,
+			Timeouts:      res.Totals.Timeouts,
+			RouterDrops:   res.RouterDrops,
+			InjectedDrops: res.InjectedDrops,
+			Utilization:   res.Utilization,
+		},
+		Values: make([]float64, len(p.Metrics)),
 	}
-	for i := 0; i < c.Flows; i++ {
-		r := s.ResultFor(i)
-		out.ThroughputBps += float64(r.Throughput)
-		out.Stalls += r.Stalls
-		out.CongSignals += r.Stats.CongSignals
-		out.Timeouts += r.Stats.Timeouts
+	for _, tp := range res.FlowThroughputs {
+		out.ThroughputBps += float64(tp)
+	}
+	for i, m := range p.Metrics {
+		out.Values[i] = m.Extract(res)
 	}
 	return out, nil
+}
+
+// Execute runs a legacy grid campaign: the grid is compiled to stock axes
+// (Grid.Plan) and executed by the generic engine, then the report is folded
+// back into the legacy Result shape. Output is byte-identical to the
+// original fixed-field engine — see TestGridGoldenOutput.
+func Execute(g Grid, opts Options) (*Result, error) {
+	g = g.withDefaults()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	rep, err := ExecutePlan(g.Plan(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return legacyResult(g, rep)
 }

@@ -1,0 +1,626 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"rsstcp/internal/experiment"
+	"rsstcp/internal/unit"
+)
+
+// This file defines the stock axes: typed constructors for every dimension
+// the engine knows how to sweep out of the box, plus a name registry so axes
+// can be built from untyped values (NewAxis) or command-line strings
+// (ParseAxis) without touching the engine.
+//
+// The first seven (bw, rtt, rq, ifq, loss, alg, flows) are the legacy Grid
+// fields; their labels reproduce the Grid cell-key format exactly, which is
+// what keeps grid-compiled plans byte-identical to the PR-1 engine. The rest
+// (setpoint, tick, mss, sack, nic, matchup, bytes) are new dimensions the
+// fixed Grid could never express.
+
+// Stock-axis semantic constraints around "matchup", which replaces the
+// whole flow list. Plan.Validate enforces both:
+//
+//   - matchupHardConflicts can never share a plan with matchup: whichever
+//     of alg/flows applies later clobbers the other's mutation, so some
+//     cell labels would lie about what ran.
+//   - perFlowAxes mutate fields of the existing flows, so they compose
+//     with matchup only when they come after it (matchup first builds the
+//     flow list, then per-flow axes decorate it); the other order silently
+//     discards their values.
+var (
+	matchupHardConflicts = []string{"alg", "flows"}
+	perFlowAxes          = []string{"setpoint", "tick", "mss", "sack", "bytes"}
+)
+
+// legacyAxisNames are the seven grid dimensions, exported order.
+var legacyAxisNames = []string{"bw", "rtt", "rq", "ifq", "loss", "alg", "flows"}
+
+// IsLegacyAxis reports whether name is one of the seven grid dimensions
+// (useful to CLIs that must reconcile grid flags with generic axis flags).
+func IsLegacyAxis(name string) bool {
+	for _, n := range legacyAxisNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// eachFlow applies f to every flow of the config, materializing one default
+// flow first if none exist, so per-flow axes compose in any order.
+func eachFlow(cfg *experiment.Config, f func(*experiment.FlowSpec)) {
+	if len(cfg.Flows) == 0 {
+		cfg.Flows = []experiment.FlowSpec{{}}
+	}
+	for i := range cfg.Flows {
+		f(&cfg.Flows[i])
+	}
+}
+
+// AxisBandwidths sweeps the bottleneck rate ("bw").
+func AxisBandwidths(vs ...unit.Bandwidth) Axis {
+	a := Axis{Name: "bw"}
+	for _, v := range vs {
+		v := v
+		if v <= 0 {
+			a.fail("non-positive bandwidth %v", v)
+		}
+		a.Values = append(a.Values, Val(v.String(), func(cfg *experiment.Config) {
+			cfg.Path.Bottleneck = v
+		}))
+	}
+	return a
+}
+
+// AxisRTTs sweeps the round-trip propagation delay ("rtt").
+func AxisRTTs(vs ...time.Duration) Axis {
+	a := Axis{Name: "rtt"}
+	for _, v := range vs {
+		v := v
+		if v <= 0 {
+			a.fail("non-positive RTT %v", v)
+		}
+		a.Values = append(a.Values, Val(v.String(), func(cfg *experiment.Config) {
+			cfg.Path.RTT = v
+		}))
+	}
+	return a
+}
+
+// AxisRouterQueues sweeps the bottleneck buffer in packets ("rq").
+func AxisRouterQueues(vs ...int) Axis {
+	a := Axis{Name: "rq"}
+	for _, v := range vs {
+		v := v
+		if v <= 0 {
+			a.fail("non-positive router queue %d", v)
+		}
+		a.Values = append(a.Values, Val(strconv.Itoa(v), func(cfg *experiment.Config) {
+			cfg.Path.RouterQueue = v
+		}))
+	}
+	return a
+}
+
+// AxisTxQueueLens sweeps the sender IFQ capacity in packets ("ifq").
+func AxisTxQueueLens(vs ...int) Axis {
+	a := Axis{Name: "ifq"}
+	for _, v := range vs {
+		v := v
+		if v <= 0 {
+			a.fail("non-positive txqueuelen %d", v)
+		}
+		a.Values = append(a.Values, Val(strconv.Itoa(v), func(cfg *experiment.Config) {
+			cfg.Path.TxQueueLen = v
+		}))
+	}
+	return a
+}
+
+// AxisLossRates sweeps the bottleneck-ingress drop probability ("loss").
+func AxisLossRates(vs ...float64) Axis {
+	a := Axis{Name: "loss"}
+	for _, v := range vs {
+		v := v
+		if v < 0 || v >= 1 {
+			a.fail("loss rate %g outside [0, 1)", v)
+		}
+		a.Values = append(a.Values, Val(fmt.Sprintf("%g", v), func(cfg *experiment.Config) {
+			cfg.Path.Loss = v
+		}))
+	}
+	return a
+}
+
+// AxisAlgorithms sweeps the slow-start scheme, applied to every flow
+// ("alg").
+func AxisAlgorithms(vs ...experiment.Algorithm) Axis {
+	a := Axis{Name: "alg"}
+	for _, v := range vs {
+		v := v
+		if !knownAlg(v) {
+			a.fail("unknown algorithm %q", v)
+		}
+		a.Values = append(a.Values, Val(string(v), func(cfg *experiment.Config) {
+			eachFlow(cfg, func(f *experiment.FlowSpec) { f.Alg = v })
+		}))
+	}
+	return a
+}
+
+// AxisFlowCounts sweeps the number of concurrent flows ("flows"): the first
+// flow spec (default if none) is replicated n times, each on its own host.
+func AxisFlowCounts(vs ...int) Axis {
+	a := Axis{Name: "flows"}
+	for _, v := range vs {
+		v := v
+		if v <= 0 {
+			a.fail("non-positive flow count %d", v)
+		}
+		a.Values = append(a.Values, Val(strconv.Itoa(v), func(cfg *experiment.Config) {
+			base := experiment.FlowSpec{}
+			if len(cfg.Flows) > 0 {
+				base = cfg.Flows[0]
+			}
+			flows := make([]experiment.FlowSpec, v)
+			for i := range flows {
+				flows[i] = base
+			}
+			cfg.Flows = flows
+		}))
+	}
+	return a
+}
+
+// AxisSetpoints sweeps the RSS IFQ set-point fraction on every flow
+// ("setpoint"). Only AlgRestricted flows consume it.
+func AxisSetpoints(vs ...float64) Axis {
+	a := Axis{Name: "setpoint"}
+	for _, v := range vs {
+		v := v
+		if v <= 0 || v > 1 {
+			a.fail("set point %g outside (0, 1]", v)
+		}
+		a.Values = append(a.Values, Val(fmt.Sprintf("%g", v), func(cfg *experiment.Config) {
+			eachFlow(cfg, func(f *experiment.FlowSpec) { f.SetpointFraction = v })
+		}))
+	}
+	return a
+}
+
+// AxisTicks sweeps the RSS control period on every flow ("tick").
+func AxisTicks(vs ...time.Duration) Axis {
+	a := Axis{Name: "tick"}
+	for _, v := range vs {
+		v := v
+		if v <= 0 {
+			a.fail("non-positive tick %v", v)
+		}
+		a.Values = append(a.Values, Val(v.String(), func(cfg *experiment.Config) {
+			eachFlow(cfg, func(f *experiment.FlowSpec) { f.Tick = v })
+		}))
+	}
+	return a
+}
+
+// AxisMSS sweeps the segment size on every flow ("mss").
+func AxisMSS(vs ...int) Axis {
+	a := Axis{Name: "mss"}
+	for _, v := range vs {
+		v := v
+		if v <= 0 {
+			a.fail("non-positive MSS %d", v)
+		}
+		a.Values = append(a.Values, Val(strconv.Itoa(v), func(cfg *experiment.Config) {
+			eachFlow(cfg, func(f *experiment.FlowSpec) { f.MSS = v })
+		}))
+	}
+	return a
+}
+
+// AxisSACK sweeps selective acknowledgments on/off on every flow ("sack").
+func AxisSACK(vs ...bool) Axis {
+	a := Axis{Name: "sack"}
+	for _, v := range vs {
+		v := v
+		a.Values = append(a.Values, Val(strconv.FormatBool(v), func(cfg *experiment.Config) {
+			eachFlow(cfg, func(f *experiment.FlowSpec) { f.SACK = v })
+		}))
+	}
+	return a
+}
+
+// AxisNICRates sweeps the sender NIC line rate ("nic"); zero means "equal to
+// the bottleneck" and is not a sweepable value here.
+func AxisNICRates(vs ...unit.Bandwidth) Axis {
+	a := Axis{Name: "nic"}
+	for _, v := range vs {
+		v := v
+		if v <= 0 {
+			a.fail("non-positive NIC rate %v", v)
+		}
+		a.Values = append(a.Values, Val(v.String(), func(cfg *experiment.Config) {
+			cfg.Path.NICRate = v
+		}))
+	}
+	return a
+}
+
+// AxisMatchups sweeps mixed-algorithm contests ("matchup"): each value is a
+// set of algorithms that replaces the flow list with one flow per algorithm,
+// all sharing the bottleneck (e.g. standard vs restricted head-to-head).
+// Labels join the algorithms with '+'. Plan.Validate rejects plans that
+// combine matchup with the alg or flows axes, whose mutators it would
+// clobber.
+func AxisMatchups(vs ...[]experiment.Algorithm) Axis {
+	a := Axis{Name: "matchup"}
+	for _, algs := range vs {
+		algs := append([]experiment.Algorithm(nil), algs...)
+		if len(algs) == 0 {
+			a.fail("empty algorithm set")
+		}
+		for _, al := range algs {
+			if !knownAlg(al) {
+				a.fail("unknown algorithm %q", al)
+			}
+		}
+		parts := make([]string, len(algs))
+		for i, al := range algs {
+			parts[i] = string(al)
+		}
+		a.Values = append(a.Values, Val(strings.Join(parts, "+"), func(cfg *experiment.Config) {
+			flows := make([]experiment.FlowSpec, len(algs))
+			for i, al := range algs {
+				flows[i] = experiment.FlowSpec{Alg: al}
+			}
+			cfg.Flows = flows
+		}))
+	}
+	return a
+}
+
+// AxisBytes sweeps the workload shape ("bytes"): a fixed transfer size per
+// flow, with 0 meaning backlogged for the whole run.
+func AxisBytes(vs ...int64) Axis {
+	a := Axis{Name: "bytes"}
+	for _, v := range vs {
+		v := v
+		if v < 0 {
+			a.fail("negative transfer size %d", v)
+		}
+		a.Values = append(a.Values, Val(strconv.FormatInt(v, 10), func(cfg *experiment.Config) {
+			eachFlow(cfg, func(f *experiment.FlowSpec) { f.Bytes = v })
+		}))
+	}
+	return a
+}
+
+// axisSpec adapts one stock axis to untyped and string-typed construction.
+type axisSpec struct {
+	// help is a one-line usage hint (value syntax) for CLIs.
+	help string
+	// fromAny converts one value of any supported Go type; strings fall
+	// back to fromString.
+	fromAny func(v any) (Axis, error)
+	// fromString parses one CLI token.
+	fromString func(s string) (Axis, error)
+}
+
+// knownAlg reports whether a is a selectable algorithm.
+func knownAlg(a experiment.Algorithm) bool {
+	for _, k := range experiment.Algorithms() {
+		if a == k {
+			return true
+		}
+	}
+	return false
+}
+
+// parseAlgs validates a list of algorithm names.
+func parseAlgs(names []string) ([]experiment.Algorithm, error) {
+	out := make([]experiment.Algorithm, len(names))
+	for i, n := range names {
+		a := experiment.Algorithm(n)
+		if !knownAlg(a) {
+			return nil, fmt.Errorf("unknown algorithm %q", n)
+		}
+		out[i] = a
+	}
+	return out, nil
+}
+
+func specBandwidth(name string, build func(...unit.Bandwidth) Axis) axisSpec {
+	fromString := func(s string) (Axis, error) {
+		mbps, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Axis{}, fmt.Errorf("%s: want a rate in Mbps, got %q", name, s)
+		}
+		return build(unit.Bandwidth(mbps * float64(unit.Mbps))), nil
+	}
+	return axisSpec{
+		help: "rate in Mbps (e.g. 100)",
+		fromAny: func(v any) (Axis, error) {
+			switch x := v.(type) {
+			case unit.Bandwidth:
+				return build(x), nil
+			case int:
+				return build(unit.Bandwidth(x) * unit.Mbps), nil
+			case float64:
+				return build(unit.Bandwidth(x * float64(unit.Mbps))), nil
+			case string:
+				return fromString(x)
+			default:
+				return Axis{}, fmt.Errorf("%s: want unit.Bandwidth, int/float Mbps or string, got %T", name, v)
+			}
+		},
+		fromString: fromString,
+	}
+}
+
+func specDuration(name string, build func(...time.Duration) Axis) axisSpec {
+	fromString := func(s string) (Axis, error) {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			return Axis{}, fmt.Errorf("%s: bad duration %q: %v", name, s, err)
+		}
+		return build(d), nil
+	}
+	return axisSpec{
+		help: "duration (e.g. 60ms)",
+		fromAny: func(v any) (Axis, error) {
+			switch x := v.(type) {
+			case time.Duration:
+				return build(x), nil
+			case string:
+				return fromString(x)
+			default:
+				return Axis{}, fmt.Errorf("%s: want time.Duration or string, got %T", name, v)
+			}
+		},
+		fromString: fromString,
+	}
+}
+
+func specInt(name, help string, build func(...int) Axis) axisSpec {
+	fromString := func(s string) (Axis, error) {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			return Axis{}, fmt.Errorf("%s: bad integer %q", name, s)
+		}
+		return build(n), nil
+	}
+	return axisSpec{
+		help: help,
+		fromAny: func(v any) (Axis, error) {
+			switch x := v.(type) {
+			case int:
+				return build(x), nil
+			case string:
+				return fromString(x)
+			default:
+				return Axis{}, fmt.Errorf("%s: want int or string, got %T", name, v)
+			}
+		},
+		fromString: fromString,
+	}
+}
+
+func specFloat(name, help string, build func(...float64) Axis) axisSpec {
+	fromString := func(s string) (Axis, error) {
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Axis{}, fmt.Errorf("%s: bad number %q", name, s)
+		}
+		return build(f), nil
+	}
+	return axisSpec{
+		help: help,
+		fromAny: func(v any) (Axis, error) {
+			switch x := v.(type) {
+			case float64:
+				return build(x), nil
+			case int:
+				return build(float64(x)), nil
+			case string:
+				return fromString(x)
+			default:
+				return Axis{}, fmt.Errorf("%s: want float or string, got %T", name, v)
+			}
+		},
+		fromString: fromString,
+	}
+}
+
+var stockAxes = map[string]axisSpec{
+	"bw":  specBandwidth("bw", AxisBandwidths),
+	"rtt": specDuration("rtt", AxisRTTs),
+	"rq":  specInt("rq", "router queue in packets", AxisRouterQueues),
+	"ifq": specInt("ifq", "txqueuelen in packets", AxisTxQueueLens),
+	"loss": specFloat("loss", "drop probability in [0,1)", func(vs ...float64) Axis {
+		return AxisLossRates(vs...)
+	}),
+	"alg": {
+		help: "algorithm name (standard, restricted, ...)",
+		fromAny: func(v any) (Axis, error) {
+			switch x := v.(type) {
+			case experiment.Algorithm:
+				return axisFromAlgs([]string{string(x)})
+			case string:
+				return axisFromAlgs([]string{x})
+			default:
+				return Axis{}, fmt.Errorf("alg: want experiment.Algorithm or string, got %T", v)
+			}
+		},
+		fromString: func(s string) (Axis, error) { return axisFromAlgs([]string{s}) },
+	},
+	"flows": specInt("flows", "concurrent flow count", AxisFlowCounts),
+	"setpoint": specFloat("setpoint", "IFQ set-point fraction in (0,1]", func(vs ...float64) Axis {
+		return AxisSetpoints(vs...)
+	}),
+	"tick": specDuration("tick", AxisTicks),
+	"mss":  specInt("mss", "segment size in bytes", AxisMSS),
+	"sack": {
+		help: "true or false",
+		fromAny: func(v any) (Axis, error) {
+			switch x := v.(type) {
+			case bool:
+				return AxisSACK(x), nil
+			case string:
+				b, err := strconv.ParseBool(x)
+				if err != nil {
+					return Axis{}, fmt.Errorf("sack: bad bool %q", x)
+				}
+				return AxisSACK(b), nil
+			default:
+				return Axis{}, fmt.Errorf("sack: want bool or string, got %T", v)
+			}
+		},
+		fromString: func(s string) (Axis, error) {
+			b, err := strconv.ParseBool(s)
+			if err != nil {
+				return Axis{}, fmt.Errorf("sack: bad bool %q", s)
+			}
+			return AxisSACK(b), nil
+		},
+	},
+	"nic": specBandwidth("nic", AxisNICRates),
+	"matchup": {
+		help: "algorithms joined with '+' (e.g. standard+restricted)",
+		fromAny: func(v any) (Axis, error) {
+			switch x := v.(type) {
+			case []experiment.Algorithm:
+				names := make([]string, len(x))
+				for i, a := range x {
+					names[i] = string(a)
+				}
+				return axisFromMatchup(names)
+			case string:
+				return axisFromMatchup(strings.Split(x, "+"))
+			default:
+				return Axis{}, fmt.Errorf("matchup: want []experiment.Algorithm or string, got %T", v)
+			}
+		},
+		fromString: func(s string) (Axis, error) { return axisFromMatchup(strings.Split(s, "+")) },
+	},
+	"bytes": {
+		help: "transfer size in bytes (0 = backlogged)",
+		fromAny: func(v any) (Axis, error) {
+			switch x := v.(type) {
+			case int64:
+				return AxisBytes(x), nil
+			case int:
+				return AxisBytes(int64(x)), nil
+			case string:
+				n, err := strconv.ParseInt(x, 10, 64)
+				if err != nil {
+					return Axis{}, fmt.Errorf("bytes: bad integer %q", x)
+				}
+				return AxisBytes(n), nil
+			default:
+				return Axis{}, fmt.Errorf("bytes: want int64, int or string, got %T", v)
+			}
+		},
+		fromString: func(s string) (Axis, error) {
+			n, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return Axis{}, fmt.Errorf("bytes: bad integer %q", s)
+			}
+			return AxisBytes(n), nil
+		},
+	},
+}
+
+func axisFromAlgs(names []string) (Axis, error) {
+	algs, err := parseAlgs(names)
+	if err != nil {
+		return Axis{}, err
+	}
+	return AxisAlgorithms(algs...), nil
+}
+
+func axisFromMatchup(names []string) (Axis, error) {
+	algs, err := parseAlgs(names)
+	if err != nil {
+		return Axis{}, err
+	}
+	if len(algs) == 0 {
+		return Axis{}, fmt.Errorf("matchup: empty algorithm set")
+	}
+	return AxisMatchups(algs), nil
+}
+
+// StockAxisNames lists the registered stock axis names, sorted.
+func StockAxisNames() []string {
+	names := make([]string, 0, len(stockAxes))
+	for n := range stockAxes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AxisHelp returns the one-line value-syntax hint for a stock axis name.
+func AxisHelp(name string) string {
+	if spec, ok := stockAxes[name]; ok {
+		return spec.help
+	}
+	return ""
+}
+
+// NewAxis builds a stock axis from loosely typed values: native Go types
+// (unit.Bandwidth, time.Duration, int, float64, bool, Algorithm, ...) or
+// their string forms, freely mixed. It is the dispatcher behind the facade's
+// Sweep(name, values...) builder.
+func NewAxis(name string, values ...any) (Axis, error) {
+	spec, ok := stockAxes[name]
+	if !ok {
+		return Axis{}, fmt.Errorf("campaign: unknown axis %q (stock axes: %s)",
+			name, strings.Join(StockAxisNames(), ", "))
+	}
+	if len(values) == 0 {
+		return Axis{}, fmt.Errorf("campaign: axis %q: no values", name)
+	}
+	out := Axis{Name: name}
+	for _, v := range values {
+		a, err := spec.fromAny(v)
+		if err != nil {
+			return Axis{}, fmt.Errorf("campaign: axis %q: %v", name, err)
+		}
+		if a.err != nil {
+			return Axis{}, a.err // already prefixed by Axis.fail
+		}
+		out.Values = append(out.Values, a.Values...)
+	}
+	return out, nil
+}
+
+// ParseAxis builds a stock axis from command-line string tokens — the same
+// registry as NewAxis, restricted to string parsing. CLIs use it so new
+// sweep dimensions need no campaign-internal edits.
+func ParseAxis(name string, raw []string) (Axis, error) {
+	spec, ok := stockAxes[name]
+	if !ok {
+		return Axis{}, fmt.Errorf("campaign: unknown axis %q (stock axes: %s)",
+			name, strings.Join(StockAxisNames(), ", "))
+	}
+	if len(raw) == 0 {
+		return Axis{}, fmt.Errorf("campaign: axis %q: no values", name)
+	}
+	out := Axis{Name: name}
+	for _, s := range raw {
+		a, err := spec.fromString(strings.TrimSpace(s))
+		if err != nil {
+			return Axis{}, fmt.Errorf("campaign: axis %q: %v", name, err)
+		}
+		if a.err != nil {
+			return Axis{}, a.err // already prefixed by Axis.fail
+		}
+		out.Values = append(out.Values, a.Values...)
+	}
+	return out, nil
+}

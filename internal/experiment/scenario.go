@@ -195,6 +195,14 @@ type Scenario struct {
 	drops      int64
 	hosts      map[int]*host.Interface           // shared NICs by FlowSpec.Host
 	rssByHost  map[int]*core.RestrictedSlowStart // shared controllers by FlowSpec.Host
+
+	// Cross-flow aggregate cache, keyed by the virtual time it was
+	// computed at, so repeated ResultFor calls after a run stay O(flows)
+	// total instead of O(flows²).
+	aggAt     sim.Time
+	aggValid  bool
+	aggTps    []unit.Bandwidth
+	aggTotals Totals
 }
 
 // demux routes segments to per-flow receivers.
@@ -241,6 +249,12 @@ func Build(cfg Config) (*Scenario, error) {
 		}
 		s.Flows = append(s.Flows, flow)
 	}
+
+	// Scenario-global gauge: cumulative bottleneck utilization, sampled so
+	// time-to-threshold metrics can read the ramp from the recorder.
+	rec.Gauge("util", func() float64 {
+		return s.Bottleneck.Utilization(eng.Now())
+	})
 	return s, nil
 }
 
@@ -358,6 +372,22 @@ func buildController(s *Scenario, spec FlowSpec, nic *host.Interface, flow *Flow
 	}
 }
 
+// Totals aggregates counters over every flow of the scenario; the rest of
+// Result describes one flow (plus path-global gauges like Utilization).
+// Campaign metrics read these so multi-flow cells summarize without
+// re-walking the scenario.
+type Totals struct {
+	// Stalls is the send-stall count summed over all flows.
+	Stalls int64
+	// CongSignals is the congestion-episode count summed over all flows.
+	CongSignals int64
+	// Timeouts is the RTO count summed over all flows.
+	Timeouts int64
+	// Collapses counts send-stall-induced cwnd collapses (Web100
+	// LocalCongCwnd) summed over all flows — the paper's failure mode.
+	Collapses int64
+}
+
 // Result summarizes the measured (first) flow after a run.
 type Result struct {
 	Alg         Algorithm
@@ -370,6 +400,12 @@ type Result struct {
 	// InjectedDrops counts segments discarded by the Path.Loss injector.
 	InjectedDrops int64
 	Duration      time.Duration
+	// FlowThroughputs lists every flow's goodput in Flows order (the
+	// measured flow is entry 0), enabling cross-flow metrics such as
+	// Jain's fairness index.
+	FlowThroughputs []unit.Bandwidth
+	// Totals aggregates event counters over all flows.
+	Totals Totals
 	// Series exposes the recorder for figure generation.
 	Rec *trace.Recorder
 }
@@ -390,18 +426,41 @@ func (s *Scenario) resultFor(i int) Result {
 	if s.loss != nil {
 		injected = s.loss.Dropped()
 	}
+	tps, totals := s.flowAggregates(now)
 	return Result{
-		Alg:           f.Spec.Alg,
-		Stats:         st,
-		Throughput:    st.Throughput(now),
-		Stalls:        f.Stalls.Value(),
-		NIC:           f.NIC.Stats(),
-		Utilization:   s.Bottleneck.Utilization(now),
-		RouterDrops:   s.drops,
-		InjectedDrops: injected,
-		Duration:      now.Duration(),
-		Rec:           s.Rec,
+		Alg:             f.Spec.Alg,
+		Stats:           st,
+		Throughput:      st.Throughput(now),
+		Stalls:          f.Stalls.Value(),
+		NIC:             f.NIC.Stats(),
+		Utilization:     s.Bottleneck.Utilization(now),
+		RouterDrops:     s.drops,
+		InjectedDrops:   injected,
+		Duration:        now.Duration(),
+		FlowThroughputs: tps,
+		Totals:          totals,
+		Rec:             s.Rec,
 	}
+}
+
+// flowAggregates computes (and caches per virtual time) the cross-flow
+// throughput list and counter totals. The returned slice is a copy, so
+// callers may keep or mutate it freely.
+func (s *Scenario) flowAggregates(now sim.Time) ([]unit.Bandwidth, Totals) {
+	if !s.aggValid || s.aggAt != now {
+		tps := make([]unit.Bandwidth, len(s.Flows))
+		var totals Totals
+		for j, fl := range s.Flows {
+			fst := fl.Sender.Stats().Snapshot(now)
+			tps[j] = fst.Throughput(now)
+			totals.Stalls += fl.Stalls.Value()
+			totals.CongSignals += fst.CongSignals
+			totals.Timeouts += fst.Timeouts
+			totals.Collapses += fst.LocalCongCwnd
+		}
+		s.aggTps, s.aggTotals, s.aggAt, s.aggValid = tps, totals, now, true
+	}
+	return append([]unit.Bandwidth(nil), s.aggTps...), s.aggTotals
 }
 
 // ResultFor summarizes any flow by index (after Run).

@@ -18,6 +18,16 @@
 //		Flows: []rsstcp.Flow{{Alg: rsstcp.Restricted}},
 //	})
 //	fmt.Println(res.Throughput, res.Stalls)
+//
+// Parameter sweeps compose from generic axes and pluggable metrics (see
+// NewCampaign); the fixed-field Grid remains as a shorthand for the classic
+// seven-dimension sweep:
+//
+//	rep, err := rsstcp.NewCampaign(
+//		rsstcp.Sweep("setpoint", 0.5, 0.7, 0.9),
+//		rsstcp.Sweep("alg", rsstcp.Restricted),
+//		rsstcp.Measure(rsstcp.MetricThroughput, rsstcp.MetricFairness),
+//	).Run(rsstcp.CampaignOptions{})
 package rsstcp
 
 import (

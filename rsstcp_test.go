@@ -1,11 +1,69 @@
 package rsstcp_test
 
 import (
+	"fmt"
+	"log"
 	"testing"
 	"time"
 
 	"rsstcp"
 )
+
+// ExampleRun is the godoc quick start: one restricted-slow-start flow on the
+// paper's Section 4 path. Restricted slow-start exists to eliminate
+// send-stalls, so the measured flow reports zero.
+func ExampleRun() {
+	res, err := rsstcp.Run(rsstcp.Options{
+		Path:     rsstcp.PaperPath(),
+		Flows:    []rsstcp.Flow{{Alg: rsstcp.Restricted}},
+		Duration: 2 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("alg=%s stalls=%d moving-data=%v\n", res.Alg, res.Stalls, res.Throughput > 0)
+	// Output: alg=restricted stalls=0 moving-data=true
+}
+
+// ExampleRunCampaign sweeps the legacy fixed-field grid: algorithms × RTTs,
+// with cells in canonical order and parameter-derived keys.
+func ExampleRunCampaign() {
+	res, err := rsstcp.RunCampaign(rsstcp.Grid{
+		RTTs:       []time.Duration{20 * time.Millisecond, 60 * time.Millisecond},
+		Algorithms: []rsstcp.Algorithm{rsstcp.Restricted},
+		Duration:   time.Second,
+	}, rsstcp.CampaignOptions{Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range res.Cells {
+		fmt.Println(c.Cell.Key())
+	}
+	// Output:
+	// bw=100Mbps/rtt=20ms/rq=250/ifq=100/loss=0/alg=restricted/flows=1
+	// bw=100Mbps/rtt=60ms/rq=250/ifq=100/loss=0/alg=restricted/flows=1
+}
+
+// ExampleNewCampaign composes a sweep the fixed grid cannot express: the
+// RSS set point becomes an axis and fairness a reported metric.
+func ExampleNewCampaign() {
+	rep, err := rsstcp.NewCampaign(
+		rsstcp.Sweep("setpoint", 0.5, 0.9),
+		rsstcp.Sweep("alg", rsstcp.Restricted),
+		rsstcp.Measure(rsstcp.MetricThroughput, rsstcp.MetricFairness),
+		rsstcp.Duration(time.Second),
+	).Run(rsstcp.CampaignOptions{Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range rep.Cells {
+		fair, _ := c.Metric("fairness")
+		fmt.Printf("%s fairness=%.2f\n", c.Key, fair.Mean)
+	}
+	// Output:
+	// setpoint=0.5/alg=restricted fairness=1.00
+	// setpoint=0.9/alg=restricted fairness=1.00
+}
 
 func TestRunQuickstart(t *testing.T) {
 	res, err := rsstcp.Run(rsstcp.Options{
@@ -98,6 +156,85 @@ func TestRunCampaignFacade(t *testing.T) {
 	}
 	if rsstcp.DefaultCampaignWorkers() < 1 {
 		t.Error("DefaultCampaignWorkers < 1")
+	}
+}
+
+func TestNewCampaignBuilder(t *testing.T) {
+	// FromGrid + extra axis + named metrics: the grid's axes carry over
+	// and the new dimension stacks on top.
+	c := rsstcp.NewCampaign(
+		rsstcp.FromGrid(rsstcp.Grid{
+			Algorithms: []rsstcp.Algorithm{rsstcp.Restricted},
+			Duration:   time.Second,
+		}),
+		rsstcp.Sweep("setpoint", 0.5, 0.9),
+		rsstcp.MeasureNamed("throughput_mbps", "t90_util_s"),
+		rsstcp.Replicates(1),
+		rsstcp.BaseSeed(11),
+	)
+	plan, err := c.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Axes) != 8 { // 7 grid axes + setpoint
+		t.Fatalf("axes = %d, want 8", len(plan.Axes))
+	}
+	rep, err := c.Run(rsstcp.CampaignOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(rep.Cells))
+	}
+	for _, cell := range rep.Cells {
+		if len(cell.Metrics) != 2 || cell.Metrics[0].Name != "throughput_mbps" || cell.Metrics[1].Name != "t90_util_s" {
+			t.Errorf("cell %s metrics = %+v, want the two selected columns in order", cell.Key, cell.Metrics)
+		}
+		if thr, _ := cell.Metric("throughput_mbps"); thr.Mean <= 0 {
+			t.Errorf("cell %s made no progress", cell.Key)
+		}
+	}
+}
+
+func TestFromGridKeepsEarlierKnobs(t *testing.T) {
+	// A zero grid field must not clobber a knob set by an earlier option.
+	plan, err := rsstcp.NewCampaign(
+		rsstcp.Replicates(5),
+		rsstcp.Duration(2*time.Second),
+		rsstcp.FromGrid(rsstcp.Grid{Algorithms: []rsstcp.Algorithm{rsstcp.Standard}}),
+	).Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Replicates != 5 || plan.Duration != 2*time.Second {
+		t.Errorf("grid defaults clobbered earlier options: replicates=%d duration=%v",
+			plan.Replicates, plan.Duration)
+	}
+	// A grid that sets the knobs still wins over earlier options.
+	plan, err = rsstcp.NewCampaign(
+		rsstcp.Replicates(5),
+		rsstcp.FromGrid(rsstcp.Grid{Replicates: 3}),
+	).Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Replicates != 3 {
+		t.Errorf("explicit grid replicates ignored: %d", plan.Replicates)
+	}
+}
+
+func TestNewCampaignBuilderSurfacesErrors(t *testing.T) {
+	if _, err := rsstcp.NewCampaign(rsstcp.Sweep("bogus-axis", 1)).Run(rsstcp.CampaignOptions{}); err == nil {
+		t.Error("unknown axis accepted")
+	}
+	if _, err := rsstcp.NewCampaign(
+		rsstcp.Sweep("setpoint", 0.5),
+		rsstcp.MeasureNamed("bogus-metric"),
+	).Run(rsstcp.CampaignOptions{}); err == nil {
+		t.Error("unknown metric accepted")
+	}
+	if _, err := rsstcp.NewCampaign(rsstcp.Sweep("rtt", "not-a-duration")).Plan(); err == nil {
+		t.Error("bad axis value accepted")
 	}
 }
 
