@@ -1,0 +1,211 @@
+package main
+
+// The -benchjson mode turns rsstcp-bench into a measurement harness: it
+// times the paper-path scenario and a 3-axis campaign, compares against the
+// recorded pre-overhaul baseline, and writes a machine-readable
+// BENCH_campaign.json. CI uploads the file as an artifact so every PR
+// extends the performance trajectory; the committed copy at the repo root
+// is the latest full-length run.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"rsstcp/internal/campaign"
+	"rsstcp/internal/experiment"
+	"rsstcp/internal/unit"
+)
+
+// ScenarioPerf is one scenario's hot-path figures. Per-event figures are
+// duration-insensitive, so short CI smoke runs remain comparable with the
+// full-length baseline.
+type ScenarioPerf struct {
+	Alg           string  `json:"alg"`
+	DurationSim   string  `json:"sim_duration"`
+	Events        uint64  `json:"events_per_run"`
+	WallMs        float64 `json:"wall_ms_per_run"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+	NsPerEvent    float64 `json:"ns_per_event"`
+	AllocsPerRun  uint64  `json:"allocs_per_run"`
+	AllocsPerKEvt float64 `json:"allocs_per_kevent"`
+	BytesPerRun   uint64  `json:"bytes_per_run"`
+}
+
+// CampaignPerf summarizes the 3-axis campaign throughput.
+type CampaignPerf struct {
+	Axes       string  `json:"axes"`
+	Cells      int     `json:"cells"`
+	Replicates int     `json:"replicates"`
+	Runs       int     `json:"runs"`
+	DurationMs float64 `json:"wall_ms"`
+	RunsPerSec float64 `json:"runs_per_sec"`
+}
+
+// BenchReport is the BENCH_campaign.json schema.
+type BenchReport struct {
+	Schema    string         `json:"schema"`
+	Generated string         `json:"generated"`
+	GoVersion string         `json:"go_version"`
+	GOOS      string         `json:"goos"`
+	GOARCH    string         `json:"goarch"`
+	CPUs      int            `json:"cpus"`
+	Baseline  BenchSnapshot  `json:"baseline"`
+	Current   BenchSnapshot  `json:"current"`
+	Speedup   map[string]any `json:"speedup"`
+}
+
+// BenchSnapshot is one measurement epoch: the paper path per algorithm plus
+// the campaign sweep.
+type BenchSnapshot struct {
+	Label     string         `json:"label"`
+	PaperPath []ScenarioPerf `json:"paper_path"`
+	Campaign  CampaignPerf   `json:"campaign"`
+}
+
+// preOverhaulBaseline is the trajectory anchor: measured at commit 5dd424d
+// (before the allocation-free event loop and segment pooling) with this
+// same harness — 25 s paper-path runs, seeds 1..5, and the 2×2×2 bw×rtt×alg
+// campaign below. Per-event figures are what later epochs compare against.
+func preOverhaulBaseline() BenchSnapshot {
+	return BenchSnapshot{
+		Label: "pre-overhaul (PR 2, commit 5dd424d)",
+		PaperPath: []ScenarioPerf{
+			{
+				Alg: "standard", DurationSim: "25s",
+				Events: 570849, WallMs: 243.2,
+				EventsPerSec: 2347000, NsPerEvent: 426.1,
+				AllocsPerRun: 1875701, AllocsPerKEvt: 3285.8, BytesPerRun: 94652147,
+			},
+			{
+				Alg: "restricted", DurationSim: "25s",
+				Events: 717325, WallMs: 300.2,
+				EventsPerSec: 2389496, NsPerEvent: 418.5,
+				AllocsPerRun: 2350964, AllocsPerKEvt: 3277.5, BytesPerRun: 118521352,
+			},
+		},
+		Campaign: CampaignPerf{
+			Axes:  "bw{50,100Mbps} x rtt{30,60ms} x alg{standard,restricted}",
+			Cells: 8, Replicates: 2, Runs: 16,
+			DurationMs: 641.4, RunsPerSec: 24.95,
+		},
+	}
+}
+
+func measureScenario(alg experiment.Algorithm, dur time.Duration, reps int) (ScenarioPerf, error) {
+	var events uint64
+	var wall time.Duration
+	var allocs, bytes uint64
+	for i := 0; i < reps; i++ {
+		s, err := experiment.Build(experiment.Config{
+			Flows:    []experiment.FlowSpec{{Alg: alg}},
+			Duration: dur,
+			Seed:     uint64(i + 1),
+		})
+		if err != nil {
+			return ScenarioPerf{}, err
+		}
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		t0 := time.Now()
+		s.Run()
+		wall += time.Since(t0)
+		runtime.ReadMemStats(&m1)
+		events += s.Eng.Processed()
+		allocs += m1.Mallocs - m0.Mallocs
+		bytes += m1.TotalAlloc - m0.TotalAlloc
+	}
+	r := uint64(reps)
+	perf := ScenarioPerf{
+		Alg:          string(alg),
+		DurationSim:  dur.String(),
+		Events:       events / r,
+		WallMs:       float64(wall.Milliseconds()) / float64(reps),
+		EventsPerSec: float64(events) / wall.Seconds(),
+		NsPerEvent:   float64(wall.Nanoseconds()) / float64(events),
+		AllocsPerRun: allocs / r,
+		BytesPerRun:  bytes / r,
+	}
+	perf.AllocsPerKEvt = 1000 * float64(allocs) / float64(events)
+	return perf, nil
+}
+
+func measureCampaign(dur time.Duration) (CampaignPerf, error) {
+	g := campaign.Grid{
+		Bandwidths: []unit.Bandwidth{50 * unit.Mbps, 100 * unit.Mbps},
+		RTTs:       []time.Duration{30 * time.Millisecond, 60 * time.Millisecond},
+		Algorithms: []experiment.Algorithm{experiment.AlgStandard, experiment.AlgRestricted},
+		Replicates: 2,
+		Duration:   dur,
+	}
+	runs := 2 * 2 * 2 * g.Replicates
+	t0 := time.Now()
+	if _, err := campaign.Execute(g, campaign.Options{}); err != nil {
+		return CampaignPerf{}, err
+	}
+	wall := time.Since(t0)
+	return CampaignPerf{
+		Axes:  "bw{50,100Mbps} x rtt{30,60ms} x alg{standard,restricted}",
+		Cells: 8, Replicates: g.Replicates, Runs: runs,
+		DurationMs: float64(wall.Milliseconds()),
+		RunsPerSec: float64(runs) / wall.Seconds(),
+	}, nil
+}
+
+// emitBenchJSON measures the current tree and writes the report to path.
+func emitBenchJSON(path string, paperDur, campDur time.Duration, reps int) error {
+	cur := BenchSnapshot{Label: "current tree"}
+	for _, alg := range []experiment.Algorithm{experiment.AlgStandard, experiment.AlgRestricted} {
+		p, err := measureScenario(alg, paperDur, reps)
+		if err != nil {
+			return err
+		}
+		cur.PaperPath = append(cur.PaperPath, p)
+	}
+	camp, err := measureCampaign(campDur)
+	if err != nil {
+		return err
+	}
+	cur.Campaign = camp
+
+	base := preOverhaulBaseline()
+	speedup := map[string]any{}
+	for i, p := range cur.PaperPath {
+		b := base.PaperPath[i]
+		speedup["events_per_sec_"+p.Alg] = round2(p.EventsPerSec / b.EventsPerSec)
+		speedup["alloc_reduction_"+p.Alg] = round2(b.AllocsPerKEvt / p.AllocsPerKEvt)
+	}
+	speedup["campaign_runs_per_sec"] = round2(cur.Campaign.RunsPerSec / base.Campaign.RunsPerSec)
+
+	rep := BenchReport{
+		Schema:    "rsstcp-bench/v1",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Baseline:  base,
+		Current:   cur,
+		Speedup:   speedup,
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	for k, v := range speedup {
+		fmt.Printf("  %s: %vx\n", k, v)
+	}
+	return nil
+}
+
+func round2(x float64) float64 { return float64(int(x*100+0.5)) / 100 }

@@ -77,8 +77,21 @@ func main() {
 		ifq      = flag.Int("ifq", 100, "txqueuelen in packets")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		format   = flag.String("format", "text", "output format: text|csv")
+
+		benchJSON = flag.String("benchjson", "", "write a machine-readable performance report (e.g. BENCH_campaign.json) and exit")
+		benchDur  = flag.Duration("benchdur", 25*time.Second, "benchjson: virtual duration of each paper-path run")
+		campDur   = flag.Duration("campdur", 5*time.Second, "benchjson: virtual duration of each campaign run")
+		benchReps = flag.Int("benchreps", 5, "benchjson: paper-path repetitions")
 	)
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := emitBenchJSON(*benchJSON, *benchDur, *campDur, *benchReps); err != nil {
+			fmt.Fprintln(os.Stderr, "rsstcp-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	path := experiment.PaperPath()
 	path.RTT = *rtt

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"rsstcp/internal/experiment"
@@ -12,6 +13,44 @@ import (
 type MetricSummary struct {
 	Name string `json:"name"`
 	stats.Summary
+}
+
+// jsonMetricSummary is the flattened wire shape. Without it the embedded
+// Summary's NaN-tolerant MarshalJSON would be promoted and the name lost.
+type jsonMetricSummary struct {
+	Name string          `json:"name"`
+	N    int             `json:"n"`
+	Mean stats.JSONFloat `json:"mean"`
+	Std  stats.JSONFloat `json:"std"`
+	Min  stats.JSONFloat `json:"min"`
+	Max  stats.JSONFloat `json:"max"`
+	P50  stats.JSONFloat `json:"p50"`
+	P90  stats.JSONFloat `json:"p90"`
+}
+
+// MarshalJSON serializes the name alongside the summary fields, NaN-safe.
+func (m MetricSummary) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonMetricSummary{
+		Name: m.Name, N: m.N,
+		Mean: stats.JSONFloat(m.Mean), Std: stats.JSONFloat(m.Std),
+		Min: stats.JSONFloat(m.Min), Max: stats.JSONFloat(m.Max),
+		P50: stats.JSONFloat(m.P50), P90: stats.JSONFloat(m.P90),
+	})
+}
+
+// UnmarshalJSON restores the flattened shape, decoding null moments as NaN.
+func (m *MetricSummary) UnmarshalJSON(b []byte) error {
+	var j jsonMetricSummary
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	m.Name = j.Name
+	m.Summary = stats.Summary{
+		N: j.N, Mean: float64(j.Mean), Std: float64(j.Std),
+		Min: float64(j.Min), Max: float64(j.Max),
+		P50: float64(j.P50), P90: float64(j.P90),
+	}
+	return nil
 }
 
 // ReportCell is one axis-product cell's replicate set plus the summaries of
@@ -69,7 +108,7 @@ func aggregateCell(p Plan, c PlanCell, runs []Replicate) ReportCell {
 	xs := make([]float64, len(runs))
 	for mi, m := range p.Metrics {
 		for ri, r := range runs {
-			xs[ri] = r.Values[mi]
+			xs[ri] = float64(r.Values[mi])
 		}
 		out.Metrics[mi] = MetricSummary{Name: m.Name, Summary: stats.Describe(xs)}
 	}

@@ -105,8 +105,8 @@ func (g Grid) Validate() error {
 		}
 	}
 	for _, p := range g.LossRates {
-		if p < 0 || p >= 1 {
-			return fmt.Errorf("campaign: loss rate %v outside [0, 1)", p)
+		if p < 0 || p > 1 {
+			return fmt.Errorf("campaign: loss rate %v outside [0, 1]", p)
 		}
 	}
 	known := map[experiment.Algorithm]bool{}

@@ -67,9 +67,12 @@ var (
 	}
 	// MetricFairness is Jain's fairness index over per-flow goodputs:
 	// (Σx)² / (n·Σx²), 1.0 when all flows share equally, 1/n when one
-	// flow starves the rest. All-zero throughputs are an equal (if empty)
-	// share and score 1, so starvation is never conflated with "no data
-	// moved"; a cell with no flows scores 0.
+	// flow starves the rest. The degenerate all-zero cell (e.g. a
+	// 100%-loss sweep) is 0/0; it is defined as 1.0 — an equal (if
+	// empty) share — so starvation is never conflated with "no data
+	// moved" and the value can never be NaN. A cell with no flows
+	// scores 0. Pinned by TestFairnessAllZeroGoodput and the 100%-loss
+	// WriteJSON regression.
 	MetricFairness = Metric{
 		Name: "fairness",
 		Extract: func(r experiment.Result) float64 {

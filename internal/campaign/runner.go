@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"rsstcp/internal/experiment"
+	"rsstcp/internal/stats"
 )
 
 // Options tunes campaign execution. The zero value runs on GOMAXPROCS
@@ -51,8 +52,10 @@ type Run struct {
 // the plan's metric values, in plan-metric order.
 type Replicate struct {
 	Run
-	// Values holds one extracted value per plan metric.
-	Values []float64 `json:"values"`
+	// Values holds one extracted value per plan metric. Values are
+	// NaN-tolerant on the wire: a metric that yields NaN (degenerate
+	// cells) serializes as JSON null instead of breaking the export.
+	Values []stats.JSONFloat `json:"values"`
 }
 
 // ExecutePlan runs every cell of the plan's axis product, replicated on a
@@ -150,13 +153,13 @@ func runReplicate(p Plan, c PlanCell, rep int) (Replicate, error) {
 			InjectedDrops: res.InjectedDrops,
 			Utilization:   res.Utilization,
 		},
-		Values: make([]float64, len(p.Metrics)),
+		Values: make([]stats.JSONFloat, len(p.Metrics)),
 	}
 	for _, tp := range res.FlowThroughputs {
 		out.ThroughputBps += float64(tp)
 	}
 	for i, m := range p.Metrics {
-		out.Values[i] = m.Extract(res)
+		out.Values[i] = stats.JSONFloat(m.Extract(res))
 	}
 	return out, nil
 }

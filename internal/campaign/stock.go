@@ -123,12 +123,14 @@ func AxisTxQueueLens(vs ...int) Axis {
 }
 
 // AxisLossRates sweeps the bottleneck-ingress drop probability ("loss").
+// 1.0 — a blackholed path — is a legal value: it is exactly the degenerate
+// cell the fairness metric and the NaN-tolerant exporters are tested on.
 func AxisLossRates(vs ...float64) Axis {
 	a := Axis{Name: "loss"}
 	for _, v := range vs {
 		v := v
-		if v < 0 || v >= 1 {
-			a.fail("loss rate %g outside [0, 1)", v)
+		if v < 0 || v > 1 {
+			a.fail("loss rate %g outside [0, 1]", v)
 		}
 		a.Values = append(a.Values, Val(fmt.Sprintf("%g", v), func(cfg *experiment.Config) {
 			cfg.Path.Loss = v

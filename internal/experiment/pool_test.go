@@ -1,0 +1,50 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCampaignScaleEventReclamation is the reclamation regression the
+// pooled calendar must hold at campaign scale: a long lossy run arms and
+// cancels an RTO deadline on nearly every ACK, so lazily-tombstoned
+// cancellations (or unrecycled entries) would show up here as an
+// ever-growing heap or pool. The calendar must end with a bounded Pending
+// count, zero leaked pooled events, and near-total reuse.
+func TestCampaignScaleEventReclamation(t *testing.T) {
+	t.Parallel()
+	dur := 20 * time.Second
+	if testing.Short() {
+		dur = 5 * time.Second
+	}
+	s, err := Build(Config{
+		Path:     PathConfig{Loss: 0.002},
+		Flows:    []FlowSpec{{Alg: AlgStandard, SACK: true}, {Alg: AlgRestricted}},
+		Duration: dur,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+
+	eng := s.Eng
+	if eng.Processed() < 20_000 {
+		t.Fatalf("run too small (%d events) to exercise reclamation", eng.Processed())
+	}
+	if got := eng.Leaked(); got != 0 {
+		t.Errorf("leaked %d pooled events", got)
+	}
+	// Pending at cutoff: armed timers, tickers, in-flight deliveries —
+	// bounded by path capacity, nowhere near the millions processed.
+	if p := eng.Pending(); p > 4096 {
+		t.Errorf("Pending = %d at cutoff, want bounded by path capacity", p)
+	}
+	ps := eng.PoolStats()
+	if ps.Created > 8192 {
+		t.Errorf("event pool grew to %d entries — canceled events not reclaimed", ps.Created)
+	}
+	if ps.Reused < 10*ps.Created {
+		t.Errorf("pool reuse %d vs created %d: recycling is not happening", ps.Reused, ps.Created)
+	}
+}

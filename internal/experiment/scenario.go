@@ -205,15 +205,25 @@ type Scenario struct {
 	aggTotals Totals
 }
 
-// demux routes segments to per-flow receivers.
+// demux routes segments to per-flow receivers. Flow IDs are dense small
+// integers assigned at build time, so routing is a slice index.
 type demux struct {
-	routes map[packet.FlowID]netem.Receiver
+	routes []netem.Receiver // indexed by FlowID
+}
+
+func (d *demux) set(id packet.FlowID, r netem.Receiver) {
+	for int(id) >= len(d.routes) {
+		d.routes = append(d.routes, nil)
+	}
+	d.routes[id] = r
 }
 
 func (d *demux) Receive(seg *packet.Segment) {
-	if r, ok := d.routes[seg.Flow]; ok {
-		r.Receive(seg)
+	if i := int(seg.Flow); i < len(d.routes) && d.routes[i] != nil {
+		d.routes[i].Receive(seg)
+		return
 	}
+	seg.Release() // unroutable: drop and recycle
 }
 
 // Build assembles the testbed described by cfg.
@@ -231,7 +241,7 @@ func Build(cfg Config) (*Scenario, error) {
 
 	// Shared bottleneck: router queue + link + forward propagation,
 	// delivering to the flow demux.
-	dm := &demux{routes: map[packet.FlowID]netem.Receiver{}}
+	dm := &demux{}
 	s.routerQ = netem.NewDropTail(cfg.Path.RouterQueue)
 	s.Bottleneck = netem.NewLink(eng, cfg.Path.Bottleneck, owd, s.routerQ, dm)
 	s.Bottleneck.OnDrop = func(*packet.Segment) { s.drops++ }
@@ -297,7 +307,7 @@ func buildFlow(s *Scenario, spec FlowSpec, id packet.FlowID, owd time.Duration, 
 		flow.Sender.Receive(seg)
 	}))
 	flow.Receiver = tcp.NewReceiver(eng, tcpCfg, id, revWire)
-	dm.routes[id] = flow.Receiver
+	dm.set(id, flow.Receiver)
 
 	flow.Sender = tcp.NewSender(eng, tcpCfg, id, ctrl, nic)
 	flow.Stalls = trace.NewCounter(s.Rec, fmt.Sprintf("stalls/%d", id))
@@ -413,6 +423,11 @@ type Result struct {
 // Run executes the scenario for its configured duration and summarizes the
 // primary flow.
 func (s *Scenario) Run() Result {
+	// The run length and sample period are both known: pre-size every
+	// gauge series so sampling never reallocates mid-run.
+	if s.Cfg.Sample > 0 {
+		s.Rec.ReserveSamples(int(s.Cfg.Duration/s.Cfg.Sample) + 1)
+	}
 	s.Rec.Sample(s.Cfg.Sample)
 	s.Eng.RunUntil(sim.At(s.Cfg.Duration))
 	return s.resultFor(0)

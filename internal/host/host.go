@@ -49,7 +49,15 @@ type Interface struct {
 	dst    netem.Receiver
 	busy   bool
 	wakers []func()
+	spare  []func() // retired waker backing array, reused by wake()
 	stats  InterfaceStats
+	// Serializer state: busy guards a single in-flight transmission, so
+	// the completion callback is bound once and reads these fields instead
+	// of closing over per-segment state.
+	txSeg  *packet.Segment
+	txST   time.Duration
+	txDone func()
+	recvFn netem.Receiver // AsReceiver adapter, built once
 	// occupancy integral for average-occupancy reporting
 	occLast    sim.Time
 	occWeight  float64 // ∫ len dt in packet·seconds
@@ -67,12 +75,19 @@ func NewInterface(eng *sim.Engine, cfg InterfaceConfig, dst netem.Receiver) *Int
 	if dst == nil {
 		panic("host: NewInterface with nil destination")
 	}
-	return &Interface{
+	i := &Interface{
 		eng:   eng,
 		cfg:   cfg,
 		queue: netem.NewDropTail(cfg.TxQueueLen),
 		dst:   dst,
 	}
+	i.txDone = i.transmitDone
+	i.recvFn = netem.Func(func(seg *packet.Segment) {
+		if !i.Send(seg) {
+			seg.Release()
+		}
+	})
+	return i
 }
 
 // Send offers a segment to the IFQ. It returns false — a send-stall — when
@@ -106,29 +121,37 @@ func (i *Interface) maybeTransmit() {
 	}
 	i.accumulateOccupancy()
 	i.busy = true
-	st := i.cfg.Rate.Serialization(seg.Size())
-	i.eng.ScheduleAfter(st, func() {
-		i.busy = false
-		i.stats.Sent++
-		i.stats.SentBytes += int64(seg.Size())
-		i.stats.Busy += st
-		i.dst.Receive(seg)
-		// Start the next transmission first: dequeueing it is what frees
-		// IFQ room, so the waker observes the post-dequeue occupancy.
-		i.maybeTransmit()
-		i.wake()
-		if i.onSendDone != nil {
-			i.onSendDone()
-		}
-	})
+	i.txSeg = seg
+	i.txST = i.cfg.Rate.Serialization(seg.Size())
+	i.eng.ScheduleAfter(i.txST, i.txDone)
+}
+
+func (i *Interface) transmitDone() {
+	seg, st := i.txSeg, i.txST
+	i.txSeg = nil
+	i.busy = false
+	i.stats.Sent++
+	i.stats.SentBytes += int64(seg.Size())
+	i.stats.Busy += st
+	i.dst.Receive(seg)
+	// Start the next transmission first: dequeueing it is what frees
+	// IFQ room, so the waker observes the post-dequeue occupancy.
+	i.maybeTransmit()
+	i.wake()
+	if i.onSendDone != nil {
+		i.onSendDone()
+	}
 }
 
 func (i *Interface) wake() {
 	if len(i.wakers) == 0 || i.queue.Len() >= i.queue.Capacity() {
 		return
 	}
+	// Swap in the retired backing array so re-registration during the
+	// callbacks appends into reusable capacity instead of allocating.
 	ws := i.wakers
-	i.wakers = nil
+	i.wakers = i.spare[:0]
+	i.spare = ws
 	for _, w := range ws {
 		w()
 	}
@@ -171,8 +194,6 @@ func (i *Interface) Stats() InterfaceStats { return i.stats }
 func (i *Interface) Rate() unit.Bandwidth { return i.cfg.Rate }
 
 // AsReceiver adapts the interface for chains that cannot observe stalls
-// (e.g. a receiver host sending ACKs): segments that stall are dropped,
-// exactly as a full qdisc drops with NET_XMIT_DROP.
-func (i *Interface) AsReceiver() netem.Receiver {
-	return netem.Func(func(seg *packet.Segment) { i.Send(seg) })
-}
+// (e.g. a receiver host sending ACKs): segments that stall are dropped (and
+// released), exactly as a full qdisc drops with NET_XMIT_DROP.
+func (i *Interface) AsReceiver() netem.Receiver { return i.recvFn }

@@ -1,0 +1,84 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"rsstcp/internal/packet"
+	"rsstcp/internal/sim"
+	"rsstcp/internal/unit"
+)
+
+// TestAllocBudgetLinkLoop locks in the allocation-free steady state of the
+// store-and-forward path: enqueue → serialize → propagate → deliver, with
+// the delivered segment released back to the pool.
+func TestAllocBudgetLinkLoop(t *testing.T) {
+	eng := sim.NewEngine()
+	sink := Func(func(seg *packet.Segment) { seg.Release() })
+	link := NewLink(eng, 100*unit.Mbps, time.Millisecond, NewDropTail(64), sink)
+
+	send := func() {
+		seg := packet.Get()
+		seg.Len = 1448
+		link.Receive(seg)
+		eng.RunFor(10 * time.Millisecond)
+	}
+	// Warm-up fills the event and segment pools.
+	for i := 0; i < 32; i++ {
+		send()
+	}
+	avg := testing.AllocsPerRun(500, send)
+	if avg > 0 {
+		t.Errorf("link transmit loop allocates %.2f/segment, want 0", avg)
+	}
+	if got := eng.Leaked(); got != 0 {
+		t.Errorf("leaked %d pooled events", got)
+	}
+}
+
+// TestAllocBudgetWireLoop does the same for the pure-delay element, whose
+// per-segment delivery used to cost a closure allocation.
+func TestAllocBudgetWireLoop(t *testing.T) {
+	eng := sim.NewEngine()
+	sink := Func(func(seg *packet.Segment) { seg.Release() })
+	wire := NewWire(eng, time.Millisecond, sink)
+
+	send := func() {
+		seg := packet.Get()
+		seg.Len = 1448
+		wire.Receive(seg)
+		eng.RunFor(2 * time.Millisecond)
+	}
+	for i := 0; i < 32; i++ {
+		send()
+	}
+	avg := testing.AllocsPerRun(500, send)
+	if avg > 0 {
+		t.Errorf("wire delivery allocates %.2f/segment, want 0", avg)
+	}
+}
+
+// TestLinkReleasesDroppedSegments verifies the drop path recycles: a full
+// queue must not strand pooled segments.
+func TestLinkReleasesDroppedSegments(t *testing.T) {
+	eng := sim.NewEngine()
+	blackhole := Func(func(seg *packet.Segment) { seg.Release() })
+	link := NewLink(eng, 1*unit.Mbps, 0, NewDropTail(2), blackhole)
+	var drops int
+	link.OnDrop = func(*packet.Segment) { drops++ }
+
+	gets0, rels0 := packet.PoolCounters()
+	for i := 0; i < 16; i++ {
+		seg := packet.Get()
+		seg.Len = 1448
+		link.Receive(seg)
+	}
+	eng.Run()
+	gets1, rels1 := packet.PoolCounters()
+	if drops == 0 {
+		t.Fatal("expected drops on a 2-packet queue")
+	}
+	if got, rel := gets1-gets0, rels1-rels0; rel < got {
+		t.Errorf("segment leak: %d gets vs %d releases", got, rel)
+	}
+}

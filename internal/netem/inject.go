@@ -23,15 +23,17 @@ type Loss struct {
 	dropped int64
 }
 
-// Receive drops or forwards the segment.
+// Receive drops or forwards the segment. Dropped segments are released.
 func (l *Loss) Receive(seg *packet.Segment) {
 	l.seen++
 	if l.DropEvery > 0 && l.seen%int64(l.DropEvery) == 0 {
 		l.dropped++
+		seg.Release()
 		return
 	}
 	if l.P > 0 && l.RNG != nil && l.RNG.Bool(l.P) {
 		l.dropped++
+		seg.Release()
 		return
 	}
 	l.Next.Receive(seg)
@@ -52,12 +54,18 @@ type Duplicator struct {
 	duplicated int64
 }
 
-// Receive forwards the segment, sometimes twice.
+// Receive forwards the segment, sometimes twice. The copy is made before
+// the original is handed off: forwarding transfers ownership, and a
+// synchronous consumer may release (zero and recycle) the segment.
 func (d *Duplicator) Receive(seg *packet.Segment) {
-	d.Next.Receive(seg)
+	var dup *packet.Segment
 	if d.P > 0 && d.RNG != nil && d.RNG.Bool(d.P) {
 		d.duplicated++
-		d.Next.Receive(seg.Clone())
+		dup = seg.Clone()
+	}
+	d.Next.Receive(seg)
+	if dup != nil {
+		d.Next.Receive(dup)
 	}
 }
 
@@ -75,19 +83,22 @@ type Reorderer struct {
 	RNG   *sim.RNG
 	Next  Receiver
 
+	deliver   func(any) // bound once in NewReorderer
 	reordered int64
 }
 
 // NewReorderer builds a reorder injector.
 func NewReorderer(eng *sim.Engine, p float64, delay time.Duration, rng *sim.RNG, next Receiver) *Reorderer {
-	return &Reorderer{eng: eng, P: p, Delay: delay, RNG: rng, Next: next}
+	r := &Reorderer{eng: eng, P: p, Delay: delay, RNG: rng, Next: next}
+	r.deliver = func(a any) { r.Next.Receive(a.(*packet.Segment)) }
+	return r
 }
 
 // Receive forwards the segment now, or after the extra delay.
 func (r *Reorderer) Receive(seg *packet.Segment) {
 	if r.P > 0 && r.RNG != nil && r.RNG.Bool(r.P) {
 		r.reordered++
-		r.eng.ScheduleAfter(r.Delay, func() { r.Next.Receive(seg) })
+		r.eng.ScheduleArgAfter(r.Delay, r.deliver, seg)
 		return
 	}
 	r.Next.Receive(seg)

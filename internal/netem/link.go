@@ -11,9 +11,10 @@ import (
 // Wire delays every segment by a fixed propagation time with no bandwidth
 // limit and no queueing — the speed-of-light component of a path.
 type Wire struct {
-	eng   *sim.Engine
-	delay time.Duration
-	dst   Receiver
+	eng     *sim.Engine
+	delay   time.Duration
+	dst     Receiver
+	deliver func(any) // bound once; per-segment deliveries allocate nothing
 }
 
 // NewWire returns a pure-delay element feeding dst.
@@ -21,12 +22,14 @@ func NewWire(eng *sim.Engine, delay time.Duration, dst Receiver) *Wire {
 	if dst == nil {
 		panic("netem: NewWire with nil destination")
 	}
-	return &Wire{eng: eng, delay: delay, dst: dst}
+	w := &Wire{eng: eng, delay: delay, dst: dst}
+	w.deliver = func(a any) { w.dst.Receive(a.(*packet.Segment)) }
+	return w
 }
 
 // Receive forwards the segment after the propagation delay.
 func (w *Wire) Receive(seg *packet.Segment) {
-	w.eng.ScheduleAfter(w.delay, func() { w.dst.Receive(seg) })
+	w.eng.ScheduleArgAfter(w.delay, w.deliver, seg)
 }
 
 // LinkStats aggregates a link's transmission counters.
@@ -48,7 +51,15 @@ type Link struct {
 	dst   Receiver
 	busy  bool
 	stats LinkStats
-	// OnDrop, when set, is invoked for each segment the queue refuses.
+	// Serializer state: at most one segment is on the serializer at a time
+	// (busy guards it), so holding it in fields lets the completion
+	// callback be bound once instead of closed over per segment.
+	cur     *packet.Segment
+	curST   time.Duration
+	txDone  func()
+	deliver func(any)
+	// OnDrop, when set, is invoked for each segment the queue refuses,
+	// before the segment is released; it must not retain the segment.
 	OnDrop func(seg *packet.Segment)
 }
 
@@ -64,16 +75,21 @@ func NewLink(eng *sim.Engine, rate unit.Bandwidth, delay time.Duration, queue Qu
 	if dst == nil {
 		panic("netem: NewLink with nil destination")
 	}
-	return &Link{eng: eng, rate: rate, delay: delay, queue: queue, dst: dst}
+	l := &Link{eng: eng, rate: rate, delay: delay, queue: queue, dst: dst}
+	l.txDone = l.transmitDone
+	l.deliver = func(a any) { l.dst.Receive(a.(*packet.Segment)) }
+	return l
 }
 
-// Receive enqueues the segment and starts the serializer if idle.
+// Receive enqueues the segment and starts the serializer if idle. A refused
+// segment is handed to OnDrop (if set) and released.
 func (l *Link) Receive(seg *packet.Segment) {
 	seg.Enqueued = l.eng.Now()
 	if !l.queue.Enqueue(seg) {
 		if l.OnDrop != nil {
 			l.OnDrop(seg)
 		}
+		seg.Release()
 		return
 	}
 	l.maybeTransmit()
@@ -88,15 +104,20 @@ func (l *Link) maybeTransmit() {
 		return
 	}
 	l.busy = true
-	st := l.rate.Serialization(seg.Size())
-	l.eng.ScheduleAfter(st, func() {
-		l.busy = false
-		l.stats.Sent++
-		l.stats.SentBytes += int64(seg.Size())
-		l.stats.Busy += st
-		l.eng.ScheduleAfter(l.delay, func() { l.dst.Receive(seg) })
-		l.maybeTransmit()
-	})
+	l.cur = seg
+	l.curST = l.rate.Serialization(seg.Size())
+	l.eng.ScheduleAfter(l.curST, l.txDone)
+}
+
+func (l *Link) transmitDone() {
+	seg, st := l.cur, l.curST
+	l.cur = nil
+	l.busy = false
+	l.stats.Sent++
+	l.stats.SentBytes += int64(seg.Size())
+	l.stats.Busy += st
+	l.eng.ScheduleArgAfter(l.delay, l.deliver, seg)
+	l.maybeTransmit()
 }
 
 // Queue exposes the attached discipline (for occupancy inspection).

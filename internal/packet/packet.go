@@ -65,6 +65,10 @@ const HeaderBytes = 40
 // Segment is a simulated TCP segment. Sequence numbers are absolute
 // byte offsets within the flow (no wraparound: a simulated transfer never
 // approaches 2^63 bytes), which keeps the arithmetic honest and testable.
+//
+// Hot paths obtain segments from the pool with Get and pass ownership along
+// the delivery chain; the terminal consumer calls Release. See the
+// "Performance" section of DESIGN.md for the ownership rules.
 type Segment struct {
 	// Flow identifies the connection the segment belongs to.
 	Flow FlowID
@@ -90,6 +94,11 @@ type Segment struct {
 	// Enqueued is stamped when the segment enters a queue; used by queues
 	// to compute sojourn time.
 	Enqueued sim.Time
+
+	// pooled marks a segment currently checked out of the pool. Segments
+	// built by hand (tests, injectors) leave it false, so Release on them
+	// is a no-op and they never enter the pool.
+	pooled bool
 }
 
 // FlowID names a connection; direction is carried by the segment type.
@@ -118,11 +127,13 @@ func (s *Segment) String() string {
 }
 
 // Clone returns a deep copy (SACK slice included); injectors that duplicate
-// packets use it so the copies do not alias.
+// packets use it so the copies do not alias. The copy comes from the pool
+// and follows the usual ownership protocol.
 func (s *Segment) Clone() *Segment {
-	c := *s
-	if len(s.SACK) > 0 {
-		c.SACK = append([]SACKBlock(nil), s.SACK...)
-	}
-	return &c
+	c := Get()
+	sack := c.SACK
+	*c = *s
+	c.pooled = true
+	c.SACK = append(sack[:0], s.SACK...)
+	return c
 }

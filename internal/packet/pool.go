@@ -1,0 +1,64 @@
+package packet
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The segment pool removes the dominant per-segment allocation from the
+// simulation hot path: senders and receivers Get fresh segments, hand
+// ownership down the netem chain, and the terminal consumer (the peer TCP
+// endpoint, or a drop point) Releases them.
+//
+// Ownership rules (also in DESIGN.md):
+//
+//   - Receive(seg) / Send(seg) transfers ownership to the callee — with one
+//     exception: host.Interface.Send returning false (send-stall) leaves
+//     ownership with the caller.
+//   - A component may hold a segment only while it is responsible for it
+//     (queued in a discipline, being serialized, in flight on a wire).
+//   - The terminal consumer Releases after reading the fields it needs;
+//     no pointer into the segment (e.g. its SACK slice) may be retained
+//     across Release.
+//   - Release on a hand-built (non-pool) segment is a no-op, so tests and
+//     one-off injectors can keep building Segment literals.
+//
+// The pool is shared across engines; campaign workers running parallel
+// simulations recycle through it concurrently, which sync.Pool handles.
+var segPool = sync.Pool{New: func() any { return new(Segment) }}
+
+var (
+	poolGets     atomic.Int64
+	poolReleases atomic.Int64
+)
+
+// Get returns a zeroed segment from the pool.
+func Get() *Segment {
+	seg := segPool.Get().(*Segment)
+	seg.pooled = true
+	poolGets.Add(1)
+	return seg
+}
+
+// Release zeroes the segment (keeping SACK capacity) and returns it to the
+// pool. Releasing a segment that did not come from Get — or releasing one
+// twice — is a safe no-op, so double-release bugs cannot poison the pool
+// with aliased entries.
+func (s *Segment) Release() {
+	if s == nil || !s.pooled {
+		return
+	}
+	sack := s.SACK[:0]
+	*s = Segment{}
+	s.SACK = sack
+	poolReleases.Add(1)
+	segPool.Put(s)
+}
+
+// PoolCounters reports how many segments have been checked out of and
+// returned to the pool since process start — a test hook for leak checks:
+// in a quiesced simulation the difference is the number of segments still
+// held (queued or leaked).
+func PoolCounters() (gets, releases int64) {
+	return poolGets.Load(), poolReleases.Load()
+}

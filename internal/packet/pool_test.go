@@ -1,0 +1,57 @@
+package packet
+
+import "testing"
+
+func TestPoolGetReturnsZeroedSegment(t *testing.T) {
+	s := Get()
+	s.Flow = 3
+	s.Seq = 100
+	s.Len = 1448
+	s.SACK = append(s.SACK, SACKBlock{Start: 1, End: 2})
+	s.Release()
+
+	s2 := Get()
+	defer s2.Release()
+	if s2.Flow != 0 || s2.Seq != 0 || s2.Len != 0 || len(s2.SACK) != 0 {
+		t.Errorf("recycled segment not zeroed: %+v", s2)
+	}
+}
+
+func TestReleaseIsIdempotentAndIgnoresManualSegments(t *testing.T) {
+	gets0, rels0 := PoolCounters()
+
+	manual := &Segment{Seq: 5, Len: 10}
+	manual.Release() // not from the pool: must be a no-op
+	if manual.Seq != 5 || manual.Len != 10 {
+		t.Error("Release zeroed a hand-built segment")
+	}
+
+	s := Get()
+	s.Release()
+	s.Release() // double release must not poison the pool
+
+	gets1, rels1 := PoolCounters()
+	if got := gets1 - gets0; got != 1 {
+		t.Errorf("gets advanced by %d, want 1", got)
+	}
+	if rel := rels1 - rels0; rel != 1 {
+		t.Errorf("releases advanced by %d, want 1 (double/manual release counted)", rel)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	s := Get()
+	s.Seq = 10
+	s.Len = 5
+	s.SACK = append(s.SACK, SACKBlock{Start: 1, End: 2})
+	c := s.Clone()
+	s.SACK[0].Start = 99
+	if c.SACK[0].Start != 1 {
+		t.Error("clone aliases the original's SACK blocks")
+	}
+	s.Release()
+	if c.Seq != 10 || c.Len != 5 {
+		t.Error("releasing the original corrupted the clone")
+	}
+	c.Release()
+}

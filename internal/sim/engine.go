@@ -1,74 +1,71 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
-// Event is a scheduled callback. Events are created by the Engine's
-// Schedule methods and may be canceled until they fire.
-type Event struct {
-	at     Time
-	seq    uint64 // FIFO tie-break among events at the same instant
-	index  int    // heap index, -1 once removed
-	fn     func()
-	name   string // optional label for debugging
-	fired  bool
-	cancel bool
+// event is a pooled calendar entry. Entries are owned by the Engine: they
+// are recycled onto a free list the moment they fire or are canceled, so a
+// steady-state simulation schedules millions of events with a handful of
+// allocations. External code never sees *event; it holds an Event handle.
+type event struct {
+	at    Time
+	seq   uint64 // FIFO tie-break among events at the same instant
+	index int32  // heap index, -1 once removed
+	gen   uint64 // bumped on recycle; stale handles compare unequal
+	fn    func()
+	argFn func(any) // alternative callback form: reused func + per-event arg
+	arg   any
+	name  string // optional label for debugging
 }
 
-// At returns the instant the event is (or was) scheduled for.
-func (e *Event) At() Time { return e.at }
+// Event is a handle to a scheduled callback, returned by the Engine's
+// Schedule methods. It is a small value, cheap to copy and store. Because
+// the underlying calendar entries are pooled, a handle goes stale (Pending
+// reports false, Cancel is a no-op) as soon as its event fires or is
+// canceled — it can never alias a recycled entry.
+type Event struct {
+	ev  *event
+	gen uint64
+}
+
+// At returns the instant the event is scheduled for (zero for a stale or
+// zero handle).
+func (h Event) At() Time {
+	if !h.Pending() {
+		return 0
+	}
+	return h.ev.at
+}
 
 // Name returns the optional debug label given at scheduling time.
-func (e *Event) Name() string { return e.name }
+func (h Event) Name() string {
+	if !h.Pending() {
+		return ""
+	}
+	return h.ev.name
+}
 
 // Pending reports whether the event is still waiting to fire.
-func (e *Event) Pending() bool { return e != nil && !e.fired && !e.cancel }
-
-// eventQueue is a binary heap ordered by (time, sequence).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
+func (h Event) Pending() bool {
+	return h.ev != nil && h.ev.gen == h.gen && h.ev.index >= 0
 }
 
 // Engine is a discrete-event simulator. It is not safe for concurrent use;
 // a simulation is a single logical thread of control in virtual time.
 type Engine struct {
 	now       Time
-	queue     eventQueue
+	queue     []*event // binary min-heap ordered by (time, sequence)
+	free      []*event // recycled entries awaiting reuse
 	seq       uint64
 	processed uint64
 	running   bool
 	stopped   bool
+
+	// pool accounting (see PoolStats)
+	created  uint64
+	reused   uint64
+	recycled uint64
 }
 
 // NewEngine returns an engine with the clock at the epoch.
@@ -85,62 +82,142 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // Pending returns the number of events waiting in the calendar.
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// PoolStats reports the event pool's counters, for leak checks in tests.
+type PoolStats struct {
+	Created  uint64 // entries ever allocated
+	Reused   uint64 // schedules served from the free list
+	Recycled uint64 // entries returned to the free list (fired or canceled)
+	Free     int    // entries currently on the free list
+}
+
+// PoolStats returns a snapshot of the event-pool counters.
+func (e *Engine) PoolStats() PoolStats {
+	return PoolStats{Created: e.created, Reused: e.reused, Recycled: e.recycled, Free: len(e.free)}
+}
+
+// Leaked returns the number of issued events that are neither pending nor
+// recycled. Outside of an executing callback it must be zero: every
+// scheduled event either fires or is canceled, and both paths recycle.
+func (e *Engine) Leaked() int {
+	issued := e.created + e.reused
+	return int(issued-e.recycled) - len(e.queue)
+}
+
+func (e *Engine) get(at Time, name string) *event {
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		e.reused++
+	} else {
+		ev = &event{}
+		e.created++
+	}
+	e.seq++
+	ev.at = at
+	ev.seq = e.seq
+	ev.name = name
+	return ev
+}
+
+// recycle returns a popped (index == -1) entry to the free list.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.argFn = nil
+	ev.arg = nil
+	ev.name = ""
+	e.recycled++
+	e.free = append(e.free, ev)
+}
+
 // Schedule arranges for fn to run at instant at. Scheduling in the past
 // panics: it is always a logic error in a discrete-event model.
-func (e *Engine) Schedule(at Time, fn func()) *Event {
+func (e *Engine) Schedule(at Time, fn func()) Event {
 	return e.ScheduleNamed(at, "", fn)
 }
 
 // ScheduleNamed is Schedule with a debug label attached to the event.
-func (e *Engine) ScheduleNamed(at Time, name string, fn func()) *Event {
+func (e *Engine) ScheduleNamed(at Time, name string, fn func()) Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule in the past: at %v, now %v", at, e.now))
 	}
 	if fn == nil {
 		panic("sim: schedule with nil func")
 	}
-	e.seq++
-	ev := &Event{at: at, seq: e.seq, fn: fn, name: name}
-	heap.Push(&e.queue, ev)
-	return ev
+	ev := e.get(at, name)
+	ev.fn = fn
+	e.heapPush(ev)
+	return Event{ev: ev, gen: ev.gen}
 }
 
 // ScheduleAfter arranges for fn to run d after the current instant.
 // A negative d is treated as zero.
-func (e *Engine) ScheduleAfter(d Duration, fn func()) *Event {
+func (e *Engine) ScheduleAfter(d Duration, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
 	return e.Schedule(e.now.Add(d), fn)
 }
 
-// Cancel removes a pending event from the calendar. Canceling a nil,
-// already-fired or already-canceled event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.fired || ev.cancel {
+// ScheduleArg arranges for fn(arg) to run at instant at. Unlike Schedule,
+// the callback can be a long-lived function value with the per-event state
+// passed through arg, so hot paths (per-segment deliveries) schedule without
+// allocating a closure.
+func (e *Engine) ScheduleArg(at Time, fn func(any), arg any) Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule in the past: at %v, now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: schedule with nil func")
+	}
+	ev := e.get(at, "")
+	ev.argFn = fn
+	ev.arg = arg
+	e.heapPush(ev)
+	return Event{ev: ev, gen: ev.gen}
+}
+
+// ScheduleArgAfter is ScheduleArg relative to the current instant.
+// A negative d is treated as zero.
+func (e *Engine) ScheduleArgAfter(d Duration, fn func(any), arg any) Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.ScheduleArg(e.now.Add(d), fn, arg)
+}
+
+// Cancel removes a pending event from the calendar and recycles its entry
+// eagerly (no tombstones linger in the heap). Canceling a zero, stale,
+// already-fired or already-canceled handle is a no-op.
+func (e *Engine) Cancel(h Event) {
+	if !h.Pending() {
 		return
 	}
-	ev.cancel = true
-	if ev.index >= 0 {
-		heap.Remove(&e.queue, ev.index)
-	}
+	e.heapRemove(int(h.ev.index))
+	e.recycle(h.ev)
 }
 
 // Step executes the single earliest pending event and returns true, or
 // returns false if the calendar is empty.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.cancel {
-			continue
-		}
-		e.now = ev.at
-		ev.fired = true
-		e.processed++
-		ev.fn()
-		return true
+	if len(e.queue) == 0 {
+		return false
 	}
-	return false
+	ev := e.heapPop()
+	e.now = ev.at
+	e.processed++
+	if ev.argFn != nil {
+		fn, arg := ev.argFn, ev.arg
+		e.recycle(ev)
+		fn(arg)
+	} else {
+		fn := ev.fn
+		e.recycle(ev)
+		fn()
+	}
+	return true
 }
 
 // Run executes events until the calendar is empty or Stop is called.
@@ -173,8 +250,7 @@ func (e *Engine) run(deadline Time) {
 	defer func() { e.running = false }()
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
-		next := e.queue[0]
-		if next.at > deadline {
+		if e.queue[0].at > deadline {
 			return
 		}
 		e.Step()
@@ -184,3 +260,93 @@ func (e *Engine) run(deadline Time) {
 // Stop makes the innermost Run/RunUntil return after the current event
 // completes. The calendar is left intact so the run may be resumed.
 func (e *Engine) Stop() { e.stopped = true }
+
+// --- calendar heap (hand-rolled: no interface dispatch on the hot path) ---
+
+func (e *Engine) less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) heapPush(ev *event) {
+	ev.index = int32(len(e.queue))
+	e.queue = append(e.queue, ev)
+	e.siftUp(len(e.queue) - 1)
+}
+
+func (e *Engine) heapPop() *event {
+	q := e.queue
+	ev := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[0].index = 0
+	q[n] = nil
+	e.queue = q[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+	ev.index = -1
+	return ev
+}
+
+func (e *Engine) heapRemove(i int) {
+	q := e.queue
+	n := len(q) - 1
+	ev := q[i]
+	if i != n {
+		q[i] = q[n]
+		q[i].index = int32(i)
+	}
+	q[n] = nil
+	e.queue = q[:n]
+	if i != n {
+		if !e.siftDown(i) {
+			e.siftUp(i)
+		}
+	}
+	ev.index = -1
+}
+
+func (e *Engine) siftUp(i int) {
+	q := e.queue
+	ev := q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(ev, q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		q[i].index = int32(i)
+		i = parent
+	}
+	q[i] = ev
+	ev.index = int32(i)
+}
+
+// siftDown restores the heap below i; it reports whether anything moved.
+func (e *Engine) siftDown(i int) bool {
+	q := e.queue
+	n := len(q)
+	ev := q[i]
+	start := i
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && e.less(q[r], q[child]) {
+			child = r
+		}
+		if !e.less(q[child], ev) {
+			break
+		}
+		q[i] = q[child]
+		q[i].index = int32(i)
+		i = child
+	}
+	q[i] = ev
+	ev.index = int32(i)
+	return i != start
+}

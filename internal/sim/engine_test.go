@@ -83,15 +83,15 @@ func TestCancelPreventsExecution(t *testing.T) {
 	if ev.Pending() {
 		t.Error("canceled event still pending")
 	}
-	// Double-cancel and cancel-nil are no-ops.
+	// Double-cancel and canceling a zero handle are no-ops.
 	eng.Cancel(ev)
-	eng.Cancel(nil)
+	eng.Cancel(Event{})
 }
 
 func TestCancelOneOfMany(t *testing.T) {
 	eng := NewEngine()
 	var got []int
-	evs := make([]*Event, 10)
+	evs := make([]Event, 10)
 	for i := 0; i < 10; i++ {
 		i := i
 		evs[i] = eng.Schedule(At(time.Duration(i+1)*time.Millisecond), func() { got = append(got, i) })

@@ -4,9 +4,10 @@ package sim
 // need: arm, re-arm (which supersedes the previous deadline), and stop.
 // The callback is fixed at construction; what varies is the deadline.
 type Timer struct {
-	eng *Engine
-	fn  func()
-	ev  *Event
+	eng    *Engine
+	fn     func()
+	fireFn func() // bound once so Arm never allocates a method value
+	ev     Event
 }
 
 // NewTimer returns a stopped timer that will invoke fn when it expires.
@@ -14,28 +15,28 @@ func NewTimer(eng *Engine, fn func()) *Timer {
 	if fn == nil {
 		panic("sim: NewTimer with nil func")
 	}
-	return &Timer{eng: eng, fn: fn}
+	t := &Timer{eng: eng, fn: fn}
+	t.fireFn = t.fire
+	return t
 }
 
 // Arm (re)schedules the timer to fire d from now, superseding any earlier
 // deadline. A negative d is treated as zero.
 func (t *Timer) Arm(d Duration) {
 	t.Stop()
-	t.ev = t.eng.ScheduleAfter(d, t.fire)
+	t.ev = t.eng.ScheduleAfter(d, t.fireFn)
 }
 
 // ArmAt (re)schedules the timer to fire at the given instant.
 func (t *Timer) ArmAt(at Time) {
 	t.Stop()
-	t.ev = t.eng.Schedule(at, t.fire)
+	t.ev = t.eng.Schedule(at, t.fireFn)
 }
 
 // Stop cancels the pending expiry, if any.
 func (t *Timer) Stop() {
-	if t.ev != nil {
-		t.eng.Cancel(t.ev)
-		t.ev = nil
-	}
+	t.eng.Cancel(t.ev)
+	t.ev = Event{}
 }
 
 // Armed reports whether the timer has a pending expiry.
@@ -50,7 +51,7 @@ func (t *Timer) Deadline() Time {
 }
 
 func (t *Timer) fire() {
-	t.ev = nil
+	t.ev = Event{}
 	t.fn()
 }
 
@@ -60,8 +61,9 @@ func (t *Timer) fire() {
 type Ticker struct {
 	eng    *Engine
 	fn     func()
+	tickFn func() // bound once so each tick schedules without allocating
 	period Duration
-	ev     *Event
+	ev     Event
 }
 
 // NewTicker returns a stopped ticker with the given period and callback.
@@ -72,22 +74,22 @@ func NewTicker(eng *Engine, period Duration, fn func()) *Ticker {
 	if fn == nil {
 		panic("sim: NewTicker with nil func")
 	}
-	return &Ticker{eng: eng, fn: fn, period: period}
+	t := &Ticker{eng: eng, fn: fn, period: period}
+	t.tickFn = t.tick
+	return t
 }
 
 // Start begins ticking; the first tick is one period from now.
 // Starting a started ticker restarts its phase.
 func (t *Ticker) Start() {
 	t.Stop()
-	t.ev = t.eng.ScheduleAfter(t.period, t.tick)
+	t.ev = t.eng.ScheduleAfter(t.period, t.tickFn)
 }
 
 // Stop cancels future ticks.
 func (t *Ticker) Stop() {
-	if t.ev != nil {
-		t.eng.Cancel(t.ev)
-		t.ev = nil
-	}
+	t.eng.Cancel(t.ev)
+	t.ev = Event{}
 }
 
 // Period returns the tick interval.
@@ -97,6 +99,6 @@ func (t *Ticker) Period() Duration { return t.period }
 func (t *Ticker) Running() bool { return t.ev.Pending() }
 
 func (t *Ticker) tick() {
-	t.ev = t.eng.ScheduleAfter(t.period, t.tick)
+	t.ev = t.eng.ScheduleAfter(t.period, t.tickFn)
 	t.fn()
 }

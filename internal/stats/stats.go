@@ -52,11 +52,23 @@ func (w *Welford) Var() float64 {
 // Std returns the sample standard deviation.
 func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
 
-// Min returns the smallest observation (0 with none).
-func (w *Welford) Min() float64 { return w.min }
+// Min returns the smallest observation. With no observations it returns
+// NaN, matching Percentile/Mean on an empty slice — a zero here would
+// render as a plausible-but-fake minimum in campaign tables.
+func (w *Welford) Min() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.min
+}
 
-// Max returns the largest observation (0 with none).
-func (w *Welford) Max() float64 { return w.max }
+// Max returns the largest observation (NaN with none; see Min).
+func (w *Welford) Max() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.max
+}
 
 // CI95 returns the half-width of the normal-approximation 95% confidence
 // interval for the mean.
@@ -75,6 +87,15 @@ func Percentile(xs []float64, p float64) float64 {
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
+	return percentileSorted(s, p)
+}
+
+// percentileSorted is Percentile over an already-sorted sample, so callers
+// needing several quantiles (Describe) sort once and reuse.
+func percentileSorted(s []float64, p float64) float64 {
+	if len(s) == 0 {
+		return math.NaN()
+	}
 	if p <= 0 {
 		return s[0]
 	}

@@ -1,8 +1,16 @@
 package stats
 
+import (
+	"encoding/json"
+	"math"
+	"sort"
+)
+
 // Summary condenses a batch of observations into the moments and order
 // statistics the campaign aggregator reports per grid cell. The zero value
-// describes an empty batch.
+// describes an empty batch; an empty batch's moments are NaN (matching
+// Mean/Percentile on empty slices), which serialize as JSON null — see
+// MarshalJSON.
 type Summary struct {
 	N    int     `json:"n"`
 	Mean float64 `json:"mean"`
@@ -13,23 +21,92 @@ type Summary struct {
 	P90  float64 `json:"p90"`
 }
 
-// Describe summarizes xs. An empty slice yields the zero Summary (not NaNs),
-// so serialized results stay valid JSON.
+// Describe summarizes xs. The sample is sorted once and every quantile is
+// read from the same sorted copy. An empty slice yields N == 0 with NaN
+// moments.
 func Describe(xs []float64) Summary {
 	if len(xs) == 0 {
-		return Summary{}
+		nan := math.NaN()
+		return Summary{Mean: nan, Std: nan, Min: nan, Max: nan, P50: nan, P90: nan}
 	}
 	var w Welford
 	for _, x := range xs {
 		w.Add(x)
 	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
 	return Summary{
 		N:    len(xs),
 		Mean: w.Mean(),
 		Std:  w.Std(),
 		Min:  w.Min(),
 		Max:  w.Max(),
-		P50:  Percentile(xs, 0.50),
-		P90:  Percentile(xs, 0.90),
+		P50:  percentileSorted(s, 0.50),
+		P90:  percentileSorted(s, 0.90),
 	}
+}
+
+// JSONFloat encodes like a float64 except that NaN and the infinities —
+// which encoding/json rejects outright — serialize as null. Exported so
+// other packages' NaN-bearing records (campaign metric values) round-trip
+// through their JSON reports.
+type JSONFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f JSONFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler; null decodes as NaN.
+func (f *JSONFloat) UnmarshalJSON(b []byte) error {
+	if string(b) == "null" {
+		*f = JSONFloat(math.NaN())
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = JSONFloat(v)
+	return nil
+}
+
+// jsonSummary mirrors Summary with NaN-tolerant floats. Field order matches
+// the struct so output is byte-identical for finite values.
+type jsonSummary struct {
+	N    int       `json:"n"`
+	Mean JSONFloat `json:"mean"`
+	Std  JSONFloat `json:"std"`
+	Min  JSONFloat `json:"min"`
+	Max  JSONFloat `json:"max"`
+	P50  JSONFloat `json:"p50"`
+	P90  JSONFloat `json:"p90"`
+}
+
+// MarshalJSON serializes the summary with NaN/Inf moments as null, so an
+// all-degenerate cell (e.g. a 100%-loss sweep) still exports valid JSON.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonSummary{
+		N: s.N, Mean: JSONFloat(s.Mean), Std: JSONFloat(s.Std),
+		Min: JSONFloat(s.Min), Max: JSONFloat(s.Max),
+		P50: JSONFloat(s.P50), P90: JSONFloat(s.P90),
+	})
+}
+
+// UnmarshalJSON restores a summary, decoding null moments as NaN.
+func (s *Summary) UnmarshalJSON(b []byte) error {
+	var j jsonSummary
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	*s = Summary{
+		N: j.N, Mean: float64(j.Mean), Std: float64(j.Std),
+		Min: float64(j.Min), Max: float64(j.Max),
+		P50: float64(j.P50), P90: float64(j.P90),
+	}
+	return nil
 }

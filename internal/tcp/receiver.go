@@ -50,22 +50,26 @@ func (r *Receiver) RcvNxt() int64 { return r.rcvNxt }
 // Stats returns a copy of the receive counters.
 func (r *Receiver) Stats() ReceiverStats { return r.stats }
 
-// Receive processes an arriving data segment (netem.Receiver).
+// Receive processes an arriving data segment (netem.Receiver). The receiver
+// is the segment's terminal consumer and releases it.
 func (r *Receiver) Receive(seg *packet.Segment) {
 	if !seg.IsData() {
+		seg.Release()
 		return
 	}
 	r.stats.SegsIn++
+	segSeq, segEnd := seg.Seq, seg.End()
+	seg.Release()
 	switch {
-	case seg.End() <= r.rcvNxt:
+	case segEnd <= r.rcvNxt:
 		// Entirely old data: duplicate; re-ACK immediately so the sender
 		// converges.
 		r.stats.DupSegs++
 		r.sendAck(false, -1)
-	case seg.Seq <= r.rcvNxt:
+	case segSeq <= r.rcvNxt:
 		// In-order (possibly partially duplicate) data.
-		accepted := seg.End() - r.rcvNxt
-		r.rcvNxt = seg.End()
+		accepted := segEnd - r.rcvNxt
+		r.rcvNxt = segEnd
 		r.stats.DataOctetsIn += accepted
 		hadHole := len(r.ooo) > 0
 		r.mergeContiguous()
@@ -82,18 +86,25 @@ func (r *Receiver) Receive(seg *packet.Segment) {
 		// Out of order: store the range and emit an immediate duplicate
 		// ACK advertising the hole.
 		r.stats.OutOfOrderIn++
-		r.ooo = insertBlock(r.ooo, packet.SACKBlock{Start: seg.Seq, End: seg.End()})
-		r.sendAck(false, seg.Seq)
+		r.ooo = insertBlock(r.ooo, packet.SACKBlock{Start: segSeq, End: segEnd})
+		r.sendAck(false, segSeq)
 	}
 }
 
 // mergeContiguous absorbs out-of-order ranges that rcv.nxt has reached.
+// Remaining ranges shift down in place so the block buffer keeps its
+// capacity across recovery episodes.
 func (r *Receiver) mergeContiguous() {
-	for len(r.ooo) > 0 && r.ooo[0].Start <= r.rcvNxt {
-		if r.ooo[0].End > r.rcvNxt {
-			r.rcvNxt = r.ooo[0].End
+	i := 0
+	for i < len(r.ooo) && r.ooo[i].Start <= r.rcvNxt {
+		if r.ooo[i].End > r.rcvNxt {
+			r.rcvNxt = r.ooo[i].End
 		}
-		r.ooo = r.ooo[1:]
+		i++
+	}
+	if i > 0 {
+		n := copy(r.ooo, r.ooo[i:])
+		r.ooo = r.ooo[:n]
 	}
 }
 
@@ -108,17 +119,16 @@ func (r *Receiver) onDelAckTimeout() {
 // SACK block containing it to come first, so the sender always learns the
 // newest scoreboard information even when more than four blocks exist.
 func (r *Receiver) sendAck(delayed bool, recentSeq int64) {
-	ack := &packet.Segment{
-		Flow:   r.flow,
-		Seq:    0,
-		Len:    0,
-		Ack:    r.rcvNxt,
-		Flags:  packet.FlagACK,
-		Wnd:    r.cfg.RcvWnd,
-		SentAt: r.eng.Now(),
-	}
+	ack := packet.Get()
+	ack.Flow = r.flow
+	ack.Ack = r.rcvNxt
+	ack.Flags = packet.FlagACK
+	ack.Wnd = r.cfg.RcvWnd
+	ack.SentAt = r.eng.Now()
 	if r.cfg.SACK && len(r.ooo) > 0 {
-		blocks := make([]packet.SACKBlock, 0, 4)
+		// Blocks go straight into the pooled segment's SACK buffer, whose
+		// capacity survives recycling — no per-ACK slice allocation.
+		blocks := ack.SACK[:0]
 		if recentSeq >= 0 {
 			for _, b := range r.ooo {
 				if b.Contains(recentSeq) {
@@ -149,35 +159,38 @@ func (r *Receiver) sendAck(delayed bool, recentSeq int64) {
 }
 
 // insertBlock adds b to a sorted, disjoint block list, merging overlaps and
-// adjacencies.
+// adjacencies. The merge is performed in place: a receiver riding out a
+// deep-loss episode inserts thousands of ranges and must not allocate a
+// fresh list per arrival.
 func insertBlock(blocks []packet.SACKBlock, b packet.SACKBlock) []packet.SACKBlock {
 	if b.Len() <= 0 {
 		return blocks
 	}
-	out := blocks[:0:0] // fresh slice, avoids aliasing surprises
-	placed := false
-	for _, cur := range blocks {
-		switch {
-		case cur.End < b.Start:
-			out = append(out, cur)
-		case b.End < cur.Start:
-			if !placed {
-				out = append(out, b)
-				placed = true
-			}
-			out = append(out, cur)
-		default:
-			// Overlapping or touching: merge into b and keep scanning.
-			if cur.Start < b.Start {
-				b.Start = cur.Start
-			}
-			if cur.End > b.End {
-				b.End = cur.End
-			}
+	// lo is the first block that could merge with b (End >= b.Start);
+	// [lo, hi) is the run of blocks overlapping or touching b.
+	lo := 0
+	for lo < len(blocks) && blocks[lo].End < b.Start {
+		lo++
+	}
+	hi := lo
+	for hi < len(blocks) && blocks[hi].Start <= b.End {
+		if blocks[hi].Start < b.Start {
+			b.Start = blocks[hi].Start
 		}
+		if blocks[hi].End > b.End {
+			b.End = blocks[hi].End
+		}
+		hi++
 	}
-	if !placed {
-		out = append(out, b)
+	if hi == lo {
+		// Nothing to merge: open a slot at lo.
+		blocks = append(blocks, packet.SACKBlock{})
+		copy(blocks[lo+1:], blocks[lo:])
+		blocks[lo] = b
+		return blocks
 	}
-	return out
+	// Replace the merged run with b and close the gap.
+	blocks[lo] = b
+	n := copy(blocks[lo+1:], blocks[hi:])
+	return blocks[:lo+1+n]
 }

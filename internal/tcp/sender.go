@@ -44,10 +44,10 @@ type Sender struct {
 	supplied int64 // bytes the application has made available
 	closed   bool  // application will supply no more
 
-	segs        []*sentRecord // outstanding records, ordered by seq
-	sackedBytes int64         // bytes of outstanding records marked SACKed
-	fack        int64         // forward ACK: highest SACKed sequence end
-	rtxOut      int64         // retransmitted bytes not yet (S)ACKed
+	segs        []sentRecord // outstanding records, ordered by seq
+	sackedBytes int64        // bytes of outstanding records marked SACKed
+	fack        int64        // forward ACK: highest SACKed sequence end
+	rtxOut      int64        // retransmitted bytes not yet (S)ACKed
 
 	est     rttEstimator
 	rto     *sim.Timer
@@ -57,10 +57,11 @@ type Sender struct {
 	dupAcks      int
 	recover      int64 // NewReno recovery point
 	inRecovery   bool
-	rtxPending   bool  // a fast-retransmit segment is waiting for IFQ room
-	rtxHigh      int64 // segments below this are retransmissions (Karn)
-	stallCwrHigh int64 // suppress repeated stall-congestion until una passes
-	wakerArmed   bool  // a resume waker is registered with the NIC
+	rtxPending   bool   // a fast-retransmit segment is waiting for IFQ room
+	rtxHigh      int64  // segments below this are retransmissions (Karn)
+	stallCwrHigh int64  // suppress repeated stall-congestion until una passes
+	wakerArmed   bool   // a resume waker is registered with the NIC
+	resumeFn     func() // the waker callback, bound once (no per-stall closure)
 
 	finished bool
 
@@ -92,6 +93,10 @@ func NewSender(eng *sim.Engine, cfg Config, flow packet.FlowID, ctrl cc.Controll
 		est:   newRTTEstimator(cfg.InitialRTO, cfg.MinRTO, cfg.MaxRTO, cfg.RTOGranularity),
 	}
 	s.rto = sim.NewTimer(eng, s.onRTO)
+	s.resumeFn = func() {
+		s.wakerArmed = false
+		s.trySend()
+	}
 	ctrl.Attach(s)
 	s.stats.CurRTO = s.est.RTO()
 	return s
@@ -230,21 +235,21 @@ func (s *Sender) trySend() {
 			}
 			return
 		}
-		seg := &packet.Segment{
-			Flow:   s.flow,
-			Seq:    s.sndNxt,
-			Len:    n,
-			Flags:  packet.FlagACK,
-			Wnd:    s.cfg.RcvWnd,
-			SentAt: s.eng.Now(),
-		}
+		seg := packet.Get()
+		seg.Flow = s.flow
+		seg.Seq = s.sndNxt
+		seg.Len = n
+		seg.Flags = packet.FlagACK
+		seg.Wnd = s.cfg.RcvWnd
+		seg.SentAt = s.eng.Now()
 		rtx := s.sndNxt < s.rtxHigh
 		seg.Retransmit = rtx
 		if !s.path.Send(seg) {
+			seg.Release()
 			s.onSendStall()
 			return
 		}
-		s.segs = append(s.segs, &sentRecord{
+		s.segs = append(s.segs, sentRecord{
 			seq: s.sndNxt, length: n, sentAt: s.eng.Now(), rtx: rtx,
 		})
 		s.sndNxt += int64(n)
@@ -304,10 +309,7 @@ func (s *Sender) onSendStall() {
 	// retransmit path) can hit a stall before the NIC drains.
 	if !s.wakerArmed {
 		s.wakerArmed = true
-		s.path.SetWaker(func() {
-			s.wakerArmed = false
-			s.trySend()
-		})
+		s.path.SetWaker(s.resumeFn)
 	}
 }
 
@@ -318,16 +320,16 @@ func (s *Sender) sendRetransmit() bool {
 	if rec == nil {
 		return true
 	}
-	seg := &packet.Segment{
-		Flow:       s.flow,
-		Seq:        rec.seq,
-		Len:        rec.length,
-		Flags:      packet.FlagACK,
-		Wnd:        s.cfg.RcvWnd,
-		SentAt:     s.eng.Now(),
-		Retransmit: true,
-	}
+	seg := packet.Get()
+	seg.Flow = s.flow
+	seg.Seq = rec.seq
+	seg.Len = rec.length
+	seg.Flags = packet.FlagACK
+	seg.Wnd = s.cfg.RcvWnd
+	seg.SentAt = s.eng.Now()
+	seg.Retransmit = true
 	if !s.path.Send(seg) {
+		seg.Release()
 		s.onSendStall()
 		return false
 	}
@@ -359,7 +361,8 @@ func (s *Sender) sendSACKRetransmissions() bool {
 		stale = s.cfg.MinRTO
 	}
 	now := s.eng.Now()
-	for _, rec := range s.segs {
+	for i := range s.segs {
+		rec := &s.segs[i]
 		if burst >= sackRepairBurst {
 			break
 		}
@@ -379,16 +382,16 @@ func (s *Sender) sendSACKRetransmissions() bool {
 		if s.pipe()+int64(rec.length) > min64(s.cwnd, s.rwnd) {
 			break
 		}
-		seg := &packet.Segment{
-			Flow:       s.flow,
-			Seq:        rec.seq,
-			Len:        rec.length,
-			Flags:      packet.FlagACK,
-			Wnd:        s.cfg.RcvWnd,
-			SentAt:     s.eng.Now(),
-			Retransmit: true,
-		}
+		seg := packet.Get()
+		seg.Flow = s.flow
+		seg.Seq = rec.seq
+		seg.Len = rec.length
+		seg.Flags = packet.FlagACK
+		seg.Wnd = s.cfg.RcvWnd
+		seg.SentAt = s.eng.Now()
+		seg.Retransmit = true
 		if !s.path.Send(seg) {
+			seg.Release()
 			s.onSendStall()
 			return false
 		}
@@ -419,8 +422,11 @@ func (s *Sender) pipe() int64 {
 	return inFlight + s.rtxOut
 }
 
+// firstRetransmittable returns a pointer into s.segs; it is only valid
+// until the next append or compaction of the record list.
 func (s *Sender) firstRetransmittable() *sentRecord {
-	for _, rec := range s.segs {
+	for i := range s.segs {
+		rec := &s.segs[i]
 		if rec.rtxDone || (s.cfg.SACK && rec.sacked) {
 			continue
 		}
@@ -431,9 +437,10 @@ func (s *Sender) firstRetransmittable() *sentRecord {
 
 // --- ACK processing (netem.Receiver) ---
 
-// Receive processes an incoming ACK segment.
+// Receive processes an incoming ACK segment and releases it.
 func (s *Sender) Receive(seg *packet.Segment) {
 	if s.finished || !seg.Flags.Has(packet.FlagACK) {
+		seg.Release()
 		return
 	}
 	s.stats.SegsIn++
@@ -460,6 +467,8 @@ func (s *Sender) Receive(seg *packet.Segment) {
 			s.onDupAck()
 		}
 	}
+	// The sender is the ACK's terminal consumer; every field has been read.
+	seg.Release()
 	s.trySend()
 }
 
@@ -483,8 +492,8 @@ func (s *Sender) onNewAck(ack int64) {
 		if ack >= s.recover {
 			s.inRecovery = false
 			s.dupAcks = 0
-			for _, rec := range s.segs {
-				rec.rtxDone = false
+			for i := range s.segs {
+				s.segs[i].rtxDone = false
 			}
 			s.ctrl.OnExitRecovery()
 		} else {
@@ -560,7 +569,7 @@ func (s *Sender) popAcked(ack int64) (time.Duration, bool) {
 	ok := false
 	i := 0
 	for ; i < len(s.segs); i++ {
-		rec := s.segs[i]
+		rec := &s.segs[i]
 		if rec.end() > ack {
 			break
 		}
@@ -584,7 +593,7 @@ func (s *Sender) popAcked(ack int64) (time.Duration, bool) {
 	// Partial coverage of the front record (ack inside a segment) cannot
 	// happen with MSS-aligned acks, but trim defensively.
 	if len(s.segs) > 0 && s.segs[0].seq < ack {
-		rec := s.segs[0]
+		rec := &s.segs[0]
 		delta := ack - rec.seq
 		rec.seq = ack
 		rec.length -= int(delta)
@@ -597,7 +606,8 @@ func (s *Sender) popAcked(ack int64) (time.Duration, bool) {
 func (s *Sender) applySACK(blocks []packet.SACKBlock) int64 {
 	var fresh int64
 	for _, b := range blocks {
-		for _, rec := range s.segs {
+		for i := range s.segs {
+			rec := &s.segs[i]
 			if !rec.sacked && rec.seq >= b.Start && rec.end() <= b.End {
 				rec.sacked = true
 				s.sackedBytes += int64(rec.length)

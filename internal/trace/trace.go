@@ -29,6 +29,17 @@ func (s *Series) Add(t sim.Time, v float64) {
 	s.Points = append(s.Points, Point{T: t, V: v})
 }
 
+// Reserve grows the series' backing buffer to hold at least n points, so a
+// sampling run appends without reallocating.
+func (s *Series) Reserve(n int) {
+	if cap(s.Points) >= n {
+		return
+	}
+	pts := make([]Point, len(s.Points), n)
+	copy(pts, s.Points)
+	s.Points = pts
+}
+
 // Len returns the number of observations.
 func (s *Series) Len() int { return len(s.Points) }
 
@@ -79,8 +90,8 @@ type Recorder struct {
 }
 
 type gauge struct {
-	name string
-	fn   func() float64
+	series *Series // resolved once at registration; sampling skips the map
+	fn     func() float64
 }
 
 // NewRecorder returns an empty recorder bound to the engine.
@@ -107,21 +118,30 @@ func (r *Recorder) Record(name string, v float64) {
 // Gauge registers a sampled quantity; once Sample is started, every tick
 // appends fn() to the named series.
 func (r *Recorder) Gauge(name string, fn func() float64) {
-	r.Series(name) // reserve order slot
-	r.gauges = append(r.gauges, gauge{name: name, fn: fn})
+	r.gauges = append(r.gauges, gauge{series: r.Series(name), fn: fn})
 }
 
-// Sample starts periodic sampling of all registered gauges.
+// Sample starts periodic sampling of all registered gauges. Each tick reads
+// every gauge into its pre-resolved series — no name lookups, no boxing.
 func (r *Recorder) Sample(period sim.Duration) {
 	if r.ticker != nil {
 		r.ticker.Stop()
 	}
 	r.ticker = sim.NewTicker(r.eng, period, func() {
+		now := r.eng.Now()
 		for _, g := range r.gauges {
-			r.Record(g.name, g.fn())
+			g.series.Add(now, g.fn())
 		}
 	})
 	r.ticker.Start()
+}
+
+// ReserveSamples pre-sizes every registered gauge's series for n upcoming
+// samples, so a run of known length appends without growth reallocations.
+func (r *Recorder) ReserveSamples(n int) {
+	for _, g := range r.gauges {
+		g.series.Reserve(g.series.Len() + n)
+	}
 }
 
 // StopSampling halts periodic sampling.

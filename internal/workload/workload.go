@@ -40,6 +40,7 @@ type Chunked struct {
 	chunk     int64
 	period    time.Duration
 	remaining int64
+	stepFn    func() // bound once; periodic rescheduling allocates nothing
 }
 
 // NewChunked builds a chunked source delivering total bytes in chunk-sized
@@ -48,7 +49,9 @@ func NewChunked(eng *sim.Engine, app App, total, chunk int64, period time.Durati
 	if chunk <= 0 || total <= 0 || period <= 0 {
 		panic("workload: NewChunked requires positive total, chunk and period")
 	}
-	return &Chunked{eng: eng, app: app, chunk: chunk, period: period, remaining: total}
+	c := &Chunked{eng: eng, app: app, chunk: chunk, period: period, remaining: total}
+	c.stepFn = c.step
+	return c
 }
 
 // Start begins supplying; the first chunk is immediate.
@@ -65,20 +68,22 @@ func (c *Chunked) step() {
 		c.app.Close()
 		return
 	}
-	c.eng.ScheduleAfter(c.period, c.step)
+	c.eng.ScheduleAfter(c.period, c.stepFn)
 }
 
 // OnOff alternates between an active phase, during which it supplies at a
 // target rate in MSS-sized parcels, and a silent phase. Classic bursty
 // cross traffic.
 type OnOff struct {
-	eng     *sim.Engine
-	app     App
-	on, off time.Duration
-	rate    unit.Bandwidth
-	parcel  int64
-	active  bool
-	stopped bool
+	eng      *sim.Engine
+	app      App
+	on, off  time.Duration
+	rate     unit.Bandwidth
+	parcel   int64
+	active   bool
+	stopped  bool
+	toggleFn func() // bound once; phase flips allocate nothing
+	pumpFn   func() // bound once; per-parcel rescheduling allocates nothing
 }
 
 // NewOnOff builds an on-off source. parcel is the supply granularity in
@@ -87,13 +92,16 @@ func NewOnOff(eng *sim.Engine, app App, on, off time.Duration, rate unit.Bandwid
 	if on <= 0 || off < 0 || rate <= 0 || parcel <= 0 {
 		panic("workload: NewOnOff requires positive on, rate, parcel and non-negative off")
 	}
-	return &OnOff{eng: eng, app: app, on: on, off: off, rate: rate, parcel: parcel}
+	o := &OnOff{eng: eng, app: app, on: on, off: off, rate: rate, parcel: parcel}
+	o.toggleFn = o.toggle
+	o.pumpFn = o.pump
+	return o
 }
 
 // Start enters the first active phase immediately.
 func (o *OnOff) Start() {
 	o.active = true
-	o.eng.ScheduleAfter(o.on, o.toggle)
+	o.eng.ScheduleAfter(o.on, o.toggleFn)
 	o.pump()
 }
 
@@ -114,7 +122,7 @@ func (o *OnOff) toggle() {
 		next = o.on
 		o.pump()
 	}
-	o.eng.ScheduleAfter(next, o.toggle)
+	o.eng.ScheduleAfter(next, o.toggleFn)
 }
 
 func (o *OnOff) pump() {
@@ -123,7 +131,7 @@ func (o *OnOff) pump() {
 	}
 	o.app.Supply(o.parcel)
 	interval := o.rate.Serialization(unit.ByteSize(o.parcel))
-	o.eng.ScheduleAfter(interval, o.pump)
+	o.eng.ScheduleAfter(interval, o.pumpFn)
 }
 
 // PoissonArrivals schedules fn at exponentially distributed intervals with
