@@ -196,8 +196,11 @@ func (c *Campaign) Plan() (Plan, error) {
 	return c.plan, nil
 }
 
-// Run executes the campaign on a bounded worker pool. Aggregated results are
-// byte-identical regardless of the worker count.
+// Run executes the campaign on a bounded worker pool. Aggregation streams:
+// each finished replicate folds into its cell's running summaries and is
+// dropped unless CampaignOptions.RetainRuns keeps it, so memory scales with
+// the cell count, not the run count. Aggregated results are byte-identical
+// regardless of the worker count.
 func (c *Campaign) Run(opts CampaignOptions) (*Report, error) {
 	if c.err != nil {
 		return nil, c.err
@@ -206,7 +209,8 @@ func (c *Campaign) Run(opts CampaignOptions) (*Report, error) {
 }
 
 // RunPlan executes a generic campaign plan directly — the non-builder
-// entry point, symmetric with RunCampaign for grids.
+// entry point, symmetric with RunCampaign for grids. See Campaign.Run for
+// the streaming-aggregation behaviour.
 func RunPlan(p Plan, opts CampaignOptions) (*Report, error) {
 	return campaign.ExecutePlan(p, opts)
 }

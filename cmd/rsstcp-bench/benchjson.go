@@ -1,17 +1,19 @@
 package main
 
 // The -benchjson mode turns rsstcp-bench into a measurement harness: it
-// times the paper-path scenario and a 3-axis campaign, compares against the
-// recorded pre-overhaul baseline, and writes a machine-readable
-// BENCH_campaign.json. CI uploads the file as an artifact so every PR
-// extends the performance trajectory; the committed copy at the repo root
-// is the latest full-length run.
+// times the paper-path scenario, the small paper-grid campaign, and a
+// campaign-scale big-grid sweep (traceless, streaming aggregation, peak
+// heap tracked), compares against the recorded pre-overhaul and PR-3
+// baselines, and writes a machine-readable BENCH_campaign.json. CI uploads
+// the file as an artifact so every PR extends the performance trajectory;
+// the committed copy at the repo root is the latest full-length run.
 
 import (
 	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"rsstcp/internal/campaign"
@@ -34,17 +36,22 @@ type ScenarioPerf struct {
 	BytesPerRun   uint64  `json:"bytes_per_run"`
 }
 
-// CampaignPerf summarizes the 3-axis campaign throughput.
+// CampaignPerf summarizes one campaign measurement. Workers and PeakHeapMB
+// are reported for the big-grid rows, where parallel efficiency and memory
+// flatness are the figures under test.
 type CampaignPerf struct {
 	Axes       string  `json:"axes"`
 	Cells      int     `json:"cells"`
 	Replicates int     `json:"replicates"`
 	Runs       int     `json:"runs"`
+	Workers    int     `json:"workers,omitempty"`
 	DurationMs float64 `json:"wall_ms"`
 	RunsPerSec float64 `json:"runs_per_sec"`
+	PeakHeapMB float64 `json:"peak_heap_mb,omitempty"`
 }
 
-// BenchReport is the BENCH_campaign.json schema.
+// BenchReport is the BENCH_campaign.json schema. v2 adds the PR-3 epoch
+// anchor and the big-grid rows.
 type BenchReport struct {
 	Schema    string         `json:"schema"`
 	Generated string         `json:"generated"`
@@ -53,22 +60,29 @@ type BenchReport struct {
 	GOARCH    string         `json:"goarch"`
 	CPUs      int            `json:"cpus"`
 	Baseline  BenchSnapshot  `json:"baseline"`
+	PR3       BenchSnapshot  `json:"pr3"`
 	Current   BenchSnapshot  `json:"current"`
 	Speedup   map[string]any `json:"speedup"`
 }
 
-// BenchSnapshot is one measurement epoch: the paper path per algorithm plus
-// the campaign sweep.
+// BenchSnapshot is one measurement epoch: the paper path per algorithm, the
+// small paper-grid campaign, and (from PR 4 on) the big-grid rows — a
+// campaign-scale sweep run traceless with streaming aggregation, once per
+// worker-count setting so parallel efficiency rides the trajectory too.
 type BenchSnapshot struct {
 	Label     string         `json:"label"`
 	PaperPath []ScenarioPerf `json:"paper_path"`
 	Campaign  CampaignPerf   `json:"campaign"`
+	BigGrid   []CampaignPerf `json:"big_grid,omitempty"`
 }
 
 // preOverhaulBaseline is the trajectory anchor: measured at commit 5dd424d
 // (before the allocation-free event loop and segment pooling) with this
 // same harness — 25 s paper-path runs, seeds 1..5, and the 2×2×2 bw×rtt×alg
 // campaign below. Per-event figures are what later epochs compare against.
+// (Historical note: this epoch's wall_ms_per_run figures were captured
+// before the harness kept sub-millisecond precision, hence the round
+// values.)
 func preOverhaulBaseline() BenchSnapshot {
 	return BenchSnapshot{
 		Label: "pre-overhaul (PR 2, commit 5dd424d)",
@@ -90,6 +104,37 @@ func preOverhaulBaseline() BenchSnapshot {
 			Axes:  "bw{50,100Mbps} x rtt{30,60ms} x alg{standard,restricted}",
 			Cells: 8, Replicates: 2, Runs: 16,
 			DurationMs: 641.4, RunsPerSec: 24.95,
+		},
+	}
+}
+
+// pr3Epoch is the previous PR's full-length run (commit ab5d603, the
+// hot-path overhaul), recorded so campaign-layer changes are measured
+// against the tree they started from rather than only the distant
+// pre-overhaul baseline. Same harness, same grids, same machine class as
+// the committed BENCH_campaign.json of that PR. (Its wall_ms_per_run was
+// still millisecond-quantized; per-event and runs/sec figures were not.)
+func pr3Epoch() BenchSnapshot {
+	return BenchSnapshot{
+		Label: "PR 3 (commit ab5d603)",
+		PaperPath: []ScenarioPerf{
+			{
+				Alg: "standard", DurationSim: "25s",
+				Events: 570849, WallMs: 80,
+				EventsPerSec: 7126393, NsPerEvent: 140.3,
+				AllocsPerRun: 723, AllocsPerKEvt: 1.27, BytesPerRun: 176553,
+			},
+			{
+				Alg: "restricted", DurationSim: "25s",
+				Events: 717325, WallMs: 100,
+				EventsPerSec: 7165029, NsPerEvent: 139.6,
+				AllocsPerRun: 866, AllocsPerKEvt: 1.21, BytesPerRun: 175766,
+			},
+		},
+		Campaign: CampaignPerf{
+			Axes:  "bw{50,100Mbps} x rtt{30,60ms} x alg{standard,restricted}",
+			Cells: 8, Replicates: 2, Runs: 16,
+			DurationMs: 172, RunsPerSec: 92.96,
 		},
 	}
 }
@@ -120,10 +165,12 @@ func measureScenario(alg experiment.Algorithm, dur time.Duration, reps int) (Sce
 	}
 	r := uint64(reps)
 	perf := ScenarioPerf{
-		Alg:          string(alg),
-		DurationSim:  dur.String(),
-		Events:       events / r,
-		WallMs:       float64(wall.Milliseconds()) / float64(reps),
+		Alg:         string(alg),
+		DurationSim: dur.String(),
+		Events:      events / r,
+		// Sub-millisecond precision: epoch-over-epoch speedup ratios are
+		// poisoned if per-run wall time quantizes to the millisecond.
+		WallMs:       wall.Seconds() * 1000 / float64(reps),
 		EventsPerSec: float64(events) / wall.Seconds(),
 		NsPerEvent:   float64(wall.Nanoseconds()) / float64(events),
 		AllocsPerRun: allocs / r,
@@ -150,13 +197,84 @@ func measureCampaign(dur time.Duration) (CampaignPerf, error) {
 	return CampaignPerf{
 		Axes:  "bw{50,100Mbps} x rtt{30,60ms} x alg{standard,restricted}",
 		Cells: 8, Replicates: g.Replicates, Runs: runs,
-		DurationMs: float64(wall.Milliseconds()),
+		Workers:    campaign.DefaultWorkers(),
+		DurationMs: wall.Seconds() * 1000,
 		RunsPerSec: float64(runs) / wall.Seconds(),
 	}, nil
 }
 
+// bigGridPlan is the campaign-scale sweep: 64 cells over bandwidth, RTT,
+// IFQ and algorithm, replicated up to the requested run count.
+func bigGridPlan(runs int, dur time.Duration) (campaign.Plan, string) {
+	g := campaign.Grid{
+		Bandwidths:  []unit.Bandwidth{10 * unit.Mbps, 25 * unit.Mbps, 50 * unit.Mbps, 100 * unit.Mbps},
+		RTTs:        []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond, 60 * time.Millisecond},
+		TxQueueLens: []int{50, 100},
+		Algorithms:  []experiment.Algorithm{experiment.AlgStandard, experiment.AlgRestricted},
+		Duration:    dur,
+	}
+	p := g.Plan()
+	cells := p.Size()
+	p.Replicates = (runs + cells - 1) / cells
+	return p, "bw{10,25,50,100Mbps} x rtt{10,20,40,60ms} x ifq{50,100} x alg{standard,restricted}"
+}
+
+// measureBigGrid runs the big grid traceless with streaming aggregation
+// (RetainRuns off) on the given worker count, sampling the heap for its
+// peak along the way.
+func measureBigGrid(runs int, dur time.Duration, workers int) (CampaignPerf, error) {
+	p, axes := bigGridPlan(runs, dur)
+
+	// Ticker-paced peak-heap sampler (ReadMemStats stops the world, so no
+	// tight loop); TestLargeGridStreamingPeakHeap carries the same shape.
+	runtime.GC()
+	var peak atomic.Uint64
+	sample := func() {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		if m.HeapAlloc > peak.Load() {
+			peak.Store(m.HeapAlloc)
+		}
+	}
+	stop := make(chan struct{})
+	sampled := make(chan struct{})
+	go func() {
+		defer close(sampled)
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				sample()
+			}
+		}
+	}()
+
+	t0 := time.Now()
+	_, err := campaign.ExecutePlan(p, campaign.Options{Workers: workers})
+	wall := time.Since(t0)
+	close(stop)
+	<-sampled
+	sample() // final state, in case the sweep outran the first tick
+	if err != nil {
+		return CampaignPerf{}, err
+	}
+	return CampaignPerf{
+		Axes:       axes,
+		Cells:      p.Size(),
+		Replicates: p.Replicates,
+		Runs:       p.Runs(),
+		Workers:    workers,
+		DurationMs: wall.Seconds() * 1000,
+		RunsPerSec: float64(p.Runs()) / wall.Seconds(),
+		PeakHeapMB: float64(peak.Load()) / (1 << 20),
+	}, nil
+}
+
 // emitBenchJSON measures the current tree and writes the report to path.
-func emitBenchJSON(path string, paperDur, campDur time.Duration, reps int) error {
+func emitBenchJSON(path string, paperDur, campDur time.Duration, reps, bigRuns int, bigDur time.Duration) error {
 	cur := BenchSnapshot{Label: "current tree"}
 	for _, alg := range []experiment.Algorithm{experiment.AlgStandard, experiment.AlgRestricted} {
 		p, err := measureScenario(alg, paperDur, reps)
@@ -171,23 +289,47 @@ func emitBenchJSON(path string, paperDur, campDur time.Duration, reps int) error
 	}
 	cur.Campaign = camp
 
+	// Big-grid rows: workers=1 and workers=GOMAXPROCS on the same plan,
+	// so single-thread throughput and parallel efficiency are both on
+	// record. On a single-CPU runner the rows coincide — still recorded,
+	// so multi-core epochs have a comparison point.
+	for _, workers := range bigGridWorkerCounts() {
+		row, err := measureBigGrid(bigRuns, bigDur, workers)
+		if err != nil {
+			return err
+		}
+		cur.BigGrid = append(cur.BigGrid, row)
+	}
+
 	base := preOverhaulBaseline()
+	pr3 := pr3Epoch()
 	speedup := map[string]any{}
 	for i, p := range cur.PaperPath {
 		b := base.PaperPath[i]
 		speedup["events_per_sec_"+p.Alg] = round2(p.EventsPerSec / b.EventsPerSec)
 		speedup["alloc_reduction_"+p.Alg] = round2(b.AllocsPerKEvt / p.AllocsPerKEvt)
+		speedup["events_per_sec_"+p.Alg+"_vs_pr3"] = round2(p.EventsPerSec / pr3.PaperPath[i].EventsPerSec)
 	}
 	speedup["campaign_runs_per_sec"] = round2(cur.Campaign.RunsPerSec / base.Campaign.RunsPerSec)
+	speedup["campaign_runs_per_sec_vs_pr3"] = round2(cur.Campaign.RunsPerSec / pr3.Campaign.RunsPerSec)
+	if n := len(cur.BigGrid); n > 0 {
+		best := cur.BigGrid[n-1] // the GOMAXPROCS row
+		speedup["big_grid_runs_per_sec_vs_pr3_campaign"] = round2(best.RunsPerSec / pr3.Campaign.RunsPerSec)
+		if cur.BigGrid[0].Workers == 1 && best.Workers > 1 {
+			speedup["big_grid_parallel_efficiency"] = round2(
+				best.RunsPerSec / (cur.BigGrid[0].RunsPerSec * float64(best.Workers)))
+		}
+	}
 
 	rep := BenchReport{
-		Schema:    "rsstcp-bench/v1",
+		Schema:    "rsstcp-bench/v2",
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		CPUs:      runtime.NumCPU(),
 		Baseline:  base,
+		PR3:       pr3,
 		Current:   cur,
 		Speedup:   speedup,
 	}
@@ -206,6 +348,16 @@ func emitBenchJSON(path string, paperDur, campDur time.Duration, reps int) error
 		fmt.Printf("  %s: %vx\n", k, v)
 	}
 	return nil
+}
+
+// bigGridWorkerCounts returns the worker-scaling rows to measure: always
+// workers=1, plus GOMAXPROCS when it differs.
+func bigGridWorkerCounts() []int {
+	counts := []int{1}
+	if n := campaign.DefaultWorkers(); n > 1 {
+		counts = append(counts, n)
+	}
+	return counts
 }
 
 func round2(x float64) float64 { return float64(int(x*100+0.5)) / 100 }

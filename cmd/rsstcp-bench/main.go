@@ -78,15 +78,17 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		format   = flag.String("format", "text", "output format: text|csv")
 
-		benchJSON = flag.String("benchjson", "", "write a machine-readable performance report (e.g. BENCH_campaign.json) and exit")
-		benchDur  = flag.Duration("benchdur", 25*time.Second, "benchjson: virtual duration of each paper-path run")
-		campDur   = flag.Duration("campdur", 5*time.Second, "benchjson: virtual duration of each campaign run")
-		benchReps = flag.Int("benchreps", 5, "benchjson: paper-path repetitions")
+		benchJSON   = flag.String("benchjson", "", "write a machine-readable performance report (e.g. BENCH_campaign.json) and exit")
+		benchDur    = flag.Duration("benchdur", 25*time.Second, "benchjson: virtual duration of each paper-path run")
+		campDur     = flag.Duration("campdur", 5*time.Second, "benchjson: virtual duration of each campaign run")
+		benchReps   = flag.Int("benchreps", 5, "benchjson: paper-path repetitions")
+		bigGridRuns = flag.Int("biggridruns", 10240, "benchjson: run count of the big-grid epoch (traceless, streaming)")
+		bigGridDur  = flag.Duration("biggriddur", time.Second, "benchjson: virtual duration of each big-grid run")
 	)
 	flag.Parse()
 
 	if *benchJSON != "" {
-		if err := emitBenchJSON(*benchJSON, *benchDur, *campDur, *benchReps); err != nil {
+		if err := emitBenchJSON(*benchJSON, *benchDur, *campDur, *benchReps, *bigGridRuns, *bigGridDur); err != nil {
 			fmt.Fprintln(os.Stderr, "rsstcp-bench:", err)
 			os.Exit(1)
 		}

@@ -12,6 +12,13 @@
 // derived from the base seed and each cell's parameters, never from the
 // schedule.
 //
+// Campaigns execute streaming: each finished replicate folds into its
+// cell's running summaries and is dropped, so memory scales with the cell
+// count, not the run count — large grids (10⁵–10⁶ runs) export aggregates
+// only. Pass -retain-runs to keep every raw replicate in the generic
+// report's JSON. The legacy fixed-grid output always retains runs (its
+// format predates streaming); use the generic flags for very large sweeps.
+//
 // Examples:
 //
 //	rsstcp-campaign
@@ -54,9 +61,10 @@ func main() {
 		quiet      = flag.Bool("quiet", false, "suppress progress reporting on stderr")
 
 		// New-style flags: the generic axis/metric engine.
-		metrics   = flag.String("metrics", "", "metric columns to report, in order (comma list; known: "+strings.Join(rsstcp.MetricNames(), ",")+")")
-		setpoints = flag.String("setpoints", "", "RSS IFQ set-point fractions to sweep (comma list; adds a 'setpoint' axis)")
-		ticks     = flag.String("ticks", "", "RSS control periods to sweep (comma list of durations; adds a 'tick' axis)")
+		metrics    = flag.String("metrics", "", "metric columns to report, in order (comma list; known: "+strings.Join(rsstcp.MetricNames(), ",")+")")
+		setpoints  = flag.String("setpoints", "", "RSS IFQ set-point fractions to sweep (comma list; adds a 'setpoint' axis)")
+		ticks      = flag.String("ticks", "", "RSS control periods to sweep (comma list of durations; adds a 'tick' axis)")
+		retainRuns = flag.Bool("retain-runs", false, "keep every raw replicate in the generic report (memory grows with run count)")
 	)
 	var extraAxes []rsstcp.Axis
 	flag.Func("axis", "extra sweep axis as name=v1,v2 (repeatable; names: "+strings.Join(rsstcp.StockAxisNames(), ",")+")", func(s string) error {
@@ -103,7 +111,7 @@ func main() {
 		axisOrDie(&extraAxes, "tick", *ticks)
 	}
 
-	opts := rsstcp.CampaignOptions{Workers: *workers}
+	opts := rsstcp.CampaignOptions{Workers: *workers, RetainRuns: *retainRuns}
 	progress := func(runs int) {
 		if *quiet {
 			return

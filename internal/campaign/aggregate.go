@@ -63,8 +63,10 @@ type ReportCell struct {
 	Key string `json:"key"`
 	// Labels are the per-axis "name=label" pairs.
 	Labels []string `json:"labels"`
-	// Runs are the replicates in replicate order.
-	Runs []Replicate `json:"runs"`
+	// Runs are the replicates in replicate order — populated only when the
+	// campaign ran with Options.RetainRuns; a streaming campaign folds
+	// replicates into the summaries and drops them.
+	Runs []Replicate `json:"runs,omitempty"`
 	// Metrics are the per-metric summaries, in plan-metric order.
 	Metrics []MetricSummary `json:"metrics"`
 	// config is the cell's composed configuration, kept for legacy-shape
@@ -91,28 +93,6 @@ func (c ReportCell) Metric(name string) (stats.Summary, bool) {
 type Report struct {
 	Plan  Plan
 	Cells []ReportCell
-}
-
-// aggregateCell folds a cell's replicates into per-metric summaries.
-// Replicates are already in replicate order, so the summaries are
-// independent of the worker schedule that produced them.
-func aggregateCell(p Plan, c PlanCell, runs []Replicate) ReportCell {
-	out := ReportCell{
-		Index:   c.Index,
-		Key:     c.Key,
-		Labels:  c.Labels,
-		Runs:    runs,
-		Metrics: make([]MetricSummary, len(p.Metrics)),
-		config:  c.Config,
-	}
-	xs := make([]float64, len(runs))
-	for mi, m := range p.Metrics {
-		for ri, r := range runs {
-			xs[ri] = float64(r.Values[mi])
-		}
-		out.Metrics[mi] = MetricSummary{Name: m.Name, Summary: stats.Describe(xs)}
-	}
-	return out
 }
 
 // CellResult is one legacy grid cell's replicate set plus its aggregate

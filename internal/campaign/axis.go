@@ -186,6 +186,17 @@ func (p Plan) Runs() int {
 	return p.Size() * p.Replicates
 }
 
+// needsTrace reports whether any plan metric requires recorded gauge
+// series. Without one, the engine runs every scenario traceless.
+func (p Plan) needsTrace() bool {
+	for _, m := range p.Metrics {
+		if m.NeedsTrace {
+			return true
+		}
+	}
+	return false
+}
+
 // Cells expands the axis product in canonical order: the first axis is
 // outermost, the last varies fastest. Mutators are applied in axis order on
 // a fresh configuration per cell.

@@ -102,7 +102,7 @@ func TestGridMatchesHandCompiledAxes(t *testing.T) {
 		Duration:   time.Second,
 		BaseSeed:   7,
 	}
-	rep, err := ExecutePlan(plan, Options{Workers: 3})
+	rep, err := ExecutePlan(plan, Options{Workers: 3, RetainRuns: true})
 	if err != nil {
 		t.Fatal(err)
 	}

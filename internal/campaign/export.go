@@ -10,47 +10,111 @@ import (
 	"rsstcp/internal/experiment"
 )
 
+// streamJSON writes {"<headName>": <head>, "<listName>": [item, ...]} with
+// two-space indentation and a trailing newline, marshaling one list item at
+// a time. The output is byte-identical to
+// json.NewEncoder(w).SetIndent("", "  ").Encode of the equivalent struct
+// (see TestStreamedReportJSONMatchesEncoder) while the peak encoding buffer
+// is one cell, not the whole report — what keeps a retained-runs export of
+// a large campaign from materializing twice.
+func streamJSON(w io.Writer, headName string, head any, listName string, n int, item func(int) any) error {
+	hb, err := json.MarshalIndent(head, "  ", "  ")
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "{\n  %q: %s,\n  %q: [", headName, hb, listName); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		sep := ","
+		if i == 0 {
+			sep = ""
+		}
+		ib, err := json.MarshalIndent(item(i), "    ", "  ")
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s\n    %s", sep, ib); err != nil {
+			return err
+		}
+	}
+	suffix := "\n  ]\n}\n"
+	if n == 0 {
+		suffix = "]\n}\n"
+	}
+	_, err = io.WriteString(w, suffix)
+	return err
+}
+
+// streamCSV writes a header and one formatted row per cell, byte-identical
+// to Table.CSV over the same rows but without materializing them.
+func streamCSV(w io.Writer, header []string, n int, row func(int) []any) error {
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if _, err := fmt.Fprintln(w, strings.Join(experiment.FormatRow(row(i)...), ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- legacy grid exporters ---
+
+var legacyHeader = []string{
+	"bw", "rtt-ms", "rq", "ifq", "loss", "alg", "flows",
+	"mbps-mean", "mbps-std", "mbps-p90",
+	"stalls-mean", "cong-mean", "drops-mean", "util-mean",
+}
+
+// legacyRow builds one aggregate table row for a legacy cell.
+func legacyRow(c CellResult) []any {
+	return []any{
+		c.Cell.Path.Bottleneck.String(),
+		int(c.Cell.Path.RTT / time.Millisecond),
+		c.Cell.Path.RouterQueue,
+		c.Cell.Path.TxQueueLen,
+		fmt.Sprintf("%g", c.Cell.Path.Loss),
+		string(c.Cell.Alg),
+		c.Cell.Flows,
+		c.ThroughputMbps.Mean,
+		c.ThroughputMbps.Std,
+		c.ThroughputMbps.P90,
+		c.Stalls.Mean,
+		c.CongSignals.Mean,
+		c.RouterDrops.Mean,
+		fmt.Sprintf("%.3f", c.Utilization.Mean),
+	}
+}
+
 // Table renders the per-cell aggregates as an experiment.Table, one row per
 // cell in canonical grid order, ready for aligned text or CSV output.
 func (r *Result) Table() *experiment.Table {
 	t := &experiment.Table{
 		Title: fmt.Sprintf("Campaign: %d cells × %d replicates (%v per run)",
 			len(r.Cells), r.Grid.Replicates, r.Grid.Duration),
-		Header: []string{
-			"bw", "rtt-ms", "rq", "ifq", "loss", "alg", "flows",
-			"mbps-mean", "mbps-std", "mbps-p90",
-			"stalls-mean", "cong-mean", "drops-mean", "util-mean",
-		},
+		Header: legacyHeader,
 		Notes: []string{
 			fmt.Sprintf("base seed %d; replicate seeds derived per cell key", r.Grid.BaseSeed),
 		},
 	}
 	for _, c := range r.Cells {
-		t.Add(
-			c.Cell.Path.Bottleneck.String(),
-			int(c.Cell.Path.RTT/time.Millisecond),
-			c.Cell.Path.RouterQueue,
-			c.Cell.Path.TxQueueLen,
-			fmt.Sprintf("%g", c.Cell.Path.Loss),
-			string(c.Cell.Alg),
-			c.Cell.Flows,
-			c.ThroughputMbps.Mean,
-			c.ThroughputMbps.Std,
-			c.ThroughputMbps.P90,
-			c.Stalls.Mean,
-			c.CongSignals.Mean,
-			c.RouterDrops.Mean,
-			fmt.Sprintf("%.3f", c.Utilization.Mean),
-		)
+		t.Add(legacyRow(c)...)
 	}
 	return t
 }
 
-// WriteCSV writes the aggregate table as CSV.
-func (r *Result) WriteCSV(w io.Writer) error { return r.Table().CSV(w) }
+// WriteCSV writes the aggregate table as CSV, one cell at a time.
+func (r *Result) WriteCSV(w io.Writer) error {
+	return streamCSV(w, legacyHeader, len(r.Cells), func(i int) []any {
+		return legacyRow(r.Cells[i])
+	})
+}
 
-// jsonResult is the serialized shape: the grid is flattened to strings so
-// the file is self-describing without Go-specific types.
+// jsonResult documents the serialized shape — the grid flattened to strings
+// so the file is self-describing without Go-specific types — which
+// WriteJSON streams cell by cell rather than marshaling in one piece.
 type jsonResult struct {
 	Grid  jsonGrid     `json:"grid"`
 	Cells []CellResult `json:"cells"`
@@ -70,8 +134,9 @@ type jsonGrid struct {
 }
 
 // WriteJSON writes the full campaign — grid, per-replicate runs and
-// per-cell aggregates — as indented JSON. Output is byte-deterministic for
-// a given grid regardless of worker count.
+// per-cell aggregates — as indented JSON, streaming per cell. Output is
+// byte-deterministic for a given grid regardless of worker count (and
+// byte-identical to the pre-streaming encoder: see TestGridGoldenOutput).
 func (r *Result) WriteJSON(w io.Writer) error {
 	g := r.Grid.withDefaults()
 	jg := jsonGrid{
@@ -92,15 +157,16 @@ func (r *Result) WriteJSON(w io.Writer) error {
 	for _, a := range g.Algorithms {
 		jg.Algorithms = append(jg.Algorithms, string(a))
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(jsonResult{Grid: jg, Cells: r.Cells})
+	return streamJSON(w, "grid", jg, "cells", len(r.Cells), func(i int) any {
+		return r.Cells[i]
+	})
 }
 
 // --- generic report exporters ---
 
-// jsonReport is the serialized shape of a generic campaign: the plan is
-// flattened to axis/metric names so the file is self-describing.
+// jsonReport documents the serialized shape of a generic campaign: the plan
+// flattened to axis/metric names so the file is self-describing. WriteJSON
+// streams it cell by cell.
 type jsonReport struct {
 	Plan  jsonPlan     `json:"plan"`
 	Cells []ReportCell `json:"cells"`
@@ -119,9 +185,10 @@ type jsonAxis struct {
 	Labels []string `json:"labels"`
 }
 
-// WriteJSON writes the full report — plan, per-replicate runs and metric
-// values, and per-cell metric summaries — as indented JSON. Output is
-// byte-deterministic for a given plan regardless of worker count.
+// WriteJSON writes the full report — plan, per-cell metric summaries, and
+// (when the campaign retained them) per-replicate runs — as indented JSON,
+// streaming per cell. Output is byte-deterministic for a given plan
+// regardless of worker count.
 func (r *Report) WriteJSON(w io.Writer) error {
 	p := r.Plan.withDefaults()
 	jp := jsonPlan{
@@ -139,9 +206,38 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	for _, m := range p.Metrics {
 		jp.Metrics = append(jp.Metrics, m.Name)
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(jsonReport{Plan: jp, Cells: r.Cells})
+	return streamJSON(w, "plan", jp, "cells", len(r.Cells), func(i int) any {
+		return r.Cells[i]
+	})
+}
+
+// reportHeader builds the generic aggregate table's column set: one column
+// per axis, then mean and std per plan metric.
+func reportHeader(p Plan) []string {
+	var h []string
+	for _, a := range p.Axes {
+		h = append(h, a.Name)
+	}
+	for _, m := range p.Metrics {
+		h = append(h, m.Name+"-mean", m.Name+"-std")
+	}
+	return h
+}
+
+// reportRow builds one aggregate table row for a generic cell.
+func reportRow(c ReportCell) []any {
+	row := make([]any, 0, len(c.Labels)+2*len(c.Metrics))
+	for _, l := range c.Labels {
+		if _, label, ok := strings.Cut(l, "="); ok {
+			row = append(row, label)
+		} else {
+			row = append(row, l)
+		}
+	}
+	for _, m := range c.Metrics {
+		row = append(row, m.Mean, m.Std)
+	}
+	return row
 }
 
 // Table renders the report as an experiment.Table: one column per axis, then
@@ -152,32 +248,21 @@ func (r *Report) Table() *experiment.Table {
 	t := &experiment.Table{
 		Title: fmt.Sprintf("Campaign: %d cells × %d replicates (%v per run)",
 			len(r.Cells), p.Replicates, p.Duration),
+		Header: reportHeader(p),
 		Notes: []string{
 			fmt.Sprintf("base seed %d; replicate seeds derived per cell key", p.BaseSeed),
 		},
 	}
-	for _, a := range p.Axes {
-		t.Header = append(t.Header, a.Name)
-	}
-	for _, m := range p.Metrics {
-		t.Header = append(t.Header, m.Name+"-mean", m.Name+"-std")
-	}
 	for _, c := range r.Cells {
-		row := make([]any, 0, len(t.Header))
-		for _, l := range c.Labels {
-			if _, label, ok := strings.Cut(l, "="); ok {
-				row = append(row, label)
-			} else {
-				row = append(row, l)
-			}
-		}
-		for _, m := range c.Metrics {
-			row = append(row, m.Mean, m.Std)
-		}
-		t.Add(row...)
+		t.Add(reportRow(c)...)
 	}
 	return t
 }
 
-// WriteCSV writes the report's aggregate table as CSV.
-func (r *Report) WriteCSV(w io.Writer) error { return r.Table().CSV(w) }
+// WriteCSV writes the report's aggregate table as CSV, one cell at a time.
+func (r *Report) WriteCSV(w io.Writer) error {
+	p := r.Plan.withDefaults()
+	return streamCSV(w, reportHeader(p), len(r.Cells), func(i int) []any {
+		return reportRow(r.Cells[i])
+	})
+}

@@ -19,6 +19,11 @@ type Metric struct {
 	Name string
 	// Extract reads the metric from one replicate's result.
 	Extract func(experiment.Result) float64
+	// NeedsTrace forces campaigns measuring this metric to record gauge
+	// series. Every stock metric reads running counters and leaves it
+	// false, so campaigns run traceless — no sampling ticker, no series
+	// memory. A custom metric that reads Result.Rec series must set it.
+	NeedsTrace bool
 }
 
 // Stock metrics. The first six mirror the legacy CellResult summaries; the
@@ -102,14 +107,27 @@ var (
 	// MetricTimeToUtil90 is the virtual time, in seconds, at which the
 	// bottleneck's cumulative utilization first reached 90% — a ramp-speed
 	// figure of merit for slow-start schemes. Runs that never get there
-	// score the full run duration.
+	// score the full run duration. It reads the link's running counter
+	// mark (Result.TimeToUtil90) whenever the run produced one, traced or
+	// not, so its values never depend on whether some other plan metric
+	// forced tracing; the sampled "util" series is only a fallback for
+	// results that predate the mark (e.g. hand-built in tests).
 	MetricTimeToUtil90 = Metric{
 		Name: "t90_util_s",
 		Extract: func(r experiment.Result) float64 {
+			if r.TimeToUtil90 > 0 {
+				return r.TimeToUtil90.Seconds()
+			}
+			if r.TimeToUtil90 < 0 {
+				// The mark was armed and never tripped.
+				return r.Duration.Seconds()
+			}
 			if r.Rec != nil {
-				for _, p := range r.Rec.Series("util").Points {
-					if p.V >= 0.9 {
-						return p.T.Seconds()
+				if s := r.Rec.Lookup("util"); s != nil {
+					for _, p := range s.Points {
+						if p.V >= 0.9 {
+							return p.T.Seconds()
+						}
 					}
 				}
 			}

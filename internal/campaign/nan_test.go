@@ -49,11 +49,14 @@ func TestHundredPercentLossCampaignExportsJSON(t *testing.T) {
 		Replicates: 2,
 		Duration:   2 * time.Second,
 	}
-	rep, err := ExecutePlan(p, Options{Workers: 2})
+	rep, err := ExecutePlan(p, Options{Workers: 2, RetainRuns: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, c := range rep.Cells {
+		if len(c.Runs) != p.Replicates {
+			t.Fatalf("cell %s retained %d runs, want %d", c.Key, len(c.Runs), p.Replicates)
+		}
 		for _, r := range c.Runs {
 			if r.ThroughputBps != 0 {
 				t.Errorf("cell %s: nonzero goodput %v on a blackholed path", c.Key, r.ThroughputBps)

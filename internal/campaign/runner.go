@@ -10,15 +10,28 @@ import (
 )
 
 // Options tunes campaign execution. The zero value runs on GOMAXPROCS
-// workers with no progress reporting.
+// workers, streams aggregation (no retained replicates), and reports no
+// progress.
 type Options struct {
 	// Workers bounds the number of concurrent simulations (0 =
 	// GOMAXPROCS). Worker count never changes results, only wall time.
 	Workers int
-	// Progress, when non-nil, is called after each replicate finishes
-	// with the number of completed and total runs. Calls are serialized
-	// but arrive in completion order, which is nondeterministic.
+	// Progress, when non-nil, receives completion updates. Calls arrive
+	// from the collector in canonical run order — no locking, no
+	// scheduling nondeterminism — and are coarsened by ProgressEvery.
 	Progress func(done, total int)
+	// ProgressEvery delivers Progress at most once per that many completed
+	// runs; the final completion always reports. Zero picks a scale-aware
+	// default (~200 updates per campaign) so a million-run sweep is not
+	// serialized through its progress callback; 1 restores per-replicate
+	// delivery.
+	ProgressEvery int
+	// RetainRuns keeps every raw Replicate on its ReportCell. Off (the
+	// default), each finished replicate is folded into its cell's
+	// streaming accumulators and dropped, so peak memory is governed by
+	// the cell count, not the run count. Grid Execute always retains: the
+	// legacy Result shape exposes raw runs.
+	RetainRuns bool
 }
 
 func (o Options) workers() int {
@@ -26,6 +39,17 @@ func (o Options) workers() int {
 		return o.Workers
 	}
 	return DefaultWorkers()
+}
+
+// progressStride resolves ProgressEvery against the campaign size.
+func (o Options) progressStride(total int) int {
+	if o.ProgressEvery > 0 {
+		return o.ProgressEvery
+	}
+	if s := total / 200; s > 1 {
+		return s
+	}
+	return 1
 }
 
 // DefaultWorkers is the pool size used when Options.Workers is zero.
@@ -58,90 +82,31 @@ type Replicate struct {
 	Values []stats.JSONFloat `json:"values"`
 }
 
-// ExecutePlan runs every cell of the plan's axis product, replicated on a
-// bounded worker pool, and summarizes the plan's metrics per cell. It is the
-// engine's entry point; Execute routes legacy grids through it.
-func ExecutePlan(p Plan, opts Options) (*Report, error) {
-	p = p.withDefaults()
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	cells := p.Cells()
-	total := len(cells) * p.Replicates
-
-	type job struct{ cell, rep int }
-	jobs := make(chan job)
-	// runs[cell][rep] and errs[cell][rep] are each written by exactly
-	// one worker, so the only shared state below is the channel, the
-	// wait group, and the progress counter.
-	runs := make([][]Replicate, len(cells))
-	errs := make([][]error, len(cells))
-	for i := range runs {
-		runs[i] = make([]Replicate, p.Replicates)
-		errs[i] = make([]error, p.Replicates)
-	}
-
-	var (
-		wg       sync.WaitGroup
-		progMu   sync.Mutex
-		done     int
-		progress = opts.Progress
-	)
-	for w := 0; w < opts.workers(); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				r, err := runReplicate(p, cells[j.cell], j.rep)
-				if err != nil {
-					errs[j.cell][j.rep] = err
-				} else {
-					runs[j.cell][j.rep] = r
-				}
-				if progress != nil {
-					progMu.Lock()
-					done++
-					progress(done, total)
-					progMu.Unlock()
-				}
-			}
-		}()
-	}
-	for c := range cells {
-		for rep := 0; rep < p.Replicates; rep++ {
-			jobs <- job{c, rep}
-		}
-	}
-	close(jobs)
-	wg.Wait()
-
-	// Report the first failure in canonical (cell, replicate) order so
-	// the error is deterministic too.
-	for i, cellErrs := range errs {
-		for rep, err := range cellErrs {
-			if err != nil {
-				return nil, fmt.Errorf("campaign: cell %d (%s) replicate %d: %w",
-					i, cells[i].Key, rep, err)
-			}
-		}
-	}
-
-	rep := &Report{Plan: p, Cells: make([]ReportCell, len(cells))}
-	for i, cell := range cells {
-		rep.Cells[i] = aggregateCell(p, cell, runs[i])
-	}
-	return rep, nil
+// runContext is one worker's reusable simulation state. The first replicate
+// builds a scenario; every later one resets it in place, keeping the
+// engine's event pool and the recorder's storage warm instead of rebuilding
+// the world per run. Reset-vs-fresh equivalence is pinned by
+// experiment.TestResetMatchesFreshBuild.
+type runContext struct {
+	s *experiment.Scenario
 }
 
-// runReplicate builds and runs one simulation, condenses it to the stock
-// scalars, and extracts the plan's metrics.
-func runReplicate(p Plan, c PlanCell, rep int) (Replicate, error) {
+// runReplicate runs one seeded simulation on the (reused) context,
+// condenses it to the stock scalars, and extracts the plan's metrics.
+func (rc *runContext) runReplicate(p Plan, c PlanCell, rep int, traceless bool) (Replicate, error) {
 	cfg := p.Config(c, rep)
-	s, err := experiment.Build(cfg)
-	if err != nil {
+	cfg.Traceless = traceless
+	if rc.s == nil {
+		s, err := experiment.Build(cfg)
+		if err != nil {
+			return Replicate{}, err
+		}
+		rc.s = s
+	} else if err := rc.s.Reset(cfg); err != nil {
+		rc.s = nil // half-built context: rebuild on the next job
 		return Replicate{}, err
 	}
-	res := s.Run()
+	res := rc.s.Run()
 	out := Replicate{
 		Run: Run{
 			Replicate:     rep,
@@ -164,15 +129,209 @@ func runReplicate(p Plan, c PlanCell, rep int) (Replicate, error) {
 	return out, nil
 }
 
+// dispatchSpan sizes the contiguous run spans handed to workers: long
+// enough that channel traffic amortizes over many runs (and a cell's
+// replicates land back to back on one reused scenario), short enough to
+// keep every worker fed and the collector's reorder buffer shallow.
+func dispatchSpan(total, workers int) int {
+	s := total / (workers * 8)
+	if s < 1 {
+		return 1
+	}
+	if s > 64 {
+		return 64
+	}
+	return s
+}
+
+// ExecutePlan runs every cell of the plan's axis product, replicated on a
+// bounded worker pool, and summarizes the plan's metrics per cell. It is the
+// engine's entry point; Execute routes legacy grids through it.
+//
+// Aggregation streams: the collector folds each finished replicate into its
+// cell's accumulators strictly in canonical (cell, replicate) order — out-
+// of-order completions wait in a reorder buffer bounded by the worker count
+// and span size — so summaries are bit-identical to a batch Describe over
+// the replicates in order, independent of worker count, and (with
+// Options.RetainRuns off) the replicates themselves are dropped as soon as
+// they are folded.
+func ExecutePlan(p Plan, opts Options) (*Report, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cells := p.Cells()
+	reps := p.Replicates
+	total := len(cells) * reps
+	workers := opts.workers()
+	if workers > total {
+		workers = total
+	}
+	span := dispatchSpan(total, workers)
+	traceless := !p.needsTrace()
+
+	type done struct {
+		idx int
+		rep Replicate
+		err error
+	}
+	jobs := make(chan [2]int, workers)
+	results := make(chan done, 2*workers)
+	// tokens bounds the runs dispatched but not yet folded, and with them
+	// the collector's reorder buffer: the dispatcher acquires one token
+	// per run before handing out its span, the collector releases one per
+	// fold. If the canonically-first cell is also the slowest, the other
+	// workers stall once the window fills instead of racing ahead and
+	// buffering the whole campaign — the bound is O(workers × span) runs
+	// (a couple of MB at the defaults' ceiling), flat in campaign size.
+	// The constant keeps several spans of slack per worker so the
+	// dispatcher stays off the critical path. Deadlock-free because the
+	// capacity covers at least one full span and the collector folds
+	// eagerly, so the lowest unfolded run is always in flight or queued,
+	// never stuck in the buffer.
+	window := 8 * workers * span
+	tokens := make(chan struct{}, window)
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			var rc runContext
+			for jb := range jobs {
+				for g := jb[0]; g < jb[1]; g++ {
+					r, err := rc.runReplicate(p, cells[g/reps], g%reps, traceless)
+					results <- done{idx: g, rep: r, err: err}
+				}
+			}
+		}()
+	}
+	go func() {
+		for lo := 0; lo < total; lo += span {
+			hi := lo + span
+			if hi > total {
+				hi = total
+			}
+			for i := lo; i < hi; i++ {
+				tokens <- struct{}{}
+			}
+			jobs <- [2]int{lo, hi}
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	// Collector: fold strictly in canonical order. Completions that arrive
+	// early wait in `pending`, whose size the token window caps at
+	// O(workers × span) regardless of how skewed per-cell cost is.
+	rep := &Report{Plan: p, Cells: make([]ReportCell, len(cells))}
+	f := folder{
+		p: p, cells: cells, out: rep,
+		retain:   opts.RetainRuns,
+		accs:     make([]stats.Accumulator, len(p.Metrics)),
+		total:    total,
+		stride:   opts.progressStride(total),
+		progress: opts.Progress,
+	}
+	pending := make(map[int]done, window)
+	next := 0
+	for d := range results {
+		pending[d.idx] = d
+		for {
+			cur, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			f.fold(cur.idx, cur.rep, cur.err)
+			<-tokens
+			next++
+		}
+	}
+	if f.err != nil {
+		return nil, f.err
+	}
+	return rep, nil
+}
+
+// folder accumulates one cell at a time. Because folding is in canonical
+// order, cells complete strictly in sequence: the accumulators (and, when
+// retaining, the runs buffer) are recycled from cell to cell, so live
+// aggregation state is O(metrics), not O(cells × runs).
+type folder struct {
+	p        Plan
+	cells    []PlanCell
+	out      *Report
+	accs     []stats.Accumulator // one per plan metric, reset per cell
+	runs     []Replicate         // current cell's replicates (retain mode)
+	retain   bool
+	total    int
+	stride   int
+	progress func(done, total int)
+	done     int
+	err      error
+}
+
+func (f *folder) fold(idx int, r Replicate, err error) {
+	ci, ri := idx/f.p.Replicates, idx%f.p.Replicates
+	if err != nil {
+		// First failure in canonical order wins; later folds only count
+		// toward completion.
+		if f.err == nil {
+			f.err = fmt.Errorf("campaign: cell %d (%s) replicate %d: %w",
+				ci, f.cells[ci].Key, ri, err)
+		}
+	} else {
+		for mi := range f.accs {
+			f.accs[mi].Add(float64(r.Values[mi]))
+		}
+		if f.retain {
+			f.runs = append(f.runs, r)
+		}
+	}
+	f.done++
+	if f.progress != nil && (f.done == f.total || f.done%f.stride == 0) {
+		f.progress(f.done, f.total)
+	}
+	if ri == f.p.Replicates-1 {
+		f.finalize(ci)
+	}
+}
+
+// finalize snapshots the completed cell's summaries and recycles the
+// aggregation state for the next cell.
+func (f *folder) finalize(ci int) {
+	c := f.cells[ci]
+	out := ReportCell{
+		Index:   c.Index,
+		Key:     c.Key,
+		Labels:  c.Labels,
+		Metrics: make([]MetricSummary, len(f.p.Metrics)),
+		config:  c.Config,
+	}
+	for mi, m := range f.p.Metrics {
+		out.Metrics[mi] = MetricSummary{Name: m.Name, Summary: f.accs[mi].Summary()}
+		f.accs[mi].Reset()
+	}
+	if f.retain {
+		out.Runs = append([]Replicate(nil), f.runs...)
+		f.runs = f.runs[:0]
+	}
+	f.out.Cells[ci] = out
+}
+
 // Execute runs a legacy grid campaign: the grid is compiled to stock axes
 // (Grid.Plan) and executed by the generic engine, then the report is folded
-// back into the legacy Result shape. Output is byte-identical to the
-// original fixed-field engine — see TestGridGoldenOutput.
+// back into the legacy Result shape. Raw runs are always retained — the
+// legacy Result exposes them — and output is byte-identical to the original
+// fixed-field engine; see TestGridGoldenOutput.
 func Execute(g Grid, opts Options) (*Result, error) {
 	g = g.withDefaults()
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
+	opts.RetainRuns = true
 	rep, err := ExecutePlan(g.Plan(), opts)
 	if err != nil {
 		return nil, err

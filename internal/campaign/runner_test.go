@@ -129,8 +129,11 @@ func TestProgressCountsEveryRun(t *testing.T) {
 	g := smallGrid()
 	var calls int
 	var lastDone, lastTotal int
-	_, err := Execute(g, Options{Workers: 3, Progress: func(done, total int) {
+	_, err := Execute(g, Options{Workers: 3, ProgressEvery: 1, Progress: func(done, total int) {
 		calls++
+		if done != calls {
+			t.Errorf("progress out of order: call %d reported done=%d", calls, done)
+		}
 		lastDone, lastTotal = done, total
 	}})
 	if err != nil {
@@ -142,6 +145,31 @@ func TestProgressCountsEveryRun(t *testing.T) {
 	}
 	if lastDone != want || lastTotal != want {
 		t.Errorf("final progress %d/%d, want %d/%d", lastDone, lastTotal, want, want)
+	}
+}
+
+// TestProgressCoarsening: ProgressEvery > 1 must deliver only every Nth
+// completion plus the final one, still in canonical order.
+func TestProgressCoarsening(t *testing.T) {
+	g := smallGrid() // 16 runs
+	var dones []int
+	_, err := Execute(g, Options{Workers: 3, ProgressEvery: 5, Progress: func(done, total int) {
+		dones = append(dones, done)
+		if total != g.Runs() {
+			t.Errorf("total = %d, want %d", total, g.Runs())
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{5, 10, 15, 16}
+	if len(dones) != len(want) {
+		t.Fatalf("progress calls %v, want %v", dones, want)
+	}
+	for i := range want {
+		if dones[i] != want[i] {
+			t.Fatalf("progress calls %v, want %v", dones, want)
+		}
 	}
 }
 

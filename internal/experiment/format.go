@@ -16,8 +16,15 @@ type Table struct {
 	Notes []string
 }
 
-// Add appends a row, formatting each cell with %v.
+// Add appends a row, formatting each cell with FormatRow.
 func (t *Table) Add(cells ...any) {
+	t.Rows = append(t.Rows, FormatRow(cells...))
+}
+
+// FormatRow renders one row's cells exactly as Add does (float64 as %.2f,
+// everything else as %v) without retaining the row. Streaming writers use
+// it to emit rows one cell at a time with byte-identical formatting.
+func FormatRow(cells ...any) []string {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
@@ -27,7 +34,7 @@ func (t *Table) Add(cells ...any) {
 			row[i] = fmt.Sprint(v)
 		}
 	}
-	t.Rows = append(t.Rows, row)
+	return row
 }
 
 // Render writes the table as aligned text.

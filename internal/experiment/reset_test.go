@@ -1,0 +1,169 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+// resetCfgs is a pair of deliberately different shapes, so the reuse path
+// has to rebuild topology (flow count, loss, algorithm) and not just reseed.
+func resetCfgs() (a, b Config) {
+	a = Config{
+		Flows:    []FlowSpec{{Alg: AlgStandard}},
+		Duration: 2 * time.Second,
+		Seed:     3,
+	}
+	b = Config{
+		Path:     PathConfig{Loss: 0.004},
+		Flows:    []FlowSpec{{Alg: AlgRestricted}, {Alg: AlgStandard, SACK: true}},
+		Duration: 2 * time.Second,
+		Seed:     9,
+	}
+	return a, b
+}
+
+// sameResult compares every scalar a campaign reads from a Result (the
+// recorder pointer is identity, not state, and is excluded).
+func sameResult(t *testing.T, label string, fresh, reused Result) {
+	t.Helper()
+	if fresh.Alg != reused.Alg ||
+		fresh.Throughput != reused.Throughput ||
+		fresh.Stalls != reused.Stalls ||
+		fresh.Utilization != reused.Utilization ||
+		fresh.RouterDrops != reused.RouterDrops ||
+		fresh.InjectedDrops != reused.InjectedDrops ||
+		fresh.Duration != reused.Duration ||
+		fresh.TimeToUtil90 != reused.TimeToUtil90 ||
+		fresh.Totals != reused.Totals ||
+		fresh.Stats != reused.Stats ||
+		fresh.NIC != reused.NIC {
+		t.Errorf("%s: reused-context result diverged from fresh build\nfresh:  %+v\nreused: %+v",
+			label, fresh, reused)
+	}
+	if len(fresh.FlowThroughputs) != len(reused.FlowThroughputs) {
+		t.Fatalf("%s: flow count diverged", label)
+	}
+	for i := range fresh.FlowThroughputs {
+		if fresh.FlowThroughputs[i] != reused.FlowThroughputs[i] {
+			t.Errorf("%s: flow %d throughput %v (fresh) vs %v (reused)",
+				label, i, fresh.FlowThroughputs[i], reused.FlowThroughputs[i])
+		}
+	}
+}
+
+// TestResetMatchesFreshBuild is the run-context-reuse contract: a scenario
+// reset in place — reused engine, recorder, segment pool — must produce a
+// Result identical to a freshly built scenario for the same configuration,
+// in any reset order, traced or traceless.
+func TestResetMatchesFreshBuild(t *testing.T) {
+	t.Parallel()
+	cfgA, cfgB := resetCfgs()
+	for _, traceless := range []bool{false, true} {
+		a, b := cfgA, cfgB
+		a.Traceless, b.Traceless = traceless, traceless
+		label := "traced"
+		if traceless {
+			label = "traceless"
+		}
+
+		freshA, err := Build(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resA := freshA.Run()
+		freshB, err := Build(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resB := freshB.Run()
+
+		// One context runs A, then B, then A again: both directions of
+		// shape change, plus a same-shape re-run on a twice-used context.
+		s, err := Build(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run()
+		if err := s.Reset(b); err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, label+" A->B", resB, s.Run())
+		if err := s.Reset(a); err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, label+" B->A", resA, s.Run())
+
+		if got := s.Eng.Leaked(); got != 0 {
+			t.Errorf("%s: reused engine leaked %d events", label, got)
+		}
+	}
+}
+
+// TestResetTracedSeriesMatchFresh: with tracing on, the reused recorder's
+// sampled series must match a fresh build's point for point.
+func TestResetTracedSeriesMatchFresh(t *testing.T) {
+	t.Parallel()
+	cfgA, cfgB := resetCfgs()
+
+	fresh, err := Build(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh.Run()
+
+	s, err := Build(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if err := s.Reset(cfgB); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+
+	for _, name := range []string{"util", "cwnd_segs/1", "ifq/2", "goodput_mbps/2"} {
+		want := fresh.Rec.Series(name).Points
+		got := s.Rec.Series(name).Points
+		if len(want) == 0 {
+			t.Fatalf("series %q empty in fresh run — bad test premise", name)
+		}
+		if len(got) != len(want) {
+			t.Errorf("series %q: %d points reused vs %d fresh", name, len(got), len(want))
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("series %q diverges at point %d: %+v vs %+v", name, i, got[i], want[i])
+				break
+			}
+		}
+	}
+}
+
+// TestTracelessScalarsMatchTraced: disabling tracing must not change any
+// scalar output — the gauges are pure reads and the util mark replaces the
+// sampled ramp. This is what lets campaigns run traceless while the grid
+// golden output (produced traced before PR 4) stays byte-identical.
+func TestTracelessScalarsMatchTraced(t *testing.T) {
+	t.Parallel()
+	_, cfg := resetCfgs()
+
+	traced, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resTraced := traced.Run()
+
+	cfg.Traceless = true
+	bare, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resBare := bare.Run()
+
+	sameResult(t, "traceless-vs-traced", resTraced, resBare)
+	if bare.Eng.Processed() >= traced.Eng.Processed() {
+		t.Errorf("traceless run processed %d events, traced %d — sampling ticker not removed",
+			bare.Eng.Processed(), traced.Eng.Processed())
+	}
+}

@@ -151,6 +151,14 @@ type Config struct {
 	Sample time.Duration
 	// Seed feeds all randomness (default 1).
 	Seed uint64
+	// Traceless disables time-series recording entirely: no sampled gauge
+	// series, no per-event counter points, no sampling ticker on the
+	// calendar. Every scalar in Result (throughput, stalls, utilization,
+	// drop counters, TimeToUtil90) is computed from running counters and
+	// is identical with or without tracing; only Rec-based series readers
+	// (figure generation) need tracing. Campaign workers run traceless so
+	// million-run sweeps spend nothing on series nobody reads.
+	Traceless bool
 }
 
 func (c Config) withDefaults() Config {
@@ -203,6 +211,13 @@ type Scenario struct {
 	aggValid  bool
 	aggTps    []unit.Bandwidth
 	aggTotals Totals
+
+	// segs is the scenario-private segment allocator. One simulation is
+	// one logical thread, so a private freelist replaces the global
+	// sync.Pool's synchronization on every segment; it survives Reset, so
+	// campaign replicates after the first run entirely on recycled
+	// segments.
+	segs *packet.Pool
 }
 
 // demux routes segments to per-flow receivers. Flow IDs are dense small
@@ -228,16 +243,51 @@ func (d *demux) Receive(seg *packet.Segment) {
 
 // Build assembles the testbed described by cfg.
 func Build(cfg Config) (*Scenario, error) {
-	cfg = cfg.withDefaults()
 	eng := sim.NewEngine()
-	rec := trace.NewRecorder(eng)
-	owd := cfg.Path.RTT / 2
-
 	s := &Scenario{
-		Eng: eng, Cfg: cfg, Rec: rec,
+		Eng: eng, Rec: trace.NewRecorder(eng),
 		hosts:     map[int]*host.Interface{},
 		rssByHost: map[int]*core.RestrictedSlowStart{},
+		segs:      packet.NewPool(),
 	}
+	if err := s.init(cfg); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Reset rebuilds the scenario in place for cfg, reusing the run context a
+// fresh Build would allocate again: the engine (with its warm event pool),
+// the recorder's series storage, and the scenario's own bookkeeping. A
+// reused scenario produces results identical to a freshly built one — see
+// TestResetMatchesFreshBuild — which is what lets campaign workers run
+// replicates back to back on one context without re-deriving anything. On
+// error the scenario is left half-built and must be discarded.
+func (s *Scenario) Reset(cfg Config) error {
+	s.Eng.Reset()
+	s.Rec.Reset()
+	for i := range s.Flows {
+		s.Flows[i] = nil
+	}
+	s.Flows = s.Flows[:0]
+	clear(s.hosts)
+	clear(s.rssByHost)
+	s.Bottleneck, s.routerQ, s.entry, s.loss = nil, nil, nil, nil
+	s.drops = 0
+	s.aggValid, s.aggTps = false, nil
+	return s.init(cfg)
+}
+
+// init wires the testbed into the scenario's (fresh or reset) engine and
+// recorder. Everything the simulation can observe is rebuilt from cfg, so a
+// run is bit-identical whether its context is new or reused.
+func (s *Scenario) init(cfg Config) error {
+	cfg = cfg.withDefaults()
+	eng := s.Eng
+	rec := s.Rec
+	rec.SetEnabled(!cfg.Traceless)
+	s.Cfg = cfg
+	owd := cfg.Path.RTT / 2
 
 	// Shared bottleneck: router queue + link + forward propagation,
 	// delivering to the flow demux.
@@ -245,6 +295,9 @@ func Build(cfg Config) (*Scenario, error) {
 	s.routerQ = netem.NewDropTail(cfg.Path.RouterQueue)
 	s.Bottleneck = netem.NewLink(eng, cfg.Path.Bottleneck, owd, s.routerQ, dm)
 	s.Bottleneck.OnDrop = func(*packet.Segment) { s.drops++ }
+	// Ramp-speed mark, kept by the link's running busy counter so
+	// TimeToUtil90 exists with or without sampled series.
+	s.Bottleneck.WatchUtilization(0.9)
 	s.entry = s.Bottleneck
 	if cfg.Path.Loss > 0 {
 		s.loss = &netem.Loss{P: cfg.Path.Loss, RNG: sim.NewRNG(cfg.Seed), Next: s.Bottleneck}
@@ -255,7 +308,7 @@ func Build(cfg Config) (*Scenario, error) {
 		id := packet.FlowID(i + 1)
 		flow, err := buildFlow(s, spec, id, owd, dm)
 		if err != nil {
-			return nil, fmt.Errorf("experiment: flow %d: %w", i, err)
+			return fmt.Errorf("experiment: flow %d: %w", i, err)
 		}
 		s.Flows = append(s.Flows, flow)
 	}
@@ -265,7 +318,7 @@ func Build(cfg Config) (*Scenario, error) {
 	rec.Gauge("util", func() float64 {
 		return s.Bottleneck.Utilization(eng.Now())
 	})
-	return s, nil
+	return nil
 }
 
 func buildFlow(s *Scenario, spec FlowSpec, id packet.FlowID, owd time.Duration, dm *demux) (*Flow, error) {
@@ -273,6 +326,7 @@ func buildFlow(s *Scenario, spec FlowSpec, id packet.FlowID, owd time.Duration, 
 	cfg := s.Cfg
 
 	tcpCfg := tcp.DefaultConfig()
+	tcpCfg.Pool = s.segs
 	if spec.MSS > 0 {
 		tcpCfg.MSS = spec.MSS
 	}
@@ -310,19 +364,25 @@ func buildFlow(s *Scenario, spec FlowSpec, id packet.FlowID, owd time.Duration, 
 	dm.set(id, flow.Receiver)
 
 	flow.Sender = tcp.NewSender(eng, tcpCfg, id, ctrl, nic)
-	flow.Stalls = trace.NewCounter(s.Rec, fmt.Sprintf("stalls/%d", id))
-	flow.Sender.OnStall = flow.Stalls.Inc
+	if s.Rec.Enabled() {
+		flow.Stalls = trace.NewCounter(s.Rec, fmt.Sprintf("stalls/%d", id))
 
-	// Gauges for this flow.
-	s.Rec.Gauge(fmt.Sprintf("cwnd_segs/%d", id), func() float64 {
-		return float64(flow.Sender.Cwnd()) / float64(tcpCfg.MSS)
-	})
-	s.Rec.Gauge(fmt.Sprintf("ifq/%d", id), func() float64 {
-		return float64(nic.Len())
-	})
-	s.Rec.Gauge(fmt.Sprintf("goodput_mbps/%d", id), func() float64 {
-		return float64(flow.Sender.Stats().Throughput(eng.Now())) / 1e6
-	})
+		// Gauges for this flow.
+		s.Rec.Gauge(fmt.Sprintf("cwnd_segs/%d", id), func() float64 {
+			return float64(flow.Sender.Cwnd()) / float64(tcpCfg.MSS)
+		})
+		s.Rec.Gauge(fmt.Sprintf("ifq/%d", id), func() float64 {
+			return float64(nic.Len())
+		})
+		s.Rec.Gauge(fmt.Sprintf("goodput_mbps/%d", id), func() float64 {
+			return float64(flow.Sender.Stats().Throughput(eng.Now())) / 1e6
+		})
+	} else {
+		// Traceless: the counter still counts (Result.Stalls reads it)
+		// but records no points — and skips the name formatting.
+		flow.Stalls = trace.NewCounter(s.Rec, "")
+	}
+	flow.Sender.OnStall = flow.Stalls.Inc
 
 	// Workload.
 	start := spec.StartAt
@@ -416,6 +476,11 @@ type Result struct {
 	FlowThroughputs []unit.Bandwidth
 	// Totals aggregates event counters over all flows.
 	Totals Totals
+	// TimeToUtil90 is the first instant the bottleneck's cumulative
+	// utilization reached 90%, or -1 if it never did. It is latched from
+	// the link's running busy counter (see netem.Link.WatchUtilization),
+	// so it is available in traceless runs where no gauge was sampled.
+	TimeToUtil90 time.Duration
 	// Series exposes the recorder for figure generation.
 	Rec *trace.Recorder
 }
@@ -423,12 +488,14 @@ type Result struct {
 // Run executes the scenario for its configured duration and summarizes the
 // primary flow.
 func (s *Scenario) Run() Result {
-	// The run length and sample period are both known: pre-size every
-	// gauge series so sampling never reallocates mid-run.
-	if s.Cfg.Sample > 0 {
-		s.Rec.ReserveSamples(int(s.Cfg.Duration/s.Cfg.Sample) + 1)
+	if s.Rec.Enabled() {
+		// The run length and sample period are both known: pre-size every
+		// gauge series so sampling never reallocates mid-run.
+		if s.Cfg.Sample > 0 {
+			s.Rec.ReserveSamples(int(s.Cfg.Duration/s.Cfg.Sample) + 1)
+		}
+		s.Rec.Sample(s.Cfg.Sample)
 	}
-	s.Rec.Sample(s.Cfg.Sample)
 	s.Eng.RunUntil(sim.At(s.Cfg.Duration))
 	return s.resultFor(0)
 }
@@ -442,6 +509,10 @@ func (s *Scenario) resultFor(i int) Result {
 		injected = s.loss.Dropped()
 	}
 	tps, totals := s.flowAggregates(now)
+	t90 := time.Duration(-1)
+	if at, ok := s.Bottleneck.UtilizationReachedAt(); ok {
+		t90 = at.Duration()
+	}
 	return Result{
 		Alg:             f.Spec.Alg,
 		Stats:           st,
@@ -454,6 +525,7 @@ func (s *Scenario) resultFor(i int) Result {
 		Duration:        now.Duration(),
 		FlowThroughputs: tps,
 		Totals:          totals,
+		TimeToUtil90:    t90,
 		Rec:             s.Rec,
 	}
 }

@@ -60,7 +60,7 @@ type Interface struct {
 	recvFn netem.Receiver // AsReceiver adapter, built once
 	// occupancy integral for average-occupancy reporting
 	occLast    sim.Time
-	occWeight  float64 // ∫ len dt in packet·seconds
+	occWeight  float64 // ∫ len dt in packet·nanoseconds (converted on read)
 	onSendDone func()
 }
 
@@ -160,7 +160,9 @@ func (i *Interface) wake() {
 func (i *Interface) accumulateOccupancy() {
 	now := i.eng.Now()
 	if now > i.occLast {
-		i.occWeight += float64(i.queue.Len()) * now.Sub(i.occLast).Seconds()
+		// Integrate in packet·nanoseconds: this runs per segment, and the
+		// seconds conversion (a float divide) belongs on the read side.
+		i.occWeight += float64(i.queue.Len()) * float64(now-i.occLast)
 		i.occLast = now
 	}
 }
@@ -180,11 +182,11 @@ func (i *Interface) Occupancy() float64 {
 // AvgOccupancy returns the time-average IFQ length in packets over [0, now].
 func (i *Interface) AvgOccupancy() float64 {
 	i.accumulateOccupancy()
-	sec := i.eng.Now().Seconds()
-	if sec <= 0 {
+	now := i.eng.Now()
+	if now <= 0 {
 		return 0
 	}
-	return i.occWeight / sec
+	return i.occWeight / float64(now)
 }
 
 // Stats returns a copy of the NIC counters.

@@ -1,0 +1,100 @@
+package netem
+
+import (
+	"time"
+
+	"rsstcp/internal/packet"
+	"rsstcp/internal/sim"
+)
+
+// delayed is one segment in flight on a DelayLine: its due instant and the
+// engine sequence number reserved when it was admitted.
+type delayed struct {
+	at  sim.Time
+	seq uint64
+	seg *packet.Segment
+}
+
+// DelayLine delivers segments to a fixed destination a constant delay after
+// admission, preserving admission order. Semantically it is identical to
+// scheduling one engine event per segment (what Wire did before); the
+// difference is purely mechanical: in-flight segments wait in a local FIFO
+// and only the earliest due delivery holds a calendar entry. A propagation
+// stage carries a bandwidth-delay product of segments (hundreds on the paper
+// path), so per-segment scheduling was what kept the engine's heap deep —
+// with delay lines the calendar holds a handful of entries and every
+// push/pop sifts through a few levels instead of eight.
+//
+// Ordering is exactly what per-segment scheduling would produce: Receive
+// reserves the engine sequence number the segment would have been scheduled
+// with, and the head entry is armed with its reserved number, so ties at
+// equal instants resolve identically (see TestDelayLineMatchesPerSegment
+// Scheduling). The FIFO invariant this relies on — due times never decrease
+// — holds because the delay is constant and virtual time is monotone.
+type DelayLine struct {
+	eng    *sim.Engine
+	delay  time.Duration
+	dst    Receiver
+	q      []delayed
+	head   int
+	armed  bool
+	fireFn func()
+}
+
+// NewDelayLine returns a pure-delay FIFO element feeding dst.
+func NewDelayLine(eng *sim.Engine, delay time.Duration, dst Receiver) *DelayLine {
+	if dst == nil {
+		panic("netem: NewDelayLine with nil destination")
+	}
+	l := &DelayLine{eng: eng, delay: delay, dst: dst}
+	l.fireFn = l.fire
+	return l
+}
+
+// Receive admits the segment for delivery one delay from now, after every
+// segment admitted before it.
+func (l *DelayLine) Receive(seg *packet.Segment) {
+	l.q = append(l.q, delayed{
+		at:  l.eng.Now().Add(l.delay),
+		seq: l.eng.ReserveSeq(),
+		seg: seg,
+	})
+	if !l.armed {
+		l.arm()
+	}
+}
+
+func (l *DelayLine) arm() {
+	h := &l.q[l.head]
+	l.eng.ScheduleReserved(h.at, h.seq, l.fireFn)
+	l.armed = true
+}
+
+// fire delivers the head segment. The next head is armed before the
+// delivery cascade runs, so events the delivery schedules at the same
+// instant order against it exactly as under per-segment scheduling.
+func (l *DelayLine) fire() {
+	seg := l.q[l.head].seg
+	l.q[l.head].seg = nil
+	l.head++
+	// Compact once the dead prefix dominates, keeping amortized O(1).
+	if l.head > 64 && l.head*2 >= len(l.q) {
+		n := copy(l.q, l.q[l.head:])
+		for i := n; i < len(l.q); i++ {
+			l.q[i] = delayed{}
+		}
+		l.q = l.q[:n]
+		l.head = 0
+	}
+	l.armed = false
+	if l.head < len(l.q) {
+		l.arm()
+	}
+	l.dst.Receive(seg)
+}
+
+// Len returns the number of segments in flight on the line.
+func (l *DelayLine) Len() int { return len(l.q) - l.head }
+
+// Delay returns the propagation delay.
+func (l *DelayLine) Delay() time.Duration { return l.delay }

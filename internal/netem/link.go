@@ -9,27 +9,14 @@ import (
 )
 
 // Wire delays every segment by a fixed propagation time with no bandwidth
-// limit and no queueing — the speed-of-light component of a path.
-type Wire struct {
-	eng     *sim.Engine
-	delay   time.Duration
-	dst     Receiver
-	deliver func(any) // bound once; per-segment deliveries allocate nothing
-}
+// limit and no queueing — the speed-of-light component of a path. It is a
+// DelayLine: deliveries are FIFO with one armed calendar entry, and event
+// ordering matches per-segment scheduling exactly.
+type Wire = DelayLine
 
 // NewWire returns a pure-delay element feeding dst.
 func NewWire(eng *sim.Engine, delay time.Duration, dst Receiver) *Wire {
-	if dst == nil {
-		panic("netem: NewWire with nil destination")
-	}
-	w := &Wire{eng: eng, delay: delay, dst: dst}
-	w.deliver = func(a any) { w.dst.Receive(a.(*packet.Segment)) }
-	return w
-}
-
-// Receive forwards the segment after the propagation delay.
-func (w *Wire) Receive(seg *packet.Segment) {
-	w.eng.ScheduleArgAfter(w.delay, w.deliver, seg)
+	return NewDelayLine(eng, delay, dst)
 }
 
 // LinkStats aggregates a link's transmission counters.
@@ -48,16 +35,24 @@ type Link struct {
 	rate  unit.Bandwidth
 	delay time.Duration
 	queue Queue
-	dst   Receiver
 	busy  bool
 	stats LinkStats
+	// prop is the propagation stage: serialized segments enter the delay
+	// line and emerge at dst one delay later, FIFO, with a single armed
+	// calendar entry for the whole in-flight window.
+	prop *DelayLine
 	// Serializer state: at most one segment is on the serializer at a time
 	// (busy guards it), so holding it in fields lets the completion
 	// callback be bound once instead of closed over per segment.
-	cur     *packet.Segment
-	curST   time.Duration
-	txDone  func()
-	deliver func(any)
+	cur    *packet.Segment
+	curST  time.Duration
+	txDone func()
+	// Utilization watch: the first completion instant at which the
+	// cumulative busy fraction reaches watchFrac is latched, so ramp-speed
+	// metrics (time to 90% utilization) work without sampled gauge series.
+	watchFrac float64
+	watchAt   sim.Time
+	watched   bool
 	// OnDrop, when set, is invoked for each segment the queue refuses,
 	// before the segment is released; it must not retain the segment.
 	OnDrop func(seg *packet.Segment)
@@ -75,9 +70,9 @@ func NewLink(eng *sim.Engine, rate unit.Bandwidth, delay time.Duration, queue Qu
 	if dst == nil {
 		panic("netem: NewLink with nil destination")
 	}
-	l := &Link{eng: eng, rate: rate, delay: delay, queue: queue, dst: dst}
+	l := &Link{eng: eng, rate: rate, delay: delay, queue: queue}
+	l.prop = NewDelayLine(eng, delay, dst)
 	l.txDone = l.transmitDone
-	l.deliver = func(a any) { l.dst.Receive(a.(*packet.Segment)) }
 	return l
 }
 
@@ -116,7 +111,11 @@ func (l *Link) transmitDone() {
 	l.stats.Sent++
 	l.stats.SentBytes += int64(seg.Size())
 	l.stats.Busy += st
-	l.eng.ScheduleArgAfter(l.delay, l.deliver, seg)
+	if l.watchFrac > 0 && !l.watched &&
+		float64(l.stats.Busy) >= l.watchFrac*float64(l.eng.Now().Duration()) {
+		l.watched, l.watchAt = true, l.eng.Now()
+	}
+	l.prop.Receive(seg)
 	l.maybeTransmit()
 }
 
@@ -135,4 +134,21 @@ func (l *Link) Utilization(now sim.Time) float64 {
 		return 0
 	}
 	return float64(l.stats.Busy) / float64(now.Duration())
+}
+
+// WatchUtilization arms a one-shot utilization mark: the first transmission
+// completion at which the cumulative busy fraction reaches frac is latched
+// and reported by UtilizationReachedAt. The check is a single comparison per
+// completed transmission, so campaigns read ramp-speed metrics from a
+// running counter instead of a sampled gauge series.
+func (l *Link) WatchUtilization(frac float64) {
+	l.watchFrac = frac
+	l.watched = false
+	l.watchAt = 0
+}
+
+// UtilizationReachedAt returns the instant the watched utilization fraction
+// was first reached, and whether it has been.
+func (l *Link) UtilizationReachedAt() (sim.Time, bool) {
+	return l.watchAt, l.watched
 }

@@ -95,10 +95,14 @@ type Segment struct {
 	// to compute sojourn time.
 	Enqueued sim.Time
 
-	// pooled marks a segment currently checked out of the pool. Segments
+	// pooled marks a segment currently checked out of a pool. Segments
 	// built by hand (tests, injectors) leave it false, so Release on them
-	// is a no-op and they never enter the pool.
+	// is a no-op and they never enter a pool.
 	pooled bool
+	// owner is the private Pool the segment was checked out of, nil for
+	// the shared global pool. Release dispatches on it, so components
+	// never need to know which allocator fed them.
+	owner *Pool
 }
 
 // FlowID names a connection; direction is carried by the segment type.
@@ -127,13 +131,14 @@ func (s *Segment) String() string {
 }
 
 // Clone returns a deep copy (SACK slice included); injectors that duplicate
-// packets use it so the copies do not alias. The copy comes from the pool
-// and follows the usual ownership protocol.
+// packets use it so the copies do not alias. The copy comes from the global
+// pool and follows the usual ownership protocol.
 func (s *Segment) Clone() *Segment {
 	c := Get()
 	sack := c.SACK
 	*c = *s
 	c.pooled = true
+	c.owner = nil
 	c.SACK = append(sack[:0], s.SACK...)
 	return c
 }

@@ -73,6 +73,30 @@ func NewEngine() *Engine {
 	return &Engine{}
 }
 
+// Reset returns the engine to the epoch for a fresh run while keeping its
+// event pool warm: every pending entry is canceled and recycled (stale
+// handles observe the generation bump, exactly as with Cancel), the clock
+// and sequence counter rewind to zero, and the freed calendar and free-list
+// capacity carry over. A campaign worker resets one engine per replicate
+// instead of allocating a new one, so steady-state sweeps reuse the same
+// entries run after run. Resetting mid-run (from inside an event) is a
+// logic error and panics.
+func (e *Engine) Reset() {
+	if e.running {
+		panic("sim: Reset inside Run")
+	}
+	for i, ev := range e.queue {
+		ev.index = -1
+		e.recycle(ev)
+		e.queue[i] = nil
+	}
+	e.queue = e.queue[:0]
+	e.now = 0
+	e.seq = 0
+	e.processed = 0
+	e.stopped = false
+}
+
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
@@ -104,6 +128,11 @@ func (e *Engine) Leaked() int {
 }
 
 func (e *Engine) get(at Time, name string) *event {
+	e.seq++
+	return e.getReserved(at, name, e.seq)
+}
+
+func (e *Engine) getReserved(at Time, name string, seq uint64) *event {
 	var ev *event
 	if n := len(e.free); n > 0 {
 		ev = e.free[n-1]
@@ -114,11 +143,41 @@ func (e *Engine) get(at Time, name string) *event {
 		ev = &event{}
 		e.created++
 	}
-	e.seq++
 	ev.at = at
-	ev.seq = e.seq
+	ev.seq = seq
 	ev.name = name
 	return ev
+}
+
+// ReserveSeq allocates and returns the next FIFO tie-break sequence number
+// without scheduling anything. A component that admits work now but arms the
+// calendar entry later (a delay line keeping one armed event for a whole
+// FIFO of deliveries, a lazily re-armed timer) reserves the number at
+// admission and passes it to ScheduleReserved at arming time; events at the
+// same instant then fire in exactly the order immediate scheduling would
+// have produced.
+func (e *Engine) ReserveSeq() uint64 {
+	e.seq++
+	return e.seq
+}
+
+// ScheduleReserved is Schedule with a caller-reserved sequence number: the
+// event fires at instant at, ordered among same-instant events by seq
+// (which must come from ReserveSeq) instead of by scheduling time.
+func (e *Engine) ScheduleReserved(at Time, seq uint64, fn func()) Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule in the past: at %v, now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: schedule with nil func")
+	}
+	if seq == 0 || seq > e.seq {
+		panic("sim: ScheduleReserved with an unreserved sequence number")
+	}
+	ev := e.getReserved(at, "", seq)
+	ev.fn = fn
+	e.heapPush(ev)
+	return Event{ev: ev, gen: ev.gen}
 }
 
 // recycle returns a popped (index == -1) entry to the free list.

@@ -3,11 +3,26 @@ package sim
 // Timer is a resettable one-shot timer, the shape TCP retransmission timers
 // need: arm, re-arm (which supersedes the previous deadline), and stop.
 // The callback is fixed at construction; what varies is the deadline.
+//
+// Re-arming is lazy when the deadline only moves later (the common case —
+// every ACK pushes the RTO forward): the timer records the new target and
+// leaves the already-scheduled entry in the calendar; when that stale entry
+// fires, the timer silently re-schedules at the real deadline instead of
+// running the callback. A TCP flow re-arms once per ACK but expires once
+// per RTO, so this converts two heap operations per ACK into one spurious
+// wake per RTO interval. Observable ordering is EXACTLY that of eager
+// re-scheduling: every Arm reserves the engine sequence number an eager
+// Schedule would have consumed, and the entry that finally fires at the
+// deadline carries the last reserved number, so same-instant ties resolve
+// identically (see TestLazyTimerMatchesEagerOrdering).
 type Timer struct {
 	eng    *Engine
 	fn     func()
 	fireFn func() // bound once so Arm never allocates a method value
 	ev     Event
+	at     Time   // target deadline, meaningful while armed
+	seq    uint64 // sequence number reserved by the latest Arm
+	armed  bool
 }
 
 // NewTimer returns a stopped timer that will invoke fn when it expires.
@@ -23,35 +38,56 @@ func NewTimer(eng *Engine, fn func()) *Timer {
 // Arm (re)schedules the timer to fire d from now, superseding any earlier
 // deadline. A negative d is treated as zero.
 func (t *Timer) Arm(d Duration) {
-	t.Stop()
-	t.ev = t.eng.ScheduleAfter(d, t.fireFn)
+	if d < 0 {
+		d = 0
+	}
+	t.ArmAt(t.eng.Now().Add(d))
 }
 
 // ArmAt (re)schedules the timer to fire at the given instant.
 func (t *Timer) ArmAt(at Time) {
-	t.Stop()
-	t.ev = t.eng.Schedule(at, t.fireFn)
+	t.at = at
+	t.armed = true
+	t.seq = t.eng.ReserveSeq()
+	if t.ev.Pending() && t.ev.At() < at {
+		// Deadline moved later: keep the stale entry; fire() will
+		// re-schedule at the real deadline with the reserved number.
+		return
+	}
+	t.eng.Cancel(t.ev)
+	t.ev = t.eng.ScheduleReserved(at, t.seq, t.fireFn)
 }
 
 // Stop cancels the pending expiry, if any.
 func (t *Timer) Stop() {
+	t.armed = false
 	t.eng.Cancel(t.ev)
 	t.ev = Event{}
 }
 
 // Armed reports whether the timer has a pending expiry.
-func (t *Timer) Armed() bool { return t.ev.Pending() }
+func (t *Timer) Armed() bool { return t.armed }
 
 // Deadline returns the pending expiry instant, or Infinity if stopped.
 func (t *Timer) Deadline() Time {
-	if !t.Armed() {
+	if !t.armed {
 		return Infinity
 	}
-	return t.ev.At()
+	return t.at
 }
 
 func (t *Timer) fire() {
 	t.ev = Event{}
+	if !t.armed {
+		return
+	}
+	if t.at > t.eng.Now() {
+		// Stale wake: the deadline moved on since this entry was
+		// scheduled. Chase it with the latest reserved number.
+		t.ev = t.eng.ScheduleReserved(t.at, t.seq, t.fireFn)
+		return
+	}
+	t.armed = false
 	t.fn()
 }
 

@@ -119,7 +119,7 @@ func (r *Receiver) onDelAckTimeout() {
 // SACK block containing it to come first, so the sender always learns the
 // newest scoreboard information even when more than four blocks exist.
 func (r *Receiver) sendAck(delayed bool, recentSeq int64) {
-	ack := packet.Get()
+	ack := r.cfg.getSegment()
 	ack.Flow = r.flow
 	ack.Ack = r.rcvNxt
 	ack.Flags = packet.FlagACK

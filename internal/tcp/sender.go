@@ -21,6 +21,11 @@ type sentRecord struct {
 
 func (r *sentRecord) end() int64 { return r.seq + int64(r.length) }
 
+// live returns the outstanding window: the records not yet consumed by a
+// cumulative ACK. Pointers into it stay valid until the next append or
+// popAcked compaction.
+func (s *Sender) live() []sentRecord { return s.segs[s.segHead:] }
+
 // Sender is the TCP sending side. It implements cc.Window for its
 // congestion controller and netem.Receiver for the incoming ACK stream.
 type Sender struct {
@@ -44,10 +49,16 @@ type Sender struct {
 	supplied int64 // bytes the application has made available
 	closed   bool  // application will supply no more
 
-	segs        []sentRecord // outstanding records, ordered by seq
-	sackedBytes int64        // bytes of outstanding records marked SACKed
-	fack        int64        // forward ACK: highest SACKed sequence end
-	rtxOut      int64        // retransmitted bytes not yet (S)ACKed
+	// Outstanding records, ordered by seq, live in segs[segHead:]. ACKs
+	// consume from the front by advancing segHead (with amortized
+	// compaction) instead of copying the surviving window down — at
+	// paper-path windows a per-ACK copy moved the whole flight every ACK
+	// and dominated the profile's memmove time.
+	segs        []sentRecord
+	segHead     int
+	sackedBytes int64 // bytes of outstanding records marked SACKed
+	fack        int64 // forward ACK: highest SACKed sequence end
+	rtxOut      int64 // retransmitted bytes not yet (S)ACKed
 
 	est     rttEstimator
 	rto     *sim.Timer
@@ -235,7 +246,7 @@ func (s *Sender) trySend() {
 			}
 			return
 		}
-		seg := packet.Get()
+		seg := s.cfg.getSegment()
 		seg.Flow = s.flow
 		seg.Seq = s.sndNxt
 		seg.Len = n
@@ -320,7 +331,7 @@ func (s *Sender) sendRetransmit() bool {
 	if rec == nil {
 		return true
 	}
-	seg := packet.Get()
+	seg := s.cfg.getSegment()
 	seg.Flow = s.flow
 	seg.Seq = rec.seq
 	seg.Len = rec.length
@@ -361,8 +372,9 @@ func (s *Sender) sendSACKRetransmissions() bool {
 		stale = s.cfg.MinRTO
 	}
 	now := s.eng.Now()
-	for i := range s.segs {
-		rec := &s.segs[i]
+	live := s.live()
+	for i := range live {
+		rec := &live[i]
 		if burst >= sackRepairBurst {
 			break
 		}
@@ -382,7 +394,7 @@ func (s *Sender) sendSACKRetransmissions() bool {
 		if s.pipe()+int64(rec.length) > min64(s.cwnd, s.rwnd) {
 			break
 		}
-		seg := packet.Get()
+		seg := s.cfg.getSegment()
 		seg.Flow = s.flow
 		seg.Seq = rec.seq
 		seg.Len = rec.length
@@ -425,8 +437,9 @@ func (s *Sender) pipe() int64 {
 // firstRetransmittable returns a pointer into s.segs; it is only valid
 // until the next append or compaction of the record list.
 func (s *Sender) firstRetransmittable() *sentRecord {
-	for i := range s.segs {
-		rec := &s.segs[i]
+	live := s.live()
+	for i := range live {
+		rec := &live[i]
 		if rec.rtxDone || (s.cfg.SACK && rec.sacked) {
 			continue
 		}
@@ -492,8 +505,9 @@ func (s *Sender) onNewAck(ack int64) {
 		if ack >= s.recover {
 			s.inRecovery = false
 			s.dupAcks = 0
-			for i := range s.segs {
-				s.segs[i].rtxDone = false
+			live := s.live()
+			for i := range live {
+				live[i].rtxDone = false
 			}
 			s.ctrl.OnExitRecovery()
 		} else {
@@ -567,9 +581,10 @@ func (s *Sender) enterRecovery() {
 func (s *Sender) popAcked(ack int64) (time.Duration, bool) {
 	var sample time.Duration
 	ok := false
+	live := s.live()
 	i := 0
-	for ; i < len(s.segs); i++ {
-		rec := &s.segs[i]
+	for ; i < len(live); i++ {
+		rec := &live[i]
 		if rec.end() > ack {
 			break
 		}
@@ -587,13 +602,18 @@ func (s *Sender) popAcked(ack int64) (time.Duration, bool) {
 			ok = true
 		}
 	}
-	if i > 0 {
-		s.segs = append(s.segs[:0], s.segs[i:]...)
+	// Consume the acked prefix by advancing the window head; compact the
+	// backing array only once the dead prefix dominates (amortized O(1)).
+	s.segHead += i
+	if s.segHead > 64 && s.segHead*2 >= len(s.segs) {
+		n := copy(s.segs, s.segs[s.segHead:])
+		s.segs = s.segs[:n]
+		s.segHead = 0
 	}
 	// Partial coverage of the front record (ack inside a segment) cannot
 	// happen with MSS-aligned acks, but trim defensively.
-	if len(s.segs) > 0 && s.segs[0].seq < ack {
-		rec := &s.segs[0]
+	if live = s.live(); len(live) > 0 && live[0].seq < ack {
+		rec := &live[0]
 		delta := ack - rec.seq
 		rec.seq = ack
 		rec.length -= int(delta)
@@ -605,9 +625,10 @@ func (s *Sender) popAcked(ack int64) (time.Duration, bool) {
 // number of newly covered bytes (zero for a SACK that repeats known state).
 func (s *Sender) applySACK(blocks []packet.SACKBlock) int64 {
 	var fresh int64
+	live := s.live()
 	for _, b := range blocks {
-		for i := range s.segs {
-			rec := &s.segs[i]
+		for i := range live {
+			rec := &live[i]
 			if !rec.sacked && rec.seq >= b.Start && rec.end() <= b.End {
 				rec.sacked = true
 				s.sackedBytes += int64(rec.length)
@@ -642,6 +663,7 @@ func (s *Sender) onRTO() {
 	}
 	s.sndNxt = s.sndUna
 	s.segs = s.segs[:0]
+	s.segHead = 0
 	s.sackedBytes = 0
 	s.fack = s.sndUna
 	s.rtxOut = 0

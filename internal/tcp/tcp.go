@@ -79,6 +79,19 @@ type Config struct {
 	RTOGranularity time.Duration
 	// Stall selects the send-stall reaction.
 	Stall StallPolicy
+	// Pool, when non-nil, is the private segment allocator the endpoints
+	// draw from (packet.Pool); nil uses the shared global pool. A
+	// single-threaded simulation with its own pool skips the global
+	// pool's synchronization on every segment.
+	Pool *packet.Pool
+}
+
+// getSegment draws a segment from the configured allocator.
+func (c *Config) getSegment() *packet.Segment {
+	if c.Pool != nil {
+		return c.Pool.Get()
+	}
+	return packet.Get()
 }
 
 // DefaultConfig returns parameters matching the paper's Linux 2.4 testbed.

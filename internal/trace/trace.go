@@ -80,13 +80,24 @@ func (s *Series) Values() []float64 {
 	return out
 }
 
-// Recorder collects named series, with optional periodic sampling.
+// Recorder collects named series, with optional periodic sampling. A
+// recorder can be disabled (SetEnabled(false)): gauge registrations are
+// dropped, Sample never starts its ticker, and counters keep counting
+// without recording points — the traceless mode campaign workers run in,
+// where nobody reads the series and a million-run sweep should not spend
+// time or memory producing them.
 type Recorder struct {
-	eng    *sim.Engine
-	series map[string]*Series
-	order  []string
-	ticker *sim.Ticker
-	gauges []gauge
+	eng      *sim.Engine
+	series   map[string]*Series
+	order    []string
+	ticker   *sim.Ticker
+	gauges   []gauge
+	disabled bool
+	// spare holds series retired by Reset: their buffers are revived if
+	// the rebuilt scenario registers the same name, but they no longer
+	// appear in Lookup or Names — a reused recorder must not report a
+	// previous configuration's series as this run's.
+	spare map[string]*Series
 }
 
 type gauge struct {
@@ -99,11 +110,45 @@ func NewRecorder(eng *sim.Engine) *Recorder {
 	return &Recorder{eng: eng, series: map[string]*Series{}}
 }
 
+// SetEnabled toggles recording. Disabling affects future registrations and
+// sampling only; series already recorded remain readable.
+func (r *Recorder) SetEnabled(on bool) { r.disabled = !on }
+
+// Enabled reports whether the recorder is recording.
+func (r *Recorder) Enabled() bool { return !r.disabled }
+
+// Reset clears the recorder for a fresh run of a rebuilt scenario: sampling
+// stops, gauge registrations are dropped (the rebuild re-registers its own),
+// and every series is retired — emptied but parked with its backing
+// capacity, revived only if the new configuration records the same name. A
+// reset recorder therefore looks exactly like a fresh one to Lookup and
+// Names (no stale series from a previous shape), while same-shape reuse
+// (campaign replicates) samples without re-growing any buffer.
+func (r *Recorder) Reset() {
+	r.StopSampling()
+	r.ticker = nil
+	r.gauges = r.gauges[:0]
+	if r.spare == nil {
+		r.spare = map[string]*Series{}
+	}
+	for name, s := range r.series {
+		s.Points = s.Points[:0]
+		r.spare[name] = s
+		delete(r.series, name)
+	}
+	r.order = r.order[:0]
+}
+
 // Series returns (creating if needed) the series with the given name.
 func (r *Recorder) Series(name string) *Series {
 	s, ok := r.series[name]
 	if !ok {
-		s = &Series{Name: name}
+		if sp := r.spare[name]; sp != nil {
+			s = sp
+			delete(r.spare, name)
+		} else {
+			s = &Series{Name: name}
+		}
 		r.series[name] = s
 		r.order = append(r.order, name)
 	}
@@ -115,15 +160,29 @@ func (r *Recorder) Record(name string, v float64) {
 	r.Series(name).Add(r.eng.Now(), v)
 }
 
+// Lookup returns the named series, or nil if nothing was recorded under the
+// name — unlike Series it never creates one. Readers that must distinguish
+// "never recorded" (a traceless run) from "recorded but empty" use it.
+func (r *Recorder) Lookup(name string) *Series { return r.series[name] }
+
 // Gauge registers a sampled quantity; once Sample is started, every tick
-// appends fn() to the named series.
+// appends fn() to the named series. On a disabled recorder the registration
+// is dropped.
 func (r *Recorder) Gauge(name string, fn func() float64) {
+	if r.disabled {
+		return
+	}
 	r.gauges = append(r.gauges, gauge{series: r.Series(name), fn: fn})
 }
 
 // Sample starts periodic sampling of all registered gauges. Each tick reads
 // every gauge into its pre-resolved series — no name lookups, no boxing.
+// A disabled recorder never starts the ticker, so a traceless run's event
+// calendar carries no sampling events at all.
 func (r *Recorder) Sample(period sim.Duration) {
+	if r.disabled {
+		return
+	}
 	if r.ticker != nil {
 		r.ticker.Stop()
 	}
@@ -204,16 +263,22 @@ type Counter struct {
 	n      int64
 }
 
-// NewCounter returns a counter recording into rec's series of the
-// given name.
+// NewCounter returns a counter recording into rec's series of the given
+// name. On a disabled recorder the counter still counts but records no
+// points (and creates no series).
 func NewCounter(rec *Recorder, name string) *Counter {
+	if rec.disabled {
+		return &Counter{}
+	}
 	return &Counter{series: rec.Series(name), eng: rec.eng}
 }
 
 // Inc increments the counter and records the new cumulative value.
 func (c *Counter) Inc() {
 	c.n++
-	c.series.Add(c.eng.Now(), float64(c.n))
+	if c.series != nil {
+		c.series.Add(c.eng.Now(), float64(c.n))
+	}
 }
 
 // Value returns the current count.
