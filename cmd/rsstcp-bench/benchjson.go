@@ -74,6 +74,12 @@ type BenchSnapshot struct {
 	PaperPath []ScenarioPerf `json:"paper_path"`
 	Campaign  CampaignPerf   `json:"campaign"`
 	BigGrid   []CampaignPerf `json:"big_grid,omitempty"`
+	// Topology rows (from PR 5 on): per-hop scenarios — the 3-hop parking
+	// lot with middle-hop cross traffic, and the paper path with a
+	// congested reverse channel — so the hop graph's per-event cost is
+	// tracked against the one-link epochs. The Alg field carries
+	// "alg/preset".
+	Topology []ScenarioPerf `json:"topology,omitempty"`
 }
 
 // preOverhaulBaseline is the trajectory anchor: measured at commit 5dd424d
@@ -140,15 +146,33 @@ func pr3Epoch() BenchSnapshot {
 }
 
 func measureScenario(alg experiment.Algorithm, dur time.Duration, reps int) (ScenarioPerf, error) {
+	return measureConfig(string(alg), experiment.Config{
+		Flows:    []experiment.FlowSpec{{Alg: alg}},
+		Duration: dur,
+	}, dur, reps)
+}
+
+// measureTopology times one preset topology scenario (per-hop counters
+// running, same harness as the paper path) under the given algorithm.
+func measureTopology(alg experiment.Algorithm, preset string, dur time.Duration, reps int) (ScenarioPerf, error) {
+	cfg := experiment.Config{
+		Flows:    []experiment.FlowSpec{{Alg: alg}},
+		Duration: dur,
+	}
+	if err := experiment.ApplyPreset(&cfg, preset); err != nil {
+		return ScenarioPerf{}, err
+	}
+	return measureConfig(string(alg)+"/"+preset, cfg, dur, reps)
+}
+
+func measureConfig(label string, cfg experiment.Config, dur time.Duration, reps int) (ScenarioPerf, error) {
 	var events uint64
 	var wall time.Duration
 	var allocs, bytes uint64
 	for i := 0; i < reps; i++ {
-		s, err := experiment.Build(experiment.Config{
-			Flows:    []experiment.FlowSpec{{Alg: alg}},
-			Duration: dur,
-			Seed:     uint64(i + 1),
-		})
+		cfg := cfg
+		cfg.Seed = uint64(i + 1)
+		s, err := experiment.Build(cfg)
 		if err != nil {
 			return ScenarioPerf{}, err
 		}
@@ -165,7 +189,7 @@ func measureScenario(alg experiment.Algorithm, dur time.Duration, reps int) (Sce
 	}
 	r := uint64(reps)
 	perf := ScenarioPerf{
-		Alg:         string(alg),
+		Alg:         label,
 		DurationSim: dur.String(),
 		Events:      events / r,
 		// Sub-millisecond precision: epoch-over-epoch speedup ratios are
@@ -288,6 +312,17 @@ func emitBenchJSON(path string, paperDur, campDur time.Duration, reps, bigRuns i
 		return err
 	}
 	cur.Campaign = camp
+
+	// Topology rows: the hop graph's cost on record next to the one-link
+	// scenarios it generalizes (restricted sender on both stock multi-hop/
+	// asymmetric presets).
+	for _, preset := range []string{"parking-lot", "reverse-congested"} {
+		p, err := measureTopology(experiment.AlgRestricted, preset, paperDur, reps)
+		if err != nil {
+			return err
+		}
+		cur.Topology = append(cur.Topology, p)
+	}
 
 	// Big-grid rows: workers=1 and workers=GOMAXPROCS on the same plan,
 	// so single-thread throughput and parallel efficiency are both on

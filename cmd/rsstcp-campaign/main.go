@@ -28,6 +28,18 @@
 //	    -setpoints 0.5,0.7,0.9 -metrics throughput_mbps,fairness,t90_util_s
 //	rsstcp-campaign -bw 100 -rtt 60ms -ifq 100 -alg restricted \
 //	    -axis tick=5ms,10ms,20ms -axis mss=1448,8948 -metrics throughput_mbps,collapses
+//
+// Topologies sweep too: -topo sweeps stock presets (parking-lot,
+// reverse-congested, ...), repeatable -hop flags pin a custom hop chain on
+// every cell, -rev makes the reverse channel a real queued link, and the
+// hops/rbw/aqm axes open multi-hop splits, reverse-bottleneck rates and AQM
+// disciplines as sweep dimensions:
+//
+//	rsstcp-campaign -topo parking-lot -alg standard,restricted \
+//	    -axis rbw=5 -axis aqm=droptail,red \
+//	    -metrics throughput_mbps,hop_drops_max,rev_drops
+//	rsstcp-campaign -hop rate=100,delay=10ms,queue=250 -hop rate=50,delay=20ms,queue=120 \
+//	    -rev rate=5,queue=50 -alg restricted -metrics throughput_mbps,rev_drops
 package main
 
 import (
@@ -64,6 +76,8 @@ func main() {
 		metrics    = flag.String("metrics", "", "metric columns to report, in order (comma list; known: "+strings.Join(rsstcp.MetricNames(), ",")+")")
 		setpoints  = flag.String("setpoints", "", "RSS IFQ set-point fractions to sweep (comma list; adds a 'setpoint' axis)")
 		ticks      = flag.String("ticks", "", "RSS control periods to sweep (comma list of durations; adds a 'tick' axis)")
+		topoNames  = flag.String("topo", "", "topology presets to sweep (comma list of "+strings.Join(rsstcp.TopologyPresets(), ",")+"; adds a 'topo' axis)")
+		rev        = flag.String("rev", "", "real reverse channel for every cell as rate=Mbps[,delay=D][,queue=N] (adds an 'rbw' axis value)")
 		retainRuns = flag.Bool("retain-runs", false, "keep every raw replicate in the generic report (memory grows with run count)")
 	)
 	var extraAxes []rsstcp.Axis
@@ -77,6 +91,15 @@ func main() {
 			return err
 		}
 		extraAxes = append(extraAxes, a)
+		return nil
+	})
+	var customHops []rsstcp.Hop
+	flag.Func("hop", "add one forward hop to a custom topology for every cell, as rate=Mbps,delay=D,queue=N[,aqm=red][,loss=P][,reorder=P:D][,dup=P] (repeatable; adds a single-valued 'topo' axis)", func(s string) error {
+		h, err := rsstcp.ParseHop(s)
+		if err != nil {
+			return err
+		}
+		customHops = append(customHops, h)
 		return nil
 	})
 	flag.Parse()
@@ -111,6 +134,41 @@ func main() {
 		axisOrDie(&extraAxes, "tick", *ticks)
 	}
 
+	// Topology flags: -topo sweeps stock presets, repeatable -hop builds one
+	// custom hop chain for every cell; either becomes a leading "topo" axis
+	// so the reverse/AQM axes that follow may refine it. -rev rides the
+	// custom topology directly, or becomes a single-valued "rbw" axis.
+	if *topoNames != "" && len(customHops) > 0 {
+		fatalf("-topo and -hop are mutually exclusive; presets and custom hop chains cannot mix")
+	}
+	var topoAxes []rsstcp.Axis
+	customTopo := len(customHops) > 0
+	if customTopo {
+		t := rsstcp.NewTopology(customHops...)
+		if *rev != "" {
+			r, err := rsstcp.ParseReverse(*rev)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			t.Reverse = r
+		}
+		topoAxes = append(topoAxes, rsstcp.TopologyAxis("custom", *t))
+	}
+	if *topoNames != "" {
+		a, err := rsstcp.ParseAxis("topo", split(*topoNames))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		topoAxes = append(topoAxes, a)
+	}
+	if *rev != "" && !customTopo {
+		r, err := rsstcp.ParseReverse(*rev)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		extraAxes = append(extraAxes, rsstcp.ReverseAxis(r))
+	}
+
 	opts := rsstcp.CampaignOptions{Workers: *workers, RetainRuns: *retainRuns}
 	progress := func(runs int) {
 		if *quiet {
@@ -126,7 +184,7 @@ func main() {
 			runs, effectiveWorkers(*workers))
 	}
 
-	if len(extraAxes) > 0 || *metrics != "" {
+	if len(extraAxes) > 0 || len(topoAxes) > 0 || *metrics != "" {
 		// Generic path: legacy flags compile to stock axes, new flags
 		// stack more dimensions and choose the metric columns — no
 		// campaign-internal edits involved.
@@ -154,7 +212,19 @@ func main() {
 			}
 			gridAxes = dropAxes(gridAxes, "alg", "flows")
 		}
+		// An explicit topology overrides the dumbbell's path fields, so the
+		// grid's path axes come off the plan (and explicitly set path flags
+		// are rejected — their cell labels would lie about what ran).
+		if len(topoAxes) > 0 || hasAxis(extraAxes, "topo") {
+			for _, n := range []string{"bw", "rtt", "rq", "loss"} {
+				if explicit[n] {
+					fatalf("a topology (-topo, -hop or -axis topo=...) replaces the path; drop the -%s flag", n)
+				}
+			}
+			gridAxes = dropAxes(gridAxes, "bw", "rtt", "rq", "loss")
+		}
 		builderOpts := []rsstcp.CampaignOpt{
+			rsstcp.SweepAxis(topoAxes...),
 			rsstcp.SweepAxis(gridAxes...),
 			rsstcp.SweepAxis(extraAxes...),
 			rsstcp.Replicates(*replicates),

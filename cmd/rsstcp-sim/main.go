@@ -1,17 +1,26 @@
 // Command rsstcp-sim runs a single simulated transfer and prints a
 // Web100-style summary, optionally dumping the recorded time series as CSV.
 //
+// The network defaults to the paper's dumbbell (shaped by -bw/-rtt/-rq);
+// multi-hop topologies come from a preset (-topo), from repeatable -hop
+// flags, or from splitting the dumbbell (-hops). -rev replaces the ideal
+// reverse wire with a real rate-limited, queued ACK channel.
+//
 // Examples:
 //
 //	rsstcp-sim -alg standard
 //	rsstcp-sim -alg restricted -rtt 120ms -duration 30s
 //	rsstcp-sim -alg restricted -ifq 50 -setpoint 0.8 -csv trace.csv
+//	rsstcp-sim -topo parking-lot -alg restricted
+//	rsstcp-sim -hop rate=100,delay=10ms,queue=250 -hop rate=50,delay=20ms,queue=120,aqm=red
+//	rsstcp-sim -alg restricted -rev rate=2,queue=50
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"rsstcp"
@@ -25,6 +34,11 @@ func main() {
 		bwMbps   = flag.Int("bw", 100, "bottleneck bandwidth in Mbps")
 		nicMbps  = flag.Int("nic", 0, "NIC rate in Mbps (0 = same as bottleneck)")
 		ifq      = flag.Int("ifq", 100, "txqueuelen (IFQ capacity) in packets")
+		rq       = flag.Int("rq", 250, "router queue per hop in packets")
+		hops     = flag.Int("hops", 0, "split the dumbbell into this many identical hops (0 = 1)")
+		aqm      = flag.String("aqm", "", "hop queue discipline: droptail|red (default droptail)")
+		topo     = flag.String("topo", "", "topology preset: "+strings.Join(rsstcp.TopologyPresets(), "|"))
+		rev      = flag.String("rev", "", "real reverse channel as rate=Mbps[,delay=D][,queue=N] (default: ideal wire)")
 		duration = flag.Duration("duration", 25*time.Second, "run length")
 		bytes    = flag.Int64("bytes", 0, "transfer size (0 = backlogged for the whole run)")
 		setpoint = flag.Float64("setpoint", 0, "RSS IFQ set point fraction (0 = paper's 0.9)")
@@ -32,15 +46,27 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		csvPath  = flag.String("csv", "", "write recorded time series to this CSV file")
 	)
+	var hopSpecs []rsstcp.Hop
+	flag.Func("hop", "add one forward hop as rate=Mbps,delay=D,queue=N[,aqm=red][,loss=P][,reorder=P:D][,dup=P] (repeatable)", func(s string) error {
+		h, err := rsstcp.ParseHop(s)
+		if err != nil {
+			return err
+		}
+		hopSpecs = append(hopSpecs, h)
+		return nil
+	})
 	flag.Parse()
 
 	path := rsstcp.Path{
-		Bottleneck: rsstcp.Bandwidth(*bwMbps) * rsstcp.Mbps,
-		NICRate:    rsstcp.Bandwidth(*nicMbps) * rsstcp.Mbps,
-		RTT:        *rtt,
-		TxQueueLen: *ifq,
+		Bottleneck:  rsstcp.Bandwidth(*bwMbps) * rsstcp.Mbps,
+		NICRate:     rsstcp.Bandwidth(*nicMbps) * rsstcp.Mbps,
+		RTT:         *rtt,
+		RouterQueue: *rq,
+		TxQueueLen:  *ifq,
+		Hops:        *hops,
+		AQM:         rsstcp.QueueDiscipline(*aqm),
 	}
-	res, err := rsstcp.Run(rsstcp.Options{
+	opts := rsstcp.Options{
 		Path: path,
 		Flows: []rsstcp.Flow{{
 			Alg:              rsstcp.Algorithm(*alg),
@@ -50,16 +76,61 @@ func main() {
 		}},
 		Duration: *duration,
 		Seed:     *seed,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "rsstcp-sim:", err)
-		os.Exit(1)
+	}
+	if *topo != "" && len(hopSpecs) > 0 {
+		fatal(fmt.Errorf("-topo and -hop are mutually exclusive"))
+	}
+	if *topo != "" || len(hopSpecs) > 0 {
+		// An explicit topology overrides the dumbbell entirely; silently
+		// ignoring explicitly-set path flags would attribute the results to
+		// parameters that never ran (the campaign CLI rejects the same
+		// combination).
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		for _, n := range []string{"bw", "rtt", "rq", "aqm", "hops"} {
+			if explicit[n] {
+				fatal(fmt.Errorf("-topo/-hop replace the path; drop the -%s flag", n))
+			}
+		}
+	}
+	if *topo != "" {
+		if err := rsstcp.ApplyPreset(&opts, *topo); err != nil {
+			fatal(err)
+		}
+	}
+	if len(hopSpecs) > 0 {
+		opts.Topology = rsstcp.NewTopology(hopSpecs...)
+	}
+	if *rev != "" {
+		r, err := rsstcp.ParseReverse(*rev)
+		if err != nil {
+			fatal(err)
+		}
+		if opts.Topology != nil {
+			opts.Topology.Reverse = r
+		} else {
+			opts.Path.ReverseRate = r.Rate
+			opts.Path.ReverseDelay = r.Delay
+			opts.Path.ReverseQueue = r.Queue
+		}
 	}
 
+	s, err := rsstcp.Build(opts)
+	if err != nil {
+		fatal(err)
+	}
+	res := s.Run()
+
+	// With an explicit topology the -bw/-rtt flag values never ran; describe
+	// (and itemize, below) the hops that did.
+	explicitTopo := opts.Topology != nil
 	st := res.Stats
 	fmt.Printf("algorithm        %s\n", res.Alg)
-	fmt.Printf("path             %v bottleneck, %v RTT, IFQ %d pkts\n",
-		path.Bottleneck, *rtt, *ifq)
+	topoDesc := fmt.Sprintf("%v bottleneck, %v RTT, IFQ %d pkts", path.Bottleneck, *rtt, *ifq)
+	if explicitTopo || len(s.Topo.Hops) > 1 {
+		topoDesc = fmt.Sprintf("%d hops, %v one-way, IFQ %d pkts", len(s.Topo.Hops), s.Topo.ForwardDelay(), *ifq)
+	}
+	fmt.Printf("path             %s\n", topoDesc)
 	fmt.Printf("duration         %v\n", res.Duration)
 	fmt.Printf("throughput       %.2f Mbps\n", float64(res.Throughput)/1e6)
 	fmt.Printf("acked            %s\n", unit.ByteSize(st.ThruOctetsAcked))
@@ -75,19 +146,38 @@ func main() {
 	fmt.Printf("snd-lim          cwnd %v, rwnd %v, sender %v\n",
 		st.SndLimTimeCwnd, st.SndLimTimeRwnd, st.SndLimTimeSender)
 	fmt.Printf("router-drops     %d\n", res.RouterDrops)
+	if explicitTopo || len(res.Hops) > 1 {
+		for i, h := range res.Hops {
+			hc := s.Topo.Hops[i]
+			fmt.Printf("hop %-2d           %v %v q=%d %s: drops=%d maxq=%d avgq=%.1f util=%.3f",
+				i, hc.Rate, hc.Delay, hc.Queue, hc.Discipline,
+				h.Drops, h.MaxQueue, h.AvgQueue, h.Utilization)
+			if h.LossDrops+h.Reordered+h.Duplicated > 0 {
+				fmt.Printf(" loss=%d reorder=%d dup=%d", h.LossDrops, h.Reordered, h.Duplicated)
+			}
+			fmt.Println()
+		}
+	}
+	if s.Topo.Reverse.Rate > 0 {
+		fmt.Printf("reverse          %v, %d pkts queue: ack-drops=%d\n",
+			s.Topo.Reverse.Rate, s.Topo.Reverse.Queue, res.ReverseDrops)
+	}
 	fmt.Printf("nic              sent %d segs, max IFQ %d pkts\n", res.NIC.Sent, res.NIC.MaxQueue)
 
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "rsstcp-sim:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer f.Close()
 		if err := res.Rec.WriteCSV(f); err != nil {
-			fmt.Fprintln(os.Stderr, "rsstcp-sim:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Printf("trace            %s\n", *csvPath)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rsstcp-sim:", err)
+	os.Exit(1)
 }

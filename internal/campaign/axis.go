@@ -121,6 +121,22 @@ func (p Plan) Validate() error {
 			}
 		}
 	}
+	// The topo axis installs an explicit topology, which overrides the
+	// PathConfig fields the legacy path axes sweep — combining them would
+	// make cell labels lie — and the reverse/AQM axes mutate the explicit
+	// topology, so they must come after it or the preset clobbers them.
+	if ti, ok := axisPos["topo"]; ok {
+		for _, clash := range topoHardConflicts {
+			if _, ok := axisPos[clash]; ok {
+				return fmt.Errorf("campaign: axis %q installs an explicit topology and conflicts with path axis %q; sweep one or the other", "topo", clash)
+			}
+		}
+		for _, ta := range topoAfterAxes {
+			if pi, ok := axisPos[ta]; ok && pi < ti {
+				return fmt.Errorf("campaign: axis %q must come before axis %q, whose values it would otherwise clobber when installing the topology", "topo", ta)
+			}
+		}
+	}
 	for _, a := range p.Axes {
 		if len(a.Values) == 0 {
 			return fmt.Errorf("campaign: axis %q has no values", a.Name)
@@ -228,10 +244,14 @@ func (p Plan) Cells() []PlanCell {
 }
 
 // cloneConfig deep-copies the parts of a Config that axis mutators touch, so
-// sibling cells never alias each other's flow specs.
+// sibling cells never alias each other's flow specs or hop lists.
 func cloneConfig(cfg experiment.Config) experiment.Config {
 	out := cfg
 	out.Flows = append([]experiment.FlowSpec(nil), cfg.Flows...)
+	if cfg.Topology != nil {
+		t := cfg.Topology.Clone()
+		out.Topology = &t
+	}
 	return out
 }
 

@@ -134,6 +134,29 @@ var (
 			return r.Duration.Seconds()
 		},
 	}
+	// MetricHopDropsMax is the largest per-hop queue-refusal count (tail or
+	// AQM discard) over the forward hops — it localizes which stage of a
+	// multi-bottleneck path is shedding load, where router_drops only
+	// totals. On a one-hop dumbbell the two coincide.
+	MetricHopDropsMax = Metric{
+		Name: "hop_drops_max",
+		Extract: func(r experiment.Result) float64 {
+			var max int64
+			for _, h := range r.Hops {
+				if h.Drops > max {
+					max = h.Drops
+				}
+			}
+			return float64(max)
+		},
+	}
+	// MetricReverseDrops counts ACKs refused by the reverse channel's
+	// queue — zero on the ideal reverse wire, the figure of merit for
+	// asymmetric-path (ACK compression) sweeps.
+	MetricReverseDrops = Metric{
+		Name:    "rev_drops",
+		Extract: func(r experiment.Result) float64 { return float64(r.ReverseDrops) },
+	}
 )
 
 // StockMetrics returns the default metric set — the six summaries the legacy
@@ -151,6 +174,7 @@ func Metrics() []Metric {
 		MetricThroughputMbps, MetricStalls, MetricCongSignals,
 		MetricRouterDrops, MetricInjectedDrops, MetricUtilization,
 		MetricTimeouts, MetricFairness, MetricCollapses, MetricTimeToUtil90,
+		MetricHopDropsMax, MetricReverseDrops,
 	}
 }
 

@@ -70,12 +70,20 @@ type Run struct {
 	RouterDrops   int64   `json:"router_drops"`
 	InjectedDrops int64   `json:"injected_drops"`
 	Utilization   float64 `json:"utilization"`
+	// RevDrops counts ACKs refused by a real reverse channel's queue; it is
+	// omitempty (and Run stays comparable) so legacy ideal-reverse exports
+	// are byte-identical.
+	RevDrops int64 `json:"rev_drops,omitempty"`
 }
 
 // Replicate is one finished run of a plan cell: the stock scalar record plus
 // the plan's metric values, in plan-metric order.
 type Replicate struct {
 	Run
+	// HopDrops lists per-hop queue refusals in forward order, populated
+	// only for multi-hop topologies (a dumbbell's single figure is already
+	// router_drops), so legacy exports are unchanged.
+	HopDrops []int64 `json:"hop_drops,omitempty"`
 	// Values holds one extracted value per plan metric. Values are
 	// NaN-tolerant on the wire: a metric that yields NaN (degenerate
 	// cells) serializes as JSON null instead of breaking the export.
@@ -117,8 +125,15 @@ func (rc *runContext) runReplicate(p Plan, c PlanCell, rep int, traceless bool) 
 			RouterDrops:   res.RouterDrops,
 			InjectedDrops: res.InjectedDrops,
 			Utilization:   res.Utilization,
+			RevDrops:      res.ReverseDrops,
 		},
 		Values: make([]stats.JSONFloat, len(p.Metrics)),
+	}
+	if len(res.Hops) > 1 {
+		out.HopDrops = make([]int64, len(res.Hops))
+		for i, h := range res.Hops {
+			out.HopDrops[i] = h.Drops
+		}
 	}
 	for _, tp := range res.FlowThroughputs {
 		out.ThroughputBps += float64(tp)

@@ -37,6 +37,20 @@ var (
 	perFlowAxes          = []string{"setpoint", "tick", "mss", "sack", "bytes"}
 )
 
+// Stock-axis semantic constraints around "topo", which installs an explicit
+// topology (and possibly cross flows) on the configuration. Plan.Validate
+// enforces both:
+//
+//   - topoHardConflicts sweep PathConfig fields an explicit topology
+//     overrides entirely, so their cell labels would lie about what ran.
+//   - topoAfterAxes mutate the explicit topology when one is set, so they
+//     compose with topo only when they come after it; the other order lets
+//     the preset clobber their values.
+var (
+	topoHardConflicts = []string{"hops", "bw", "rtt", "rq", "loss"}
+	topoAfterAxes     = []string{"rbw", "aqm"}
+)
+
 // legacyAxisNames are the seven grid dimensions, exported order.
 var legacyAxisNames = []string{"bw", "rtt", "rq", "ifq", "loss", "alg", "flows"}
 
@@ -51,15 +65,42 @@ func IsLegacyAxis(name string) bool {
 	return false
 }
 
-// eachFlow applies f to every flow of the config, materializing one default
-// flow first if none exist, so per-flow axes compose in any order.
+// eachFlow applies f to every measured flow of the config, materializing one
+// default flow first if none exist, so per-flow axes compose in any order.
+// Cross-traffic flows (FlowSpec.Cross, e.g. installed by a topology preset)
+// are background load, not subjects: per-flow axes leave them untouched.
 func eachFlow(cfg *experiment.Config, f func(*experiment.FlowSpec)) {
-	if len(cfg.Flows) == 0 {
-		cfg.Flows = []experiment.FlowSpec{{}}
+	if len(measuredFlows(cfg.Flows)) == 0 {
+		cfg.Flows = append([]experiment.FlowSpec{{}}, cfg.Flows...)
 	}
 	for i := range cfg.Flows {
+		if cfg.Flows[i].Cross {
+			continue
+		}
 		f(&cfg.Flows[i])
 	}
+}
+
+// measuredFlows returns the non-cross flows, in order.
+func measuredFlows(flows []experiment.FlowSpec) []experiment.FlowSpec {
+	var out []experiment.FlowSpec
+	for _, fl := range flows {
+		if !fl.Cross {
+			out = append(out, fl)
+		}
+	}
+	return out
+}
+
+// crossFlows returns the cross-traffic flows, in order.
+func crossFlows(flows []experiment.FlowSpec) []experiment.FlowSpec {
+	var out []experiment.FlowSpec
+	for _, fl := range flows {
+		if fl.Cross {
+			out = append(out, fl)
+		}
+	}
+	return out
 }
 
 // AxisBandwidths sweeps the bottleneck rate ("bw").
@@ -166,14 +207,15 @@ func AxisFlowCounts(vs ...int) Axis {
 		}
 		a.Values = append(a.Values, Val(strconv.Itoa(v), func(cfg *experiment.Config) {
 			base := experiment.FlowSpec{}
-			if len(cfg.Flows) > 0 {
-				base = cfg.Flows[0]
+			if m := measuredFlows(cfg.Flows); len(m) > 0 {
+				base = m[0]
 			}
-			flows := make([]experiment.FlowSpec, v)
+			cross := crossFlows(cfg.Flows)
+			flows := make([]experiment.FlowSpec, v, v+len(cross))
 			for i := range flows {
 				flows[i] = base
 			}
-			cfg.Flows = flows
+			cfg.Flows = append(flows, cross...)
 		}))
 	}
 	return a
@@ -276,11 +318,12 @@ func AxisMatchups(vs ...[]experiment.Algorithm) Axis {
 			parts[i] = string(al)
 		}
 		a.Values = append(a.Values, Val(strings.Join(parts, "+"), func(cfg *experiment.Config) {
-			flows := make([]experiment.FlowSpec, len(algs))
+			cross := crossFlows(cfg.Flows)
+			flows := make([]experiment.FlowSpec, len(algs), len(algs)+len(cross))
 			for i, al := range algs {
 				flows[i] = experiment.FlowSpec{Alg: al}
 			}
-			cfg.Flows = flows
+			cfg.Flows = append(flows, cross...)
 		}))
 	}
 	return a
@@ -300,6 +343,144 @@ func AxisBytes(vs ...int64) Axis {
 		}))
 	}
 	return a
+}
+
+// AxisHopCounts sweeps the number of forward hops the path is split into
+// ("hops"): each cell's dumbbell compiles to that many identical store-and-
+// forward stages (rate and buffer repeated, delay divided). It mutates
+// PathConfig, so it composes with bw/rtt/rq in any order — and conflicts
+// with the "topo" axis, which installs an explicit hop list.
+func AxisHopCounts(vs ...int) Axis {
+	a := Axis{Name: "hops"}
+	for _, v := range vs {
+		v := v
+		if v <= 0 {
+			a.fail("non-positive hop count %d", v)
+		}
+		a.Values = append(a.Values, Val(strconv.Itoa(v), func(cfg *experiment.Config) {
+			cfg.Path.Hops = v
+		}))
+	}
+	return a
+}
+
+// AxisReverseRates sweeps the reverse-channel bottleneck rate ("rbw"): ACKs
+// serialize through a real queued link at this rate, so asymmetric paths and
+// ACK compression become a sweep dimension. With an explicit topology on the
+// cell (the "topo" axis) the rate lands on its Reverse; otherwise on the
+// dumbbell's ReverseRate.
+func AxisReverseRates(vs ...unit.Bandwidth) Axis {
+	a := Axis{Name: "rbw"}
+	for _, v := range vs {
+		v := v
+		if v <= 0 {
+			a.fail("non-positive reverse rate %v", v)
+		}
+		a.Values = append(a.Values, Val(v.String(), func(cfg *experiment.Config) {
+			if cfg.Topology != nil {
+				cfg.Topology.Reverse.Rate = v
+				return
+			}
+			cfg.Path.ReverseRate = v
+		}))
+	}
+	return a
+}
+
+// AxisAQMs sweeps the hop queue discipline ("aqm"): drop-tail versus RED on
+// every hop of the cell's path. With an explicit topology it rewrites each
+// hop's discipline; otherwise it sets the dumbbell's AQM field.
+func AxisAQMs(vs ...experiment.QueueDiscipline) Axis {
+	a := Axis{Name: "aqm"}
+	for _, v := range vs {
+		v := v
+		if !knownAQM(v) {
+			a.fail("unknown queue discipline %q", v)
+		}
+		a.Values = append(a.Values, Val(string(v), func(cfg *experiment.Config) {
+			if cfg.Topology != nil {
+				for i := range cfg.Topology.Hops {
+					cfg.Topology.Hops[i].Discipline = v
+				}
+				return
+			}
+			cfg.Path.AQM = v
+		}))
+	}
+	return a
+}
+
+// AxisTopologies sweeps stock topology presets ("topo"): each value installs
+// a named topology — and, for parking-lot, its cross traffic — on the cell.
+// Plan.Validate rejects plans combining it with path axes it would override
+// (hops, bw, rtt, rq, loss) and requires rbw/aqm to come after it.
+func AxisTopologies(names ...string) Axis {
+	a := Axis{Name: "topo"}
+	for _, n := range names {
+		n := n
+		if !knownPreset(n) {
+			a.fail("unknown topology preset %q (known: %s)", n, strings.Join(experiment.TopologyPresets(), ", "))
+		}
+		a.Values = append(a.Values, Val(n, func(cfg *experiment.Config) {
+			// Preset names were validated at construction; ApplyPreset
+			// cannot fail here.
+			_ = experiment.ApplyPreset(cfg, n)
+		}))
+	}
+	return a
+}
+
+// AxisTopologyValue builds a single-valued "topo" axis from an explicit
+// topology (the CLIs' repeatable -hop flags compile to one): every cell runs
+// a private clone of it, labeled for the cell key.
+func AxisTopologyValue(label string, t experiment.Topology) Axis {
+	a := Axis{Name: "topo"}
+	if err := t.Validate(); err != nil {
+		a.fail("%v", err)
+	}
+	a.Values = append(a.Values, Val(label, func(cfg *experiment.Config) {
+		ct := t.Clone()
+		cfg.Topology = &ct
+	}))
+	return a
+}
+
+// AxisReverseValue builds a single-valued "rbw" axis from a full reverse
+// description (rate + delay + queue, the CLIs' -rev flag), applied to the
+// cell's explicit topology when one is set, or to its dumbbell otherwise.
+// It shares the "rbw" name so Plan.Validate's ordering rule against "topo"
+// covers it.
+func AxisReverseValue(r experiment.Reverse) Axis {
+	a := Axis{Name: "rbw"}
+	if r.Rate <= 0 {
+		a.fail("non-positive reverse rate %v", r.Rate)
+	}
+	a.Values = append(a.Values, Val(r.Rate.String(), func(cfg *experiment.Config) {
+		if cfg.Topology != nil {
+			cfg.Topology.Reverse = r
+			return
+		}
+		cfg.Path.ReverseRate = r.Rate
+		cfg.Path.ReverseDelay = r.Delay
+		cfg.Path.ReverseQueue = r.Queue
+	}))
+	return a
+}
+
+func knownAQM(d experiment.QueueDiscipline) bool {
+	for _, k := range experiment.QueueDisciplines() {
+		if d == k {
+			return true
+		}
+	}
+	return false
+}
+
+// knownPreset validates a preset name by asking the owner: ApplyPreset on a
+// throwaway config is the single source of truth, so the axis can never
+// accept a name the experiment layer rejects (or vice versa).
+func knownPreset(n string) bool {
+	return experiment.ApplyPreset(&experiment.Config{}, n) == nil
 }
 
 // axisSpec adapts one stock axis to untyped and string-typed construction.
@@ -490,7 +671,35 @@ var stockAxes = map[string]axisSpec{
 			return AxisSACK(b), nil
 		},
 	},
-	"nic": specBandwidth("nic", AxisNICRates),
+	"nic":  specBandwidth("nic", AxisNICRates),
+	"hops": specInt("hops", "forward hop count (path split into identical stages)", AxisHopCounts),
+	"rbw":  specBandwidth("rbw", AxisReverseRates),
+	"aqm": {
+		help: "queue discipline (droptail, red)",
+		fromAny: func(v any) (Axis, error) {
+			switch x := v.(type) {
+			case experiment.QueueDiscipline:
+				return AxisAQMs(x), nil
+			case string:
+				return AxisAQMs(experiment.QueueDiscipline(x)), nil
+			default:
+				return Axis{}, fmt.Errorf("aqm: want experiment.QueueDiscipline or string, got %T", v)
+			}
+		},
+		fromString: func(s string) (Axis, error) { return AxisAQMs(experiment.QueueDiscipline(s)), nil },
+	},
+	"topo": {
+		help: "topology preset name (dumbbell, parking-lot, reverse-congested)",
+		fromAny: func(v any) (Axis, error) {
+			switch x := v.(type) {
+			case string:
+				return AxisTopologies(x), nil
+			default:
+				return Axis{}, fmt.Errorf("topo: want string, got %T", v)
+			}
+		},
+		fromString: func(s string) (Axis, error) { return AxisTopologies(s), nil },
+	},
 	"matchup": {
 		help: "algorithms joined with '+' (e.g. standard+restricted)",
 		fromAny: func(v any) (Axis, error) {

@@ -99,6 +99,70 @@ func TestResetMatchesFreshBuild(t *testing.T) {
 	}
 }
 
+// TestResetMatchesFreshBuildMultiHop extends the reset contract to the
+// topology layer: resetting between a 3-hop parking-lot (cross traffic on
+// the middle hop, congested asymmetric reverse channel) and a plain
+// dumbbell — in both directions — must reproduce fresh builds exactly,
+// per-hop counters and reverse drops included.
+func TestResetMatchesFreshBuildMultiHop(t *testing.T) {
+	t.Parallel()
+	lot := parkingLot(AlgRestricted)
+	plain, _ := resetCfgs()
+	lot.Traceless, plain.Traceless = true, true
+
+	freshLot, err := Build(lot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resLot := freshLot.Run()
+	if resLot.ReverseDrops == 0 {
+		t.Fatal("parking-lot reverse channel dropped no ACKs — bad test premise")
+	}
+	freshPlain, err := Build(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resPlain := freshPlain.Run()
+
+	// One context: plain, then parking-lot, then plain again — the reuse
+	// path must tear down and rebuild the hop graph both ways.
+	s, err := Build(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if err := s.Reset(lot); err != nil {
+		t.Fatal(err)
+	}
+	reusedLot := s.Run()
+	sameResult(t, "plain->lot", resLot, reusedLot)
+	if len(resLot.Hops) != len(reusedLot.Hops) {
+		t.Fatalf("hop count diverged: %d fresh vs %d reused", len(resLot.Hops), len(reusedLot.Hops))
+	}
+	for i := range resLot.Hops {
+		if resLot.Hops[i] != reusedLot.Hops[i] {
+			t.Errorf("hop %d stats diverged: %+v fresh vs %+v reused",
+				i, resLot.Hops[i], reusedLot.Hops[i])
+		}
+	}
+	if resLot.ReverseDrops != reusedLot.ReverseDrops {
+		t.Errorf("reverse drops %d fresh vs %d reused", resLot.ReverseDrops, reusedLot.ReverseDrops)
+	}
+	if err := s.Reset(plain); err != nil {
+		t.Fatal(err)
+	}
+	reusedPlain := s.Run()
+	sameResult(t, "lot->plain", resPlain, reusedPlain)
+	if len(reusedPlain.Hops) != 1 || reusedPlain.ReverseDrops != 0 {
+		t.Errorf("dumbbell after reset reports %d hops, %d reverse drops",
+			len(reusedPlain.Hops), reusedPlain.ReverseDrops)
+	}
+
+	if got := s.Eng.Leaked(); got != 0 {
+		t.Errorf("reused engine leaked %d events across topology changes", got)
+	}
+}
+
 // TestResetTracedSeriesMatchFresh: with tracing on, the reused recorder's
 // sampled series must match a fresh build's point for point.
 func TestResetTracedSeriesMatchFresh(t *testing.T) {

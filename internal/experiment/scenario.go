@@ -67,6 +67,27 @@ type PathConfig struct {
 	// non-zero the drops are drawn from the run's seed, so replicates
 	// with different seeds see different loss patterns.
 	Loss float64
+
+	// The fields below extend the dumbbell beyond the paper's testbed; all
+	// default to zero (= the paper's shape) and compile away through
+	// PathConfig.Topology. They are omitempty so legacy campaign exports
+	// stay byte-identical.
+
+	// Hops splits the forward path into this many identical store-and-
+	// forward hops (0 or 1 = the classic single bottleneck). Delay divides
+	// evenly across hops; rate, buffer and discipline repeat per hop.
+	Hops int `json:",omitempty"`
+	// AQM selects the queue discipline at every hop ("" = drop-tail).
+	AQM QueueDiscipline `json:",omitempty"`
+	// ReverseRate, when non-zero, replaces the ideal pure-delay reverse
+	// wire with a real link: ACKs serialize at this rate behind a finite
+	// queue, so an asymmetric reverse channel can stall the ACK clock.
+	ReverseRate unit.Bandwidth `json:",omitempty"`
+	// ReverseDelay is the reverse one-way delay (0 = symmetric).
+	ReverseDelay time.Duration `json:",omitempty"`
+	// ReverseQueue is the reverse buffer in packets (default 100 when
+	// ReverseRate > 0).
+	ReverseQueue int `json:",omitempty"`
 }
 
 // PaperPath returns the testbed of Section 4: a 100 Mbps ANL↔LBNL path with
@@ -131,6 +152,15 @@ type FlowSpec struct {
 	// OnOff, when non-nil, replaces the backlogged workload with bursty
 	// on-off traffic (used for cross flows).
 	OnOff *OnOffSpec
+	// Route pins the flow to a contiguous hop span of the topology; the
+	// zero value traverses the whole path. Hop-local cross traffic in a
+	// parking-lot topology sets a sub-span (e.g. Route{FirstHop:1, Hops:1}).
+	Route Route
+	// Cross marks the flow as cross traffic: campaign per-flow axes (alg,
+	// setpoint, mss, ...) leave it untouched and flow-count axes preserve
+	// it, so sweeps shape only the measured flows while the topology's
+	// background load stays fixed.
+	Cross bool
 }
 
 // OnOffSpec describes an on-off source: On at Rate, then Off, repeating.
@@ -142,6 +172,11 @@ type OnOffSpec struct {
 // Config describes a full experiment run.
 type Config struct {
 	Path PathConfig
+	// Topology, when non-nil, describes the network explicitly as a hop
+	// chain and overrides Path entirely. When nil, Path compiles into a
+	// one-hop topology (see PathConfig.Topology) — every pre-topology
+	// configuration keeps working unchanged.
+	Topology *Topology
 	// Flows to run; Flows[0] is the measured flow. Empty means one
 	// standard flow.
 	Flows []FlowSpec
@@ -165,6 +200,19 @@ func (c Config) withDefaults() Config {
 	c.Path = c.Path.withDefaults()
 	if len(c.Flows) == 0 {
 		c.Flows = []FlowSpec{{Alg: AlgStandard}}
+	} else {
+		// Cross traffic alone (e.g. a topology preset applied before any
+		// flow axis) still needs a measured flow in front.
+		primary := false
+		for _, f := range c.Flows {
+			if !f.Cross {
+				primary = true
+				break
+			}
+		}
+		if !primary {
+			c.Flows = append([]FlowSpec{{Alg: AlgStandard}}, c.Flows...)
+		}
 	}
 	if c.Duration <= 0 {
 		c.Duration = 25 * time.Second
@@ -190,18 +238,61 @@ type Flow struct {
 	Stalls *trace.Counter
 }
 
+// builtHop is one assembled forward hop: the ingress chain (loss → reorder →
+// duplicate → link), the link with its queue, and the hop-local counters.
+type builtHop struct {
+	cfg     Hop
+	link    *netem.Link
+	queue   netem.StatQueue
+	entry   netem.Receiver // first element of the hop's ingress chain
+	loss    *netem.Loss
+	reorder *netem.Reorderer
+	dup     *netem.Duplicator
+	drops   int64 // queue refusals at this hop (tail or AQM)
+}
+
+// hopEgress routes a hop's output per flow: flows whose route ends at this
+// hop exit to the receiver demux, everything else continues into the next
+// hop's ingress chain. The last hop feeds the demux directly, so a one-hop
+// topology has no egress stage at all — the pre-topology wiring, exactly.
+type hopEgress struct {
+	s   *Scenario
+	hop int
+}
+
+func (e *hopEgress) Receive(seg *packet.Segment) {
+	if i := int(seg.Flow); i < len(e.s.exitHop) && e.s.exitHop[i] == e.hop {
+		e.s.dm.Receive(seg)
+		return
+	}
+	e.s.hops[e.hop+1].entry.Receive(seg)
+}
+
 // Scenario is a built, runnable testbed.
 type Scenario struct {
-	Eng        *sim.Engine
-	Cfg        Config
-	Flows      []*Flow
-	Rec        *trace.Recorder
+	Eng   *sim.Engine
+	Cfg   Config
+	Flows []*Flow
+	Rec   *trace.Recorder
+	// Topo is the resolved topology the scenario was built from (explicit,
+	// or compiled from Cfg.Path).
+	Topo Topology
+	// Bottleneck is the lowest-static-rate forward hop's link (ties resolve
+	// to the earliest hop) — the nominal bottleneck. Result.Utilization and
+	// TimeToUtil90 instead read the hop with the highest measured
+	// utilization, which on equal-rate multi-hop paths is the contended
+	// one; for a one-hop path the two coincide.
 	Bottleneck *netem.Link
-	routerQ    *netem.DropTail
-	entry      netem.Receiver // bottleneck ingress (loss injector when Path.Loss > 0)
-	loss       *netem.Loss
-	drops      int64
+	hops       []builtHop
+	dm         *demux      // forward egress → per-flow receivers
+	exitHop    []int       // FlowID → index of the last hop the flow traverses
+	revLink    *netem.Link // non-nil when the reverse channel is real
+	revQ       *netem.DropTail
+	revDemux   *demux // reverse egress → per-flow senders
+	revDrops   int64
+	drops      int64                             // forward queue refusals, summed over hops
 	hosts      map[int]*host.Interface           // shared NICs by FlowSpec.Host
+	hostEntry  map[int]int                       // shared NICs' first-hop index
 	rssByHost  map[int]*core.RestrictedSlowStart // shared controllers by FlowSpec.Host
 
 	// Cross-flow aggregate cache, keyed by the virtual time it was
@@ -247,6 +338,7 @@ func Build(cfg Config) (*Scenario, error) {
 	s := &Scenario{
 		Eng: eng, Rec: trace.NewRecorder(eng),
 		hosts:     map[int]*host.Interface{},
+		hostEntry: map[int]int{},
 		rssByHost: map[int]*core.RestrictedSlowStart{},
 		segs:      packet.NewPool(),
 	}
@@ -271,9 +363,12 @@ func (s *Scenario) Reset(cfg Config) error {
 	}
 	s.Flows = s.Flows[:0]
 	clear(s.hosts)
+	clear(s.hostEntry)
 	clear(s.rssByHost)
-	s.Bottleneck, s.routerQ, s.entry, s.loss = nil, nil, nil, nil
-	s.drops = 0
+	s.Bottleneck, s.hops, s.dm = nil, nil, nil
+	s.exitHop = s.exitHop[:0]
+	s.revLink, s.revQ, s.revDemux = nil, nil, nil
+	s.drops, s.revDrops = 0, 0
 	s.aggValid, s.aggTps = false, nil
 	return s.init(cfg)
 }
@@ -287,26 +382,95 @@ func (s *Scenario) init(cfg Config) error {
 	rec := s.Rec
 	rec.SetEnabled(!cfg.Traceless)
 	s.Cfg = cfg
-	owd := cfg.Path.RTT / 2
+	topo := cfg.topology()
+	if err := topo.Validate(); err != nil {
+		return err
+	}
+	s.Topo = topo
 
-	// Shared bottleneck: router queue + link + forward propagation,
-	// delivering to the flow demux.
+	// Forward path: the hop chain, assembled back to front so each hop's
+	// downstream exists when its link is built. Each hop is an ingress
+	// injector chain (loss → reorder → duplicate) feeding a queue + link;
+	// the last hop delivers to the flow demux, interior hops route through
+	// a per-flow egress (exit here, or continue).
 	dm := &demux{}
-	s.routerQ = netem.NewDropTail(cfg.Path.RouterQueue)
-	s.Bottleneck = netem.NewLink(eng, cfg.Path.Bottleneck, owd, s.routerQ, dm)
-	s.Bottleneck.OnDrop = func(*packet.Segment) { s.drops++ }
-	// Ramp-speed mark, kept by the link's running busy counter so
-	// TimeToUtil90 exists with or without sampled series.
-	s.Bottleneck.WatchUtilization(0.9)
-	s.entry = s.Bottleneck
-	if cfg.Path.Loss > 0 {
-		s.loss = &netem.Loss{P: cfg.Path.Loss, RNG: sim.NewRNG(cfg.Seed), Next: s.Bottleneck}
-		s.entry = s.loss
+	s.dm = dm
+	n := len(topo.Hops)
+	s.hops = make([]builtHop, n)
+	for i := n - 1; i >= 0; i-- {
+		h := &s.hops[i]
+		h.cfg = topo.Hops[i]
+		switch h.cfg.Discipline {
+		case DiscRED:
+			red := netem.DefaultREDConfig(h.cfg.Queue)
+			if h.cfg.RED != nil {
+				red = *h.cfg.RED
+			}
+			h.queue = netem.NewRED(red, sim.NewRNG(injectorSeed(cfg.Seed, i, saltRED)))
+		default:
+			h.queue = netem.NewDropTail(h.cfg.Queue)
+		}
+		var dst netem.Receiver = dm
+		if i < n-1 {
+			dst = &hopEgress{s: s, hop: i}
+		}
+		h.link = netem.NewLink(eng, h.cfg.Rate, h.cfg.Delay, h.queue, dst)
+		h.link.OnDrop = func(*packet.Segment) { h.drops++; s.drops++ }
+		entry := netem.Receiver(h.link)
+		if h.cfg.DuplicateP > 0 {
+			h.dup = &netem.Duplicator{
+				P: h.cfg.DuplicateP, RNG: sim.NewRNG(injectorSeed(cfg.Seed, i, saltDup)), Next: entry,
+			}
+			entry = h.dup
+		}
+		if h.cfg.ReorderP > 0 {
+			h.reorder = netem.NewReorderer(eng, h.cfg.ReorderP, h.cfg.ReorderDelay,
+				sim.NewRNG(injectorSeed(cfg.Seed, i, saltReorder)), entry)
+			entry = h.reorder
+		}
+		if h.cfg.Loss > 0 {
+			h.loss = &netem.Loss{
+				P: h.cfg.Loss, RNG: sim.NewRNG(injectorSeed(cfg.Seed, i, saltLoss)), Next: entry,
+			}
+			entry = h.loss
+		}
+		h.entry = entry
+	}
+
+	// Every hop keeps the 0.9 ramp-speed mark on its running busy counter
+	// (one comparison per completed transmission), because which hop is the
+	// bottleneck is a load property, not a rate property: on an equal-rate
+	// parking lot the contended middle hop binds, not the lowest-rate one.
+	// Result-time figures (Utilization, TimeToUtil90, the "util" gauge)
+	// read the max-utilization hop; the exported Bottleneck field holds the
+	// lowest-static-rate hop for callers that want the nominal bottleneck.
+	bn := 0
+	for i := 0; i < n; i++ {
+		s.hops[i].link.WatchUtilization(0.9)
+		if topo.Hops[i].Rate < topo.Hops[bn].Rate {
+			bn = i
+		}
+	}
+	s.Bottleneck = s.hops[bn].link
+
+	// Reverse channel: a real shared link when Reverse.Rate is set — ACKs
+	// from every flow queue behind one serializer, then a reverse demux
+	// hands them to their senders. With Rate zero each flow keeps its own
+	// ideal pure-delay wire (built per flow, below).
+	if topo.Reverse.Rate > 0 {
+		rd := topo.Reverse.Delay
+		if rd <= 0 {
+			rd = topo.ForwardDelay()
+		}
+		s.revDemux = &demux{}
+		s.revQ = netem.NewDropTail(topo.Reverse.Queue)
+		s.revLink = netem.NewLink(eng, topo.Reverse.Rate, rd, s.revQ, s.revDemux)
+		s.revLink.OnDrop = func(*packet.Segment) { s.revDrops++ }
 	}
 
 	for i, spec := range cfg.Flows {
 		id := packet.FlowID(i + 1)
-		flow, err := buildFlow(s, spec, id, owd, dm)
+		flow, err := buildFlow(s, spec, id, dm)
 		if err != nil {
 			return fmt.Errorf("experiment: flow %d: %w", i, err)
 		}
@@ -316,14 +480,60 @@ func (s *Scenario) init(cfg Config) error {
 	// Scenario-global gauge: cumulative bottleneck utilization, sampled so
 	// time-to-threshold metrics can read the ramp from the recorder.
 	rec.Gauge("util", func() float64 {
-		return s.Bottleneck.Utilization(eng.Now())
+		return s.bottleneck(eng.Now()).Utilization(eng.Now())
 	})
+	if rec.Enabled() {
+		// Per-hop and reverse-queue occupancy gauges, only when the
+		// topology actually has them: a one-hop ideal-reverse scenario
+		// records exactly the pre-topology series set.
+		if n > 1 {
+			for i := range s.hops {
+				q := s.hops[i].queue
+				rec.Gauge(fmt.Sprintf("hopq/%d", i), func() float64 {
+					return float64(q.Len())
+				})
+			}
+		}
+		if s.revQ != nil {
+			q := s.revQ
+			rec.Gauge("revq", func() float64 { return float64(q.Len()) })
+		}
+	}
 	return nil
 }
 
-func buildFlow(s *Scenario, spec FlowSpec, id packet.FlowID, owd time.Duration, dm *demux) (*Flow, error) {
+// bottleneck returns the link of the hop whose serializer has the highest
+// cumulative utilization at now — the stage that actually binds the path
+// under the run's load (earliest hop on ties, so a one-hop path is trivially
+// its own bottleneck and pre-topology figures are unchanged).
+func (s *Scenario) bottleneck(now sim.Time) *netem.Link {
+	best := 0
+	bu := s.hops[0].link.Utilization(now)
+	for i := 1; i < len(s.hops); i++ {
+		if u := s.hops[i].link.Utilization(now); u > bu {
+			best, bu = i, u
+		}
+	}
+	return s.hops[best].link
+}
+
+// setExit records the last hop of a flow's route for the egress routers.
+func (s *Scenario) setExit(id packet.FlowID, last int) {
+	for int(id) >= len(s.exitHop) {
+		s.exitHop = append(s.exitHop, 0)
+	}
+	s.exitHop[id] = last
+}
+
+func buildFlow(s *Scenario, spec FlowSpec, id packet.FlowID, dm *demux) (*Flow, error) {
 	eng := s.Eng
 	cfg := s.Cfg
+
+	first, last, err := spec.Route.span(len(s.hops))
+	if err != nil {
+		return nil, err
+	}
+	s.setExit(id, last)
 
 	tcpCfg := tcp.DefaultConfig()
 	tcpCfg.Pool = s.segs
@@ -338,14 +548,19 @@ func buildFlow(s *Scenario, spec FlowSpec, id packet.FlowID, owd time.Duration, 
 	var nic *host.Interface
 	if spec.Host != 0 {
 		nic = s.hosts[spec.Host]
+		if nic != nil && s.hostEntry[spec.Host] != first {
+			return nil, fmt.Errorf("host %d is attached to hop %d, flow routes from hop %d",
+				spec.Host, s.hostEntry[spec.Host], first)
+		}
 	}
 	if nic == nil {
 		nic = host.NewInterface(eng, host.InterfaceConfig{
 			Rate:       cfg.Path.NICRate,
 			TxQueueLen: cfg.Path.TxQueueLen,
-		}, s.entry)
+		}, s.hops[first].entry)
 		if spec.Host != 0 {
 			s.hosts[spec.Host] = nic
+			s.hostEntry[spec.Host] = first
 		}
 	}
 
@@ -356,11 +571,27 @@ func buildFlow(s *Scenario, spec FlowSpec, id packet.FlowID, owd time.Duration, 
 		return nil, err
 	}
 
-	// Reverse path: receiver -> wire -> sender (sender set below).
-	revWire := netem.NewWire(eng, owd, netem.Func(func(seg *packet.Segment) {
-		flow.Sender.Receive(seg)
-	}))
-	flow.Receiver = tcp.NewReceiver(eng, tcpCfg, id, revWire)
+	// Reverse path: receiver -> reverse channel -> sender (sender set
+	// below). With a real reverse link the ACKs join the shared queue;
+	// otherwise the flow gets an ideal wire whose delay mirrors its route.
+	var ackPath netem.Receiver
+	if s.revLink != nil {
+		s.revDemux.set(id, netem.Func(func(seg *packet.Segment) {
+			flow.Sender.Receive(seg)
+		}))
+		ackPath = s.revLink
+	} else {
+		rd := s.Topo.Reverse.Delay
+		if rd <= 0 {
+			for i := first; i <= last; i++ {
+				rd += s.Topo.Hops[i].Delay
+			}
+		}
+		ackPath = netem.NewWire(eng, rd, netem.Func(func(seg *packet.Segment) {
+			flow.Sender.Receive(seg)
+		}))
+	}
+	flow.Receiver = tcp.NewReceiver(eng, tcpCfg, id, ackPath)
 	dm.set(id, flow.Receiver)
 
 	flow.Sender = tcp.NewSender(eng, tcpCfg, id, ctrl, nic)
@@ -481,6 +712,14 @@ type Result struct {
 	// the link's running busy counter (see netem.Link.WatchUtilization),
 	// so it is available in traceless runs where no gauge was sampled.
 	TimeToUtil90 time.Duration
+	// Hops carries per-hop aggregates in forward order: drops, injector
+	// counts, queue high-water/average occupancy and utilization. A
+	// compiled dumbbell has exactly one entry; RouterDrops and
+	// InjectedDrops above are the totals over all hops.
+	Hops []HopStats
+	// ReverseDrops counts ACKs refused by the reverse channel's queue
+	// (always zero on the ideal pure-delay reverse wire).
+	ReverseDrops int64
 	// Series exposes the recorder for figure generation.
 	Rec *trace.Recorder
 }
@@ -505,12 +744,31 @@ func (s *Scenario) resultFor(i int) Result {
 	now := s.Eng.Now()
 	st := f.Sender.Stats().Snapshot(now)
 	var injected int64
-	if s.loss != nil {
-		injected = s.loss.Dropped()
+	hops := make([]HopStats, len(s.hops))
+	for hi := range s.hops {
+		h := &s.hops[hi]
+		hs := HopStats{
+			Drops:       h.drops,
+			MaxQueue:    h.queue.Stats().MaxLen,
+			AvgQueue:    h.link.AvgQueueLen(now),
+			Utilization: h.link.Utilization(now),
+		}
+		if h.loss != nil {
+			hs.LossDrops = h.loss.Dropped()
+			injected += hs.LossDrops
+		}
+		if h.reorder != nil {
+			hs.Reordered = h.reorder.Reordered()
+		}
+		if h.dup != nil {
+			hs.Duplicated = h.dup.Duplicated()
+		}
+		hops[hi] = hs
 	}
 	tps, totals := s.flowAggregates(now)
+	bn := s.bottleneck(now)
 	t90 := time.Duration(-1)
-	if at, ok := s.Bottleneck.UtilizationReachedAt(); ok {
+	if at, ok := bn.UtilizationReachedAt(); ok {
 		t90 = at.Duration()
 	}
 	return Result{
@@ -519,13 +777,15 @@ func (s *Scenario) resultFor(i int) Result {
 		Throughput:      st.Throughput(now),
 		Stalls:          f.Stalls.Value(),
 		NIC:             f.NIC.Stats(),
-		Utilization:     s.Bottleneck.Utilization(now),
+		Utilization:     bn.Utilization(now),
 		RouterDrops:     s.drops,
 		InjectedDrops:   injected,
 		Duration:        now.Duration(),
 		FlowThroughputs: tps,
 		Totals:          totals,
 		TimeToUtil90:    t90,
+		Hops:            hops,
+		ReverseDrops:    s.revDrops,
 		Rec:             s.Rec,
 	}
 }

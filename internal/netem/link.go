@@ -56,6 +56,11 @@ type Link struct {
 	// OnDrop, when set, is invoked for each segment the queue refuses,
 	// before the segment is released; it must not retain the segment.
 	OnDrop func(seg *packet.Segment)
+	// Occupancy integral: ∫ queue-length dt in packet·nanoseconds,
+	// accumulated on every length change so per-hop average occupancy is a
+	// running counter, available traced or traceless.
+	occLast   sim.Time
+	occWeight float64
 }
 
 // NewLink builds a link serializing at rate, with propagation delay, buffered
@@ -80,6 +85,7 @@ func NewLink(eng *sim.Engine, rate unit.Bandwidth, delay time.Duration, queue Qu
 // segment is handed to OnDrop (if set) and released.
 func (l *Link) Receive(seg *packet.Segment) {
 	seg.Enqueued = l.eng.Now()
+	l.accumulateOccupancy()
 	if !l.queue.Enqueue(seg) {
 		if l.OnDrop != nil {
 			l.OnDrop(seg)
@@ -94,6 +100,7 @@ func (l *Link) maybeTransmit() {
 	if l.busy {
 		return
 	}
+	l.accumulateOccupancy()
 	seg := l.queue.Dequeue()
 	if seg == nil {
 		return
@@ -127,6 +134,27 @@ func (l *Link) Rate() unit.Bandwidth { return l.rate }
 
 // Stats returns a copy of the transmission counters.
 func (l *Link) Stats() LinkStats { return l.stats }
+
+func (l *Link) accumulateOccupancy() {
+	now := l.eng.Now()
+	if now > l.occLast {
+		// Integrate in packet·nanoseconds; the seconds conversion (a float
+		// divide) belongs on the read side, off the per-segment path.
+		l.occWeight += float64(l.queue.Len()) * float64(now-l.occLast)
+		l.occLast = now
+	}
+}
+
+// AvgQueueLen returns the time-average attached-queue length in packets over
+// [0, now]. It reads the running occupancy integral, so it is exact with or
+// without sampled gauge series.
+func (l *Link) AvgQueueLen(now sim.Time) float64 {
+	l.accumulateOccupancy()
+	if now <= 0 {
+		return 0
+	}
+	return l.occWeight / float64(now)
+}
 
 // Utilization returns the fraction of [0, now] the serializer was busy.
 func (l *Link) Utilization(now sim.Time) float64 {

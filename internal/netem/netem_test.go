@@ -398,3 +398,29 @@ func TestREDPanicsOnBadConfig(t *testing.T) {
 	}()
 	NewRED(REDConfig{Capacity: 10, MinThreshold: 5, MaxThreshold: 5}, nil)
 }
+
+func TestLinkAvgQueueLen(t *testing.T) {
+	eng := sim.NewEngine()
+	l := NewLink(eng, 100*unit.Mbps, 0, NewDropTail(100), &Sink{})
+	// Two back-to-back 1460B segments (120us serialization each): the
+	// second waits in the queue for the first's full 120us, so over the
+	// 240us busy period the average queue length is 0.5 packets.
+	l.Receive(seg(1460))
+	l.Receive(seg(1460))
+	eng.Run()
+	now := eng.Now()
+	if now != sim.At(240*time.Microsecond) {
+		t.Fatalf("run ended at %v, want 240us", now)
+	}
+	got := l.AvgQueueLen(now)
+	if got < 0.49 || got > 0.51 {
+		t.Errorf("AvgQueueLen = %v, want 0.5", got)
+	}
+}
+
+func TestStatQueueImplementations(t *testing.T) {
+	// Both stock disciplines satisfy StatQueue, which is what lets the
+	// experiment layer read per-hop counters without knowing the type.
+	var _ StatQueue = NewDropTail(10)
+	var _ StatQueue = NewRED(DefaultREDConfig(10), sim.NewRNG(1))
+}

@@ -30,6 +30,15 @@ type QueueStats struct {
 	MaxLen   int   // high-water mark in packets
 }
 
+// StatQueue is a Queue that reports its counters. Both stock disciplines
+// (DropTail, RED) implement it; the experiment layer reads per-hop drop and
+// occupancy aggregates through this interface without knowing which
+// discipline a hop runs.
+type StatQueue interface {
+	Queue
+	Stats() QueueStats
+}
+
 // DropTail is a FIFO queue with a fixed packet-count capacity, the classic
 // router discipline and the model for the Linux pfifo qdisc.
 type DropTail struct {

@@ -247,3 +247,91 @@ func TestThroughputFacade(t *testing.T) {
 		t.Errorf("throughput = %v outside (0, 100Mbps]", thr)
 	}
 }
+
+// ExampleNewTopology assembles a two-bottleneck path with a congested
+// reverse channel entirely through the facade: two hops of different rates,
+// ACKs through a real 2 Mbps queue, per-hop drop counters in the result.
+func ExampleNewTopology() {
+	topo := rsstcp.NewTopology(
+		rsstcp.HopAt(100*rsstcp.Mbps, 10*time.Millisecond, 250),
+		rsstcp.HopAt(50*rsstcp.Mbps, 20*time.Millisecond, 120),
+	).WithReverse(2*rsstcp.Mbps, 0, 50)
+	res, err := rsstcp.Run(rsstcp.Options{
+		Topology: topo,
+		Flows:    []rsstcp.Flow{{Alg: rsstcp.Restricted}},
+		Duration: 2 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hops=%d bottleneck-second-hop=%v moving-data=%v\n",
+		len(res.Hops), res.Hops[1].Utilization > res.Hops[0].Utilization, res.Throughput > 0)
+	// Output: hops=2 bottleneck-second-hop=true moving-data=true
+}
+
+func TestTopologyFacade(t *testing.T) {
+	t.Parallel()
+	// A preset applies through the facade, cross traffic included.
+	var opts rsstcp.Options
+	if err := rsstcp.ApplyPreset(&opts, "parking-lot"); err != nil {
+		t.Fatal(err)
+	}
+	opts.Flows = append([]rsstcp.Flow{{Alg: rsstcp.Restricted}}, opts.Flows...)
+	opts.Duration = 2 * time.Second
+	res, err := rsstcp.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hops) != 3 {
+		t.Fatalf("parking-lot hops = %d, want 3", len(res.Hops))
+	}
+	if err := rsstcp.ApplyPreset(&opts, "bogus"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+
+	// Route helpers resolve to the right span.
+	r := rsstcp.HopSpan(1, 1)
+	if r.FirstHop != 1 || r.Hops != 1 {
+		t.Errorf("HopSpan = %+v", r)
+	}
+	cf := rsstcp.CrossFlow(rsstcp.Standard, r, time.Second)
+	if !cf.Cross || cf.Route != r || cf.StartAt != time.Second {
+		t.Errorf("CrossFlow = %+v", cf)
+	}
+}
+
+func TestTopologyCampaignFacade(t *testing.T) {
+	t.Parallel()
+	// A custom topology pinned on a sweep through SweepTopology, refined by
+	// the rbw axis, reporting the per-hop metrics.
+	topo := rsstcp.NewTopology(
+		rsstcp.HopAt(50*rsstcp.Mbps, 5*time.Millisecond, 120),
+		rsstcp.HopAt(25*rsstcp.Mbps, 5*time.Millisecond, 60),
+	)
+	rep, err := rsstcp.NewCampaign(
+		rsstcp.SweepTopology("two-bottleneck", *topo),
+		rsstcp.Sweep("alg", rsstcp.Restricted),
+		rsstcp.MeasureNamed("throughput_mbps", "hop_drops_max", "rev_drops"),
+		rsstcp.Duration(time.Second),
+	).Run(rsstcp.CampaignOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 1 {
+		t.Fatalf("cells = %d, want 1", len(rep.Cells))
+	}
+	if got := rep.Cells[0].Key; got != "topo=two-bottleneck/alg=restricted" {
+		t.Errorf("cell key = %q", got)
+	}
+	if m, ok := rep.Cells[0].Metric("hop_drops_max"); !ok || m.N != 1 {
+		t.Errorf("hop_drops_max summary = %+v, %v", m, ok)
+	}
+	// topo + a conflicting path axis must fail validation end to end.
+	_, err = rsstcp.NewCampaign(
+		rsstcp.SweepTopology("two-bottleneck", *topo),
+		rsstcp.Sweep("bw", 10),
+	).Run(rsstcp.CampaignOptions{})
+	if err == nil {
+		t.Error("topo + bw axis accepted")
+	}
+}
