@@ -18,6 +18,7 @@ import (
 
 	"rsstcp/internal/campaign"
 	"rsstcp/internal/experiment"
+	"rsstcp/internal/sim"
 	"rsstcp/internal/unit"
 )
 
@@ -34,6 +35,15 @@ type ScenarioPerf struct {
 	AllocsPerRun  uint64  `json:"allocs_per_run"`
 	AllocsPerKEvt float64 `json:"allocs_per_kevent"`
 	BytesPerRun   uint64  `json:"bytes_per_run"`
+	// Engine self-observation (PR 6 on): calendar-heap high-water mark,
+	// lifetime cancellations and event-pool counters from the final rep's
+	// engine, so pool health rides the trajectory next to the alloc figures.
+	// Zero-valued in the recorded pre-PR-6 epochs, hence omitempty.
+	HeapHighWater   int    `json:"heap_high_water,omitempty"`
+	EventsCancelled uint64 `json:"events_cancelled,omitempty"`
+	PoolCreated     uint64 `json:"pool_created,omitempty"`
+	PoolReused      uint64 `json:"pool_reused,omitempty"`
+	PoolRecycled    uint64 `json:"pool_recycled,omitempty"`
 }
 
 // CampaignPerf summarizes one campaign measurement. Workers and PeakHeapMB
@@ -169,6 +179,7 @@ func measureConfig(label string, cfg experiment.Config, dur time.Duration, reps 
 	var events uint64
 	var wall time.Duration
 	var allocs, bytes uint64
+	var engStats sim.EngineStats
 	for i := 0; i < reps; i++ {
 		cfg := cfg
 		cfg.Seed = uint64(i + 1)
@@ -186,6 +197,7 @@ func measureConfig(label string, cfg experiment.Config, dur time.Duration, reps 
 		events += s.Eng.Processed()
 		allocs += m1.Mallocs - m0.Mallocs
 		bytes += m1.TotalAlloc - m0.TotalAlloc
+		engStats = s.Eng.Stats()
 	}
 	r := uint64(reps)
 	perf := ScenarioPerf{
@@ -201,6 +213,11 @@ func measureConfig(label string, cfg experiment.Config, dur time.Duration, reps 
 		BytesPerRun:  bytes / r,
 	}
 	perf.AllocsPerKEvt = 1000 * float64(allocs) / float64(events)
+	perf.HeapHighWater = engStats.HeapHighWater
+	perf.EventsCancelled = engStats.Cancelled
+	perf.PoolCreated = engStats.Pool.Created
+	perf.PoolReused = engStats.Pool.Reused
+	perf.PoolRecycled = engStats.Pool.Recycled
 	return perf, nil
 }
 

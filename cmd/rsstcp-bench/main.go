@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"rsstcp/internal/experiment"
+	"rsstcp/internal/telemetry"
 	"rsstcp/internal/unit"
 )
 
@@ -84,8 +85,19 @@ func main() {
 		benchReps   = flag.Int("benchreps", 5, "benchjson: paper-path repetitions")
 		bigGridRuns = flag.Int("biggridruns", 10240, "benchjson: run count of the big-grid epoch (traceless, streaming)")
 		bigGridDur  = flag.Duration("biggriddur", time.Second, "benchjson: virtual duration of each big-grid run")
+
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiling, err := telemetry.StartProfiling(*pprofAddr, *cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rsstcp-bench:", err)
+		os.Exit(1)
+	}
+	defer stopProfiling()
 
 	if *benchJSON != "" {
 		if err := emitBenchJSON(*benchJSON, *benchDur, *campDur, *benchReps, *bigGridRuns, *bigGridDur); err != nil {

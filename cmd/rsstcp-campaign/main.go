@@ -47,11 +47,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 
 	"rsstcp"
+	"rsstcp/internal/campaign"
+	"rsstcp/internal/telemetry"
 	"rsstcp/internal/unit"
 )
 
@@ -79,6 +82,17 @@ func main() {
 		topoNames  = flag.String("topo", "", "topology presets to sweep (comma list of "+strings.Join(rsstcp.TopologyPresets(), ",")+"; adds a 'topo' axis)")
 		rev        = flag.String("rev", "", "real reverse channel for every cell as rate=Mbps[,delay=D][,queue=N] (adds an 'rbw' axis value)")
 		retainRuns = flag.Bool("retain-runs", false, "keep every raw replicate in the generic report (memory grows with run count)")
+
+		// Observability flags.
+		metricsAddr   = flag.String("metrics-addr", "", "serve campaign self-metrics as OpenMetrics on this address (e.g. 127.0.0.1:9137)")
+		metricsLinger = flag.Duration("metrics-linger", 0, "keep the metrics endpoint alive this long after the campaign finishes (for scrapers)")
+		anomalyDir    = flag.String("anomaly-dir", "", "dump each anomalous replicate's flight-recorder timeline as JSONL into this directory")
+		web100        = flag.Bool("web100", false, "attach per-flow Web100 snapshots to retained replicates (generic report, implies per-run detail)")
+		embedTel      = flag.Bool("telemetry", false, "embed the self-metrics snapshot into the JSON report (generic report; makes output wall-clock-dependent)")
+
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	var extraAxes []rsstcp.Axis
 	flag.Func("axis", "extra sweep axis as name=v1,v2 (repeatable; names: "+strings.Join(rsstcp.StockAxisNames(), ",")+")", func(s string) error {
@@ -103,6 +117,12 @@ func main() {
 		return nil
 	})
 	flag.Parse()
+
+	stopProfiling, err := telemetry.StartProfiling(*pprofAddr, *cpuProfile, *memProfile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer stopProfiling()
 
 	grid := rsstcp.Grid{
 		RouterQueues: parseInts(*rqs, "rq"),
@@ -169,19 +189,82 @@ func main() {
 		extraAxes = append(extraAxes, rsstcp.ReverseAxis(r))
 	}
 
-	opts := rsstcp.CampaignOptions{Workers: *workers, RetainRuns: *retainRuns}
+	// Self-metrics are always collected (the cost is two clock reads per
+	// run); the registry exists whenever anything wants to read them.
+	self := campaign.NewSelfMetrics()
+	opts := rsstcp.CampaignOptions{
+		Workers:      *workers,
+		RetainRuns:   *retainRuns || *web100,
+		ExportWeb100: *web100,
+		Self:         self,
+	}
+	var reg *telemetry.Registry
+	if *metricsAddr != "" || *embedTel {
+		reg = telemetry.NewRegistry()
+		self.Register(reg)
+	}
+	var closeMetrics func()
+	if *metricsAddr != "" {
+		bound, closeFn, err := reg.Serve(*metricsAddr)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		closeMetrics = closeFn
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "campaign: metrics on http://%s/metrics\n", bound)
+		}
+	}
+	if *anomalyDir != "" {
+		if err := os.MkdirAll(*anomalyDir, 0o755); err != nil {
+			fatalf("%v", err)
+		}
+		opts.AnomalySink = func(cellKey string, rep int, events []byte) {
+			name := fmt.Sprintf("%s__r%d.jsonl", sanitizeKey(cellKey), rep)
+			if err := os.WriteFile(filepath.Join(*anomalyDir, name), events, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "rsstcp-campaign: anomaly dump: %v\n", err)
+			}
+		}
+	}
 	progress := func(runs int) {
 		if *quiet {
 			return
 		}
+		start := time.Now()
 		opts.Progress = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\rcampaign: %d/%d runs", done, total)
+			line := fmt.Sprintf("\rcampaign: %d/%d runs", done, total)
+			if elapsed := time.Since(start); elapsed > 0 && done > 0 {
+				rate := float64(done) / elapsed.Seconds()
+				eta := time.Duration(float64(total-done) / rate * float64(time.Second))
+				line += fmt.Sprintf("  %.0f runs/s  ETA %v", rate, eta.Round(time.Second))
+			}
+			fmt.Fprint(os.Stderr, line)
 			if done == total {
 				fmt.Fprintln(os.Stderr)
 			}
 		}
 		fmt.Fprintf(os.Stderr, "campaign: %d runs on %d workers\n",
 			runs, effectiveWorkers(*workers))
+	}
+	// finish prints the self-metrics epilogue and holds the metrics endpoint
+	// open for scrapers before the process exits.
+	finish := func() {
+		if !*quiet {
+			build, run, fold := self.Phases()
+			fmt.Fprintf(os.Stderr,
+				"campaign: %d runs in %v (%.0f runs/s, %.2gM events/s); phases build %v, run %v, fold %v\n",
+				self.Runs.Value(), self.Elapsed().Round(time.Millisecond),
+				self.RunsPerSec(), self.EventsPerSec()/1e6,
+				build.Round(time.Millisecond), run.Round(time.Millisecond), fold.Round(time.Millisecond))
+		}
+		if closeMetrics != nil {
+			if *metricsLinger > 0 {
+				if !*quiet {
+					fmt.Fprintf(os.Stderr, "campaign: metrics endpoint lingering %v\n", *metricsLinger)
+				}
+				time.Sleep(*metricsLinger)
+			}
+			closeMetrics()
+		}
 	}
 
 	if len(extraAxes) > 0 || len(topoAxes) > 0 || *metrics != "" {
@@ -247,9 +330,13 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
+		if *embedTel {
+			rep.Telemetry = reg.Snapshot()
+		}
 		render(*jsonPath, *csvPath, rep.WriteJSON, rep.WriteCSV, func(w io.Writer) error {
 			return rep.Table().Render(w)
 		})
+		finish()
 		return
 	}
 
@@ -260,9 +347,36 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	if *embedTel {
+		// The legacy fixed-grid JSON shape is byte-pinned, so the snapshot
+		// goes to stderr as an OpenMetrics exposition instead.
+		if err := reg.WriteOpenMetrics(os.Stderr); err != nil {
+			fatalf("%v", err)
+		}
+	}
 	render(*jsonPath, *csvPath, res.WriteJSON, res.WriteCSV, func(w io.Writer) error {
 		return res.Table().Render(w)
 	})
+	finish()
+}
+
+// sanitizeKey maps a cell key ("bw=100Mbps/rtt=60ms/...") to a filename-safe
+// slug: axis separators become double underscores, anything outside
+// [A-Za-z0-9._=-] becomes a dash.
+func sanitizeKey(key string) string {
+	var b strings.Builder
+	for _, r := range key {
+		switch {
+		case r == '/':
+			b.WriteString("__")
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '=', r == '-':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
 }
 
 // render dispatches the selected exports; with no export flags (or when both

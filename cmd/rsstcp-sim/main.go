@@ -14,6 +14,7 @@
 //	rsstcp-sim -topo parking-lot -alg restricted
 //	rsstcp-sim -hop rate=100,delay=10ms,queue=250 -hop rate=50,delay=20ms,queue=120,aqm=red
 //	rsstcp-sim -alg restricted -rev rate=2,queue=50
+//	rsstcp-sim -alg standard -hop rate=100,delay=10ms,queue=50,loss=1 -events loss.jsonl
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"rsstcp"
+	"rsstcp/internal/telemetry"
 	"rsstcp/internal/unit"
 )
 
@@ -45,6 +47,13 @@ func main() {
 		sack     = flag.Bool("sack", false, "enable SACK")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		csvPath  = flag.String("csv", "", "write recorded time series to this CSV file")
+
+		eventsPath = flag.String("events", "", "write the flight-recorder congestion timeline as JSONL to this file (\"-\" = stdout)")
+		eventsCap  = flag.Int("events-cap", 0, "flight-recorder ring capacity in events (0 = default 2048)")
+
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	var hopSpecs []rsstcp.Hop
 	flag.Func("hop", "add one forward hop as rate=Mbps,delay=D,queue=N[,aqm=red][,loss=P][,reorder=P:D][,dup=P] (repeatable)", func(s string) error {
@@ -56,6 +65,12 @@ func main() {
 		return nil
 	})
 	flag.Parse()
+
+	stopProfiling, err := telemetry.StartProfiling(*pprofAddr, *cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiling()
 
 	path := rsstcp.Path{
 		Bottleneck:  rsstcp.Bandwidth(*bwMbps) * rsstcp.Mbps,
@@ -76,6 +91,7 @@ func main() {
 		}},
 		Duration: *duration,
 		Seed:     *seed,
+		EventLog: *eventsCap,
 	}
 	if *topo != "" && len(hopSpecs) > 0 {
 		fatal(fmt.Errorf("-topo and -hop are mutually exclusive"))
@@ -174,6 +190,25 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("trace            %s\n", *csvPath)
+	}
+
+	if *eventsPath != "" {
+		w := os.Stdout
+		if *eventsPath != "-" {
+			f, err := os.Create(*eventsPath)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := s.FR.WriteJSONL(w); err != nil {
+			fatal(err)
+		}
+		if *eventsPath != "-" {
+			fmt.Printf("events           %s (%d recorded, %d evicted)\n",
+				*eventsPath, s.FR.Len(), s.FR.Evicted())
+		}
 	}
 }
 

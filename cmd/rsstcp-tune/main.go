@@ -17,6 +17,7 @@ import (
 	"rsstcp"
 	"rsstcp/internal/experiment"
 	"rsstcp/internal/pid"
+	"rsstcp/internal/telemetry"
 	"rsstcp/internal/unit"
 )
 
@@ -27,8 +28,19 @@ func main() {
 		ifq      = flag.Int("ifq", 100, "txqueuelen in packets")
 		duration = flag.Duration("probe", 30*time.Second, "per-probe run length")
 		validate = flag.Bool("validate", true, "run a full transfer with each derived gain set")
+
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiling, err := telemetry.StartProfiling(*pprofAddr, *cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rsstcp-tune:", err)
+		os.Exit(1)
+	}
+	defer stopProfiling()
 
 	path := experiment.PaperPath()
 	path.RTT = *rtt

@@ -17,7 +17,10 @@ import (
 // (see TestStreamedReportJSONMatchesEncoder) while the peak encoding buffer
 // is one cell, not the whole report — what keeps a retained-runs export of
 // a large campaign from materializing twice.
-func streamJSON(w io.Writer, headName string, head any, listName string, n int, item func(int) any) error {
+// A nil tail value emits exactly the historical two-key shape; a non-nil
+// tail appends `"<tailName>": <tail>` after the list, so opt-in extras
+// (the telemetry snapshot) never perturb legacy byte-pinned exports.
+func streamJSON(w io.Writer, headName string, head any, listName string, n int, item func(int) any, tailName string, tail any) error {
 	hb, err := json.MarshalIndent(head, "  ", "  ")
 	if err != nil {
 		return err
@@ -38,11 +41,23 @@ func streamJSON(w io.Writer, headName string, head any, listName string, n int, 
 			return err
 		}
 	}
-	suffix := "\n  ]\n}\n"
+	suffix := "\n  ]"
 	if n == 0 {
-		suffix = "]\n}\n"
+		suffix = "]"
 	}
-	_, err = io.WriteString(w, suffix)
+	if _, err := io.WriteString(w, suffix); err != nil {
+		return err
+	}
+	if tail != nil {
+		tb, err := json.MarshalIndent(tail, "  ", "  ")
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, ",\n  %q: %s", tailName, tb); err != nil {
+			return err
+		}
+	}
+	_, err = io.WriteString(w, "\n}\n")
 	return err
 }
 
@@ -159,7 +174,7 @@ func (r *Result) WriteJSON(w io.Writer) error {
 	}
 	return streamJSON(w, "grid", jg, "cells", len(r.Cells), func(i int) any {
 		return r.Cells[i]
-	})
+	}, "", nil)
 }
 
 // --- generic report exporters ---
@@ -206,9 +221,13 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	for _, m := range p.Metrics {
 		jp.Metrics = append(jp.Metrics, m.Name)
 	}
+	var tail any
+	if r.Telemetry != nil {
+		tail = r.Telemetry
+	}
 	return streamJSON(w, "plan", jp, "cells", len(r.Cells), func(i int) any {
 		return r.Cells[i]
-	})
+	}, "telemetry", tail)
 }
 
 // reportHeader builds the generic aggregate table's column set: one column

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"rsstcp/internal/experiment"
 	"rsstcp/internal/stats"
+	"rsstcp/internal/web100"
 )
 
 // Options tunes campaign execution. The zero value runs on GOMAXPROCS
@@ -32,6 +34,28 @@ type Options struct {
 	// the cell count, not the run count. Grid Execute always retains: the
 	// legacy Result shape exposes raw runs.
 	RetainRuns bool
+	// ExportWeb100 attaches every flow's full Web100 snapshot to each
+	// Replicate (the "web100" block of retained-run JSON exports). Off by
+	// default: legacy exports stay byte-identical.
+	ExportWeb100 bool
+	// Self, when non-nil, receives live self-observation updates (runs/sec,
+	// events/sec, reorder depth, phase wall times) as the campaign executes.
+	Self *SelfMetrics
+	// AnomalySink, when non-nil, receives the flight-recorder JSONL of
+	// every anomalous replicate, the moment the run finishes and before the
+	// worker reuses its scenario. It is called concurrently from workers;
+	// for a fixed plan the set of (cellKey, replicate) calls and each call's
+	// bytes are identical at any worker count — only the call order varies.
+	AnomalySink func(cellKey string, replicate int, events []byte)
+	// Anomalous decides which runs the sink sees; nil means the default
+	// predicate (any RTO, or zero aggregate throughput).
+	Anomalous func(Run) bool
+}
+
+// defaultAnomalous flags the failure modes worth a timeline: a transfer that
+// hit a retransmission timeout, or one that moved no data at all.
+func defaultAnomalous(r Run) bool {
+	return r.Timeouts > 0 || r.ThroughputBps == 0
 }
 
 func (o Options) workers() int {
@@ -88,6 +112,10 @@ type Replicate struct {
 	// NaN-tolerant on the wire: a metric that yields NaN (degenerate
 	// cells) serializes as JSON null instead of breaking the export.
 	Values []stats.JSONFloat `json:"values"`
+	// Web100 carries every flow's full instrument-set snapshot in flow
+	// order, populated only under Options.ExportWeb100 so legacy exports
+	// are unchanged.
+	Web100 []web100.Export `json:"web100,omitempty"`
 }
 
 // runContext is one worker's reusable simulation state. The first replicate
@@ -99,11 +127,23 @@ type runContext struct {
 	s *experiment.Scenario
 }
 
+// execEnv is the per-campaign execution context shared by every worker:
+// the plan, the resolved options, and the self-metrics instrument set.
+type execEnv struct {
+	p         Plan
+	traceless bool
+	opts      Options
+	self      *SelfMetrics
+	anomalous func(Run) bool
+}
+
 // runReplicate runs one seeded simulation on the (reused) context,
 // condenses it to the stock scalars, and extracts the plan's metrics.
-func (rc *runContext) runReplicate(p Plan, c PlanCell, rep int, traceless bool) (Replicate, error) {
+func (rc *runContext) runReplicate(env *execEnv, c PlanCell, rep int) (Replicate, error) {
+	p := env.p
 	cfg := p.Config(c, rep)
-	cfg.Traceless = traceless
+	cfg.Traceless = env.traceless
+	buildStart := time.Now()
 	if rc.s == nil {
 		s, err := experiment.Build(cfg)
 		if err != nil {
@@ -114,7 +154,11 @@ func (rc *runContext) runReplicate(p Plan, c PlanCell, rep int, traceless bool) 
 		rc.s = nil // half-built context: rebuild on the next job
 		return Replicate{}, err
 	}
+	runStart := time.Now()
+	env.self.phaseBuild.Add(int64(runStart.Sub(buildStart)))
 	res := rc.s.Run()
+	env.self.phaseRun.Add(int64(time.Since(runStart)))
+	env.self.SimEvents.Add(int64(rc.s.Eng.Stats().Processed))
 	out := Replicate{
 		Run: Run{
 			Replicate:     rep,
@@ -140,6 +184,20 @@ func (rc *runContext) runReplicate(p Plan, c PlanCell, rep int, traceless bool) 
 	}
 	for i, m := range p.Metrics {
 		out.Values[i] = stats.JSONFloat(m.Extract(res))
+	}
+	if env.opts.ExportWeb100 {
+		out.Web100 = make([]web100.Export, len(res.FlowStats))
+		for i, fs := range res.FlowStats {
+			out.Web100[i] = fs.Export()
+		}
+	}
+	// Anomaly dump happens here — after the run, before the scenario is
+	// reused — so the ring still holds exactly this replicate's timeline.
+	// The recorder's contents are a pure function of (Config, Seed), which
+	// makes the dumped bytes worker-count-independent.
+	if env.opts.AnomalySink != nil && env.anomalous(out.Run) {
+		env.opts.AnomalySink(c.Key, rep, rc.s.FR.AppendJSONL(nil))
+		env.self.Anomalies.Inc()
 	}
 	return out, nil
 }
@@ -183,7 +241,19 @@ func ExecutePlan(p Plan, opts Options) (*Report, error) {
 		workers = total
 	}
 	span := dispatchSpan(total, workers)
-	traceless := !p.needsTrace()
+	env := &execEnv{
+		p:         p,
+		traceless: !p.needsTrace(),
+		opts:      opts,
+		self:      opts.Self,
+		anomalous: opts.Anomalous,
+	}
+	if env.self == nil {
+		env.self = NewSelfMetrics()
+	}
+	if env.anomalous == nil {
+		env.anomalous = defaultAnomalous
+	}
 
 	type done struct {
 		idx int
@@ -215,7 +285,8 @@ func ExecutePlan(p Plan, opts Options) (*Report, error) {
 			var rc runContext
 			for jb := range jobs {
 				for g := jb[0]; g < jb[1]; g++ {
-					r, err := rc.runReplicate(p, cells[g/reps], g%reps, traceless)
+					r, err := rc.runReplicate(env, cells[g/reps], g%reps)
+					env.self.Runs.Inc()
 					results <- done{idx: g, rep: r, err: err}
 				}
 			}
@@ -253,6 +324,7 @@ func ExecutePlan(p Plan, opts Options) (*Report, error) {
 	next := 0
 	for d := range results {
 		pending[d.idx] = d
+		foldStart := time.Now()
 		for {
 			cur, ok := pending[next]
 			if !ok {
@@ -263,6 +335,8 @@ func ExecutePlan(p Plan, opts Options) (*Report, error) {
 			<-tokens
 			next++
 		}
+		env.self.phaseFold.Add(int64(time.Since(foldStart)))
+		env.self.reorderDepth.Store(int64(len(pending)))
 	}
 	if f.err != nil {
 		return nil, f.err

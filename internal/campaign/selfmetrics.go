@@ -1,0 +1,93 @@
+package campaign
+
+import (
+	"sync/atomic"
+	"time"
+
+	"rsstcp/internal/telemetry"
+)
+
+// SelfMetrics is the campaign engine's wall-clock self-observation: run and
+// simulator-event throughput, reorder-buffer depth, anomaly-dump count, and
+// the per-phase wall-time breakdown. Workers and the collector update it
+// concurrently (all fields are atomic); Register exposes it on a telemetry
+// registry for the -metrics-addr endpoint, and Snapshot embeds it into JSON
+// reports.
+//
+// Everything here is wall-clock observation of the engine itself — it is
+// explicitly outside the byte-determinism guarantees of the result exports,
+// which is why Report.WriteJSON only emits it when the caller opts in.
+type SelfMetrics struct {
+	started time.Time
+
+	// Runs counts completed replicate runs (successful or failed).
+	Runs telemetry.Counter
+	// SimEvents counts simulator calendar events executed, summed over
+	// every worker's engine.
+	SimEvents telemetry.Counter
+	// Anomalies counts replicates whose flight recorder was dumped by the
+	// anomaly sink.
+	Anomalies telemetry.Counter
+
+	reorderDepth atomic.Int64 // pending out-of-order completions at the collector
+
+	phaseBuild atomic.Int64 // ns spent building/resetting scenarios
+	phaseRun   atomic.Int64 // ns spent inside Scenario.Run
+	phaseFold  atomic.Int64 // ns spent folding results into cell summaries
+}
+
+// NewSelfMetrics returns a zeroed instrument set with the clock started.
+func NewSelfMetrics() *SelfMetrics {
+	return &SelfMetrics{started: time.Now()}
+}
+
+// Elapsed returns wall time since construction.
+func (m *SelfMetrics) Elapsed() time.Duration { return time.Since(m.started) }
+
+// ReorderDepth returns the collector's current reorder-buffer depth.
+func (m *SelfMetrics) ReorderDepth() int64 { return m.reorderDepth.Load() }
+
+// Phases returns the cumulative wall time per execution phase. Build and run
+// sum across workers, so on an N-worker campaign they can exceed elapsed
+// wall time N-fold; fold is single-threaded collector time.
+func (m *SelfMetrics) Phases() (build, run, fold time.Duration) {
+	return time.Duration(m.phaseBuild.Load()),
+		time.Duration(m.phaseRun.Load()),
+		time.Duration(m.phaseFold.Load())
+}
+
+// RunsPerSec returns the completed-run rate over the elapsed wall time.
+func (m *SelfMetrics) RunsPerSec() float64 {
+	return rate(m.Runs.Value(), m.Elapsed())
+}
+
+// EventsPerSec returns the simulator-event rate over the elapsed wall time.
+func (m *SelfMetrics) EventsPerSec() float64 {
+	return rate(m.SimEvents.Value(), m.Elapsed())
+}
+
+func rate(n int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) / d.Seconds()
+}
+
+// Register exposes the instrument set on reg under rsstcp_campaign_* names.
+func (m *SelfMetrics) Register(reg *telemetry.Registry) {
+	reg.CounterVar("rsstcp_campaign_runs", "completed replicate runs", &m.Runs)
+	reg.CounterVar("rsstcp_campaign_sim_events", "simulator calendar events executed", &m.SimEvents)
+	reg.CounterVar("rsstcp_campaign_anomalies", "replicates dumped by the anomaly sink", &m.Anomalies)
+	reg.Gauge("rsstcp_campaign_runs_per_sec", "completed-run rate", m.RunsPerSec)
+	reg.Gauge("rsstcp_campaign_sim_events_per_sec", "simulator event rate", m.EventsPerSec)
+	reg.Gauge("rsstcp_campaign_reorder_depth", "pending out-of-order completions at the collector",
+		func() float64 { return float64(m.ReorderDepth()) })
+	reg.Gauge("rsstcp_campaign_elapsed_seconds", "wall time since campaign start",
+		func() float64 { return m.Elapsed().Seconds() })
+	reg.Gauge("rsstcp_campaign_phase_build_seconds", "cumulative scenario build/reset wall time over all workers",
+		func() float64 { b, _, _ := m.Phases(); return b.Seconds() })
+	reg.Gauge("rsstcp_campaign_phase_run_seconds", "cumulative simulation wall time over all workers",
+		func() float64 { _, r, _ := m.Phases(); return r.Seconds() })
+	reg.Gauge("rsstcp_campaign_phase_fold_seconds", "cumulative collector fold wall time",
+		func() float64 { _, _, f := m.Phases(); return f.Seconds() })
+}

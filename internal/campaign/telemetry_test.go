@@ -1,0 +1,242 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rsstcp/internal/experiment"
+	"rsstcp/internal/telemetry"
+)
+
+// anomalyPlan mixes a healthy cell with a 100%-loss cell, so the default
+// anomaly predicate (RTOs or zero throughput) fires for exactly half the
+// runs.
+func anomalyPlan() Plan {
+	return Plan{
+		Axes: []Axis{
+			AxisLossRates(0, 1),
+			AxisAlgorithms(experiment.AlgStandard),
+		},
+		Metrics:    []Metric{MetricThroughputMbps},
+		Replicates: 2,
+		Duration:   2 * time.Second,
+	}
+}
+
+// sinkMap is a concurrency-safe AnomalySink that retains every dump.
+type sinkMap struct {
+	mu    sync.Mutex
+	dumps map[string][]byte
+}
+
+func newSinkMap() *sinkMap { return &sinkMap{dumps: map[string][]byte{}} }
+
+func (m *sinkMap) sink(cellKey string, rep int, events []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dumps[fmt.Sprintf("%s#%d", cellKey, rep)] = events
+}
+
+// TestAnomalyDumpDeterministicAcrossWorkers is the tentpole's recorder
+// determinism invariant: the set of anomalous replicates AND each one's
+// JSONL bytes must be identical whether the campaign ran on one worker or
+// four.
+func TestAnomalyDumpDeterministicAcrossWorkers(t *testing.T) {
+	p := anomalyPlan()
+	collect := func(workers int) map[string][]byte {
+		m := newSinkMap()
+		if _, err := ExecutePlan(p, Options{Workers: workers, AnomalySink: m.sink}); err != nil {
+			t.Fatal(err)
+		}
+		return m.dumps
+	}
+	d1 := collect(1)
+	d4 := collect(4)
+	if len(d1) == 0 {
+		t.Fatal("the 100%-loss cell produced no anomaly dumps")
+	}
+	if len(d1) != len(d4) {
+		t.Fatalf("dump sets differ: %d at 1 worker, %d at 4", len(d1), len(d4))
+	}
+	for k, b1 := range d1 {
+		b4, ok := d4[k]
+		if !ok {
+			t.Fatalf("replicate %s dumped at 1 worker but not at 4", k)
+		}
+		if !bytes.Equal(b1, b4) {
+			t.Errorf("replicate %s: JSONL differs between worker counts:\n%.500s\nvs\n%.500s", k, b1, b4)
+		}
+	}
+	// The dumps are real JSONL congestion timelines, not empty files.
+	for k, b := range d1 {
+		if len(b) == 0 {
+			t.Errorf("replicate %s: empty dump", k)
+			continue
+		}
+		for _, line := range strings.Split(strings.TrimSuffix(string(b), "\n"), "\n") {
+			var ev map[string]any
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				t.Fatalf("replicate %s: bad JSONL line %q: %v", k, line, err)
+			}
+			if _, ok := ev["kind"]; !ok {
+				t.Fatalf("replicate %s: line missing kind: %q", k, line)
+			}
+		}
+		break // one timeline's shape check suffices
+	}
+}
+
+// TestAnomalyPredicateOverride: a custom predicate sees every run.
+func TestAnomalyPredicateOverride(t *testing.T) {
+	p := anomalyPlan()
+	m := newSinkMap()
+	_, err := ExecutePlan(p, Options{
+		Workers:     2,
+		AnomalySink: m.sink,
+		Anomalous:   func(Run) bool { return true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(p.Cells()) * p.withDefaults().Replicates
+	if len(m.dumps) != total {
+		t.Fatalf("always-true predicate dumped %d of %d runs", len(m.dumps), total)
+	}
+}
+
+// TestWeb100ExportOptIn: the web100 block appears on replicates only under
+// Options.ExportWeb100, and serializes under the "web100" key.
+func TestWeb100ExportOptIn(t *testing.T) {
+	p := Plan{
+		Axes:       []Axis{AxisAlgorithms(experiment.AlgStandard)},
+		Metrics:    []Metric{MetricThroughputMbps},
+		Replicates: 1,
+		Duration:   2 * time.Second,
+	}
+	off, err := ExecutePlan(p, Options{Workers: 1, RetainRuns: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := off.Cells[0].Runs[0].Web100; w != nil {
+		t.Fatalf("web100 block present without opt-in: %+v", w)
+	}
+	b, err := json.Marshal(off.Cells[0].Runs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "web100") {
+		t.Fatalf("legacy replicate JSON mentions web100: %s", b)
+	}
+
+	on, err := ExecutePlan(p, Options{Workers: 1, RetainRuns: true, ExportWeb100: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := on.Cells[0].Runs[0].Web100
+	if len(w) != 1 {
+		t.Fatalf("want 1 flow snapshot, got %d", len(w))
+	}
+	if w[0].SegsOut == 0 || w[0].ThruOctets == 0 {
+		t.Errorf("snapshot looks empty: %+v", w[0])
+	}
+	b, err = json.Marshal(on.Cells[0].Runs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"web100"`) || !strings.Contains(string(b), `"segs_out"`) {
+		t.Errorf("opt-in replicate JSON missing web100 block: %s", b)
+	}
+	// The opt-in block must not perturb the metric summaries.
+	if off.Cells[0].Metrics[0].Summary != on.Cells[0].Metrics[0].Summary {
+		t.Error("ExportWeb100 changed metric summaries")
+	}
+}
+
+// TestSelfMetricsPopulated: a campaign run against a SelfMetrics instrument
+// set fills its counters and phase clocks, and the set round-trips through
+// an OpenMetrics registry.
+func TestSelfMetricsPopulated(t *testing.T) {
+	p := anomalyPlan()
+	self := NewSelfMetrics()
+	if _, err := ExecutePlan(p, Options{Workers: 2, Self: self}); err != nil {
+		t.Fatal(err)
+	}
+	total := int64(len(p.Cells()) * p.withDefaults().Replicates)
+	if self.Runs.Value() != total {
+		t.Errorf("runs counter = %d, want %d", self.Runs.Value(), total)
+	}
+	if self.SimEvents.Value() == 0 {
+		t.Error("sim-events counter never advanced")
+	}
+	build, run, _ := self.Phases()
+	if build <= 0 || run <= 0 {
+		t.Errorf("phase clocks not charged: build=%v run=%v", build, run)
+	}
+	reg := telemetry.NewRegistry()
+	self.Register(reg)
+	var b strings.Builder
+	if err := reg.WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		fmt.Sprintf("rsstcp_campaign_runs_total %d\n", total),
+		"rsstcp_campaign_sim_events_total ",
+		"rsstcp_campaign_runs_per_sec ",
+		"rsstcp_campaign_reorder_depth ",
+		"# EOF\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestReportTelemetryTail: a non-nil Report.Telemetry serializes as a
+// trailing "telemetry" object; nil leaves the historical shape untouched.
+func TestReportTelemetryTail(t *testing.T) {
+	p := Plan{
+		Axes:       []Axis{AxisAlgorithms(experiment.AlgStandard)},
+		Metrics:    []Metric{MetricThroughputMbps},
+		Replicates: 1,
+		Duration:   time.Second,
+	}
+	rep, err := ExecutePlan(p, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plain strings.Builder
+	if err := rep.WriteJSON(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), `"telemetry"`) {
+		t.Fatal("telemetry key present without a snapshot")
+	}
+
+	rep.Telemetry = map[string]float64{"rsstcp_campaign_runs_total": 1, "rsstcp_campaign_runs_per_sec": 2.5}
+	var tailed strings.Builder
+	if err := rep.WriteJSON(&tailed); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(tailed.String()), &doc); err != nil {
+		t.Fatalf("tailed report is not valid JSON: %v", err)
+	}
+	var snap map[string]float64
+	if err := json.Unmarshal(doc["telemetry"], &snap); err != nil {
+		t.Fatalf("telemetry block: %v", err)
+	}
+	if snap["rsstcp_campaign_runs_total"] != 1 || snap["rsstcp_campaign_runs_per_sec"] != 2.5 {
+		t.Errorf("telemetry round-trip: %v", snap)
+	}
+	// Everything before the tail is byte-identical to the plain render.
+	prefix := strings.TrimSuffix(plain.String(), "\n}\n")
+	if !strings.HasPrefix(tailed.String(), prefix) {
+		t.Error("telemetry tail perturbed the cells/plan prefix")
+	}
+}

@@ -1,5 +1,7 @@
 package cc
 
+import "rsstcp/internal/telemetry"
+
 // RenoConfig parameterizes the Reno controller.
 type RenoConfig struct {
 	// IW is the initial window in segments. The 2.4-kernel era default
@@ -27,6 +29,9 @@ type Reno struct {
 	ss         SlowStartPolicy
 	inRecovery bool
 	caAccum    int64 // byte-counting accumulator for congestion avoidance
+
+	fr   *telemetry.FlightRecorder // nil-safe: unset means no recording
+	flow int32
 }
 
 // NewReno returns a Reno controller. Zero-value fields of cfg are replaced
@@ -57,6 +62,19 @@ func (r *Reno) Attach(w Window) {
 	w.SetCwnd(int64(r.cfg.IW) * int64(w.MSS()))
 	w.SetSsthresh(r.cfg.InitialSsthresh)
 	r.ss.Reset(w)
+}
+
+// SetTelemetry attaches a flight recorder; the controller records its
+// multiplicative decreases (KindMD, old/new ssthresh) under the given flow.
+// A nil recorder records nothing.
+func (r *Reno) SetTelemetry(fr *telemetry.FlightRecorder, flow int32) {
+	r.fr = fr
+	r.flow = flow
+}
+
+// recordMD records one multiplicative decrease, old → new ssthresh.
+func (r *Reno) recordMD(oldThresh, newThresh int64) {
+	r.fr.Record(r.w.Now(), telemetry.KindMD, r.flow, -1, oldThresh, newThresh)
 }
 
 // InSlowStart reports whether growth is governed by the slow-start policy.
@@ -103,6 +121,7 @@ func (r *Reno) OnDupAck() {
 func (r *Reno) OnEnterRecovery() {
 	mss := int64(r.w.MSS())
 	ssthresh := max64(r.w.FlightSize()/2, 2*mss)
+	r.recordMD(r.w.Ssthresh(), ssthresh)
 	r.w.SetSsthresh(ssthresh)
 	r.w.SetCwnd(ssthresh + 3*mss)
 	r.inRecovery = true
@@ -130,7 +149,9 @@ func (r *Reno) OnExitRecovery() {
 // OnRTO collapses to one segment and re-enters slow start (RFC 5681 §3.1).
 func (r *Reno) OnRTO() {
 	mss := int64(r.w.MSS())
-	r.w.SetSsthresh(max64(r.w.FlightSize()/2, 2*mss))
+	ssthresh := max64(r.w.FlightSize()/2, 2*mss)
+	r.recordMD(r.w.Ssthresh(), ssthresh)
+	r.w.SetSsthresh(ssthresh)
 	r.w.SetCwnd(mss)
 	r.inRecovery = false
 	r.caAccum = 0
@@ -143,6 +164,7 @@ func (r *Reno) OnRTO() {
 func (r *Reno) OnLocalStall() {
 	mss := int64(r.w.MSS())
 	ssthresh := max64(r.w.FlightSize()/2, 2*mss)
+	r.recordMD(r.w.Ssthresh(), ssthresh)
 	r.w.SetSsthresh(ssthresh)
 	r.w.SetCwnd(ssthresh)
 	r.caAccum = 0

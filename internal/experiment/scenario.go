@@ -15,6 +15,7 @@ import (
 	"rsstcp/internal/pid"
 	"rsstcp/internal/sim"
 	"rsstcp/internal/tcp"
+	"rsstcp/internal/telemetry"
 	"rsstcp/internal/trace"
 	"rsstcp/internal/unit"
 	"rsstcp/internal/web100"
@@ -186,6 +187,11 @@ type Config struct {
 	Sample time.Duration
 	// Seed feeds all randomness (default 1).
 	Seed uint64
+	// EventLog sets the flight-recorder ring capacity in events; zero means
+	// telemetry.DefaultRingSize. The recorder is always on — unlike tracing
+	// it is allocation-free — so this only sizes how much congestion history
+	// the ring retains.
+	EventLog int `json:",omitempty"`
 	// Traceless disables time-series recording entirely: no sampled gauge
 	// series, no per-event counter points, no sampling ticker on the
 	// calendar. Every scalar in Result (throughput, stalls, utilization,
@@ -274,6 +280,11 @@ type Scenario struct {
 	Cfg   Config
 	Flows []*Flow
 	Rec   *trace.Recorder
+	// FR is the always-on flight recorder: every sender, controller, hop
+	// queue and injector of the scenario records its congestion events here.
+	// Its contents after a run are a pure function of (Config, Seed) —
+	// byte-identical no matter which worker or process ran the replicate.
+	FR *telemetry.FlightRecorder
 	// Topo is the resolved topology the scenario was built from (explicit,
 	// or compiled from Cfg.Path).
 	Topo Topology
@@ -301,6 +312,7 @@ type Scenario struct {
 	aggAt     sim.Time
 	aggValid  bool
 	aggTps    []unit.Bandwidth
+	aggStats  []web100.Stats
 	aggTotals Totals
 
 	// segs is the scenario-private segment allocator. One simulation is
@@ -369,7 +381,8 @@ func (s *Scenario) Reset(cfg Config) error {
 	s.exitHop = s.exitHop[:0]
 	s.revLink, s.revQ, s.revDemux = nil, nil, nil
 	s.drops, s.revDrops = 0, 0
-	s.aggValid, s.aggTps = false, nil
+	s.aggValid, s.aggTps, s.aggStats = false, nil, nil
+	s.FR.Reset()
 	return s.init(cfg)
 }
 
@@ -382,6 +395,11 @@ func (s *Scenario) init(cfg Config) error {
 	rec := s.Rec
 	rec.SetEnabled(!cfg.Traceless)
 	s.Cfg = cfg
+	// The flight recorder survives Reset (same capacity ⇒ same ring, just
+	// emptied); a capacity change re-sizes it.
+	if cap := cfg.EventLog; s.FR == nil || (cap > 0 && s.FR.Cap() != cap) {
+		s.FR = telemetry.NewFlightRecorder(cap)
+	}
 	topo := cfg.topology()
 	if err := topo.Validate(); err != nil {
 		return err
@@ -416,21 +434,25 @@ func (s *Scenario) init(cfg Config) error {
 		}
 		h.link = netem.NewLink(eng, h.cfg.Rate, h.cfg.Delay, h.queue, dst)
 		h.link.OnDrop = func(*packet.Segment) { h.drops++; s.drops++ }
+		h.link.FR, h.link.Hop = s.FR, int32(i)
 		entry := netem.Receiver(h.link)
 		if h.cfg.DuplicateP > 0 {
 			h.dup = &netem.Duplicator{
 				P: h.cfg.DuplicateP, RNG: sim.NewRNG(injectorSeed(cfg.Seed, i, saltDup)), Next: entry,
+				FR: s.FR, Eng: eng, Hop: int32(i),
 			}
 			entry = h.dup
 		}
 		if h.cfg.ReorderP > 0 {
 			h.reorder = netem.NewReorderer(eng, h.cfg.ReorderP, h.cfg.ReorderDelay,
 				sim.NewRNG(injectorSeed(cfg.Seed, i, saltReorder)), entry)
+			h.reorder.FR, h.reorder.Hop = s.FR, int32(i)
 			entry = h.reorder
 		}
 		if h.cfg.Loss > 0 {
 			h.loss = &netem.Loss{
 				P: h.cfg.Loss, RNG: sim.NewRNG(injectorSeed(cfg.Seed, i, saltLoss)), Next: entry,
+				FR: s.FR, Eng: eng, Hop: int32(i),
 			}
 			entry = h.loss
 		}
@@ -466,6 +488,7 @@ func (s *Scenario) init(cfg Config) error {
 		s.revQ = netem.NewDropTail(topo.Reverse.Queue)
 		s.revLink = netem.NewLink(eng, topo.Reverse.Rate, rd, s.revQ, s.revDemux)
 		s.revLink.OnDrop = func(*packet.Segment) { s.revDrops++ }
+		s.revLink.FR, s.revLink.Hop = s.FR, -1
 	}
 
 	for i, spec := range cfg.Flows {
@@ -570,6 +593,9 @@ func buildFlow(s *Scenario, spec FlowSpec, id packet.FlowID, dm *demux) (*Flow, 
 	if err != nil {
 		return nil, err
 	}
+	if reno, ok := ctrl.(*cc.Reno); ok {
+		reno.SetTelemetry(s.FR, int32(id))
+	}
 
 	// Reverse path: receiver -> reverse channel -> sender (sender set
 	// below). With a real reverse link the ACKs join the shared queue;
@@ -595,6 +621,7 @@ func buildFlow(s *Scenario, spec FlowSpec, id packet.FlowID, dm *demux) (*Flow, 
 	dm.set(id, flow.Receiver)
 
 	flow.Sender = tcp.NewSender(eng, tcpCfg, id, ctrl, nic)
+	flow.Sender.SetFlightRecorder(s.FR)
 	if s.Rec.Enabled() {
 		flow.Stalls = trace.NewCounter(s.Rec, fmt.Sprintf("stalls/%d", id))
 
@@ -705,6 +732,10 @@ type Result struct {
 	// measured flow is entry 0), enabling cross-flow metrics such as
 	// Jain's fairness index.
 	FlowThroughputs []unit.Bandwidth
+	// FlowStats carries every flow's full Web100 snapshot in Flows order —
+	// the paper's per-connection instrument set, exported so send-stall
+	// analysis is reproducible from a run's output alone.
+	FlowStats []web100.Stats
 	// Totals aggregates event counters over all flows.
 	Totals Totals
 	// TimeToUtil90 is the first instant the bottleneck's cumulative
@@ -765,7 +796,7 @@ func (s *Scenario) resultFor(i int) Result {
 		}
 		hops[hi] = hs
 	}
-	tps, totals := s.flowAggregates(now)
+	tps, flowStats, totals := s.flowAggregates(now)
 	bn := s.bottleneck(now)
 	t90 := time.Duration(-1)
 	if at, ok := bn.UtilizationReachedAt(); ok {
@@ -782,6 +813,7 @@ func (s *Scenario) resultFor(i int) Result {
 		InjectedDrops:   injected,
 		Duration:        now.Duration(),
 		FlowThroughputs: tps,
+		FlowStats:       flowStats,
 		Totals:          totals,
 		TimeToUtil90:    t90,
 		Hops:            hops,
@@ -791,23 +823,27 @@ func (s *Scenario) resultFor(i int) Result {
 }
 
 // flowAggregates computes (and caches per virtual time) the cross-flow
-// throughput list and counter totals. The returned slice is a copy, so
-// callers may keep or mutate it freely.
-func (s *Scenario) flowAggregates(now sim.Time) ([]unit.Bandwidth, Totals) {
+// throughput list, per-flow Web100 snapshots and counter totals. The
+// returned slices are copies, so callers may keep or mutate them freely.
+func (s *Scenario) flowAggregates(now sim.Time) ([]unit.Bandwidth, []web100.Stats, Totals) {
 	if !s.aggValid || s.aggAt != now {
 		tps := make([]unit.Bandwidth, len(s.Flows))
+		stats := make([]web100.Stats, len(s.Flows))
 		var totals Totals
 		for j, fl := range s.Flows {
 			fst := fl.Sender.Stats().Snapshot(now)
 			tps[j] = fst.Throughput(now)
+			stats[j] = fst
 			totals.Stalls += fl.Stalls.Value()
 			totals.CongSignals += fst.CongSignals
 			totals.Timeouts += fst.Timeouts
 			totals.Collapses += fst.LocalCongCwnd
 		}
-		s.aggTps, s.aggTotals, s.aggAt, s.aggValid = tps, totals, now, true
+		s.aggTps, s.aggStats, s.aggTotals, s.aggAt, s.aggValid = tps, stats, totals, now, true
 	}
-	return append([]unit.Bandwidth(nil), s.aggTps...), s.aggTotals
+	return append([]unit.Bandwidth(nil), s.aggTps...),
+		append([]web100.Stats(nil), s.aggStats...),
+		s.aggTotals
 }
 
 // ResultFor summarizes any flow by index (after Run).

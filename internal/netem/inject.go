@@ -5,6 +5,7 @@ import (
 
 	"rsstcp/internal/packet"
 	"rsstcp/internal/sim"
+	"rsstcp/internal/telemetry"
 )
 
 // Loss drops each passing segment independently with probability P.
@@ -18,6 +19,12 @@ type Loss struct {
 	// RNG supplies randomness; nil means never drop randomly.
 	RNG  *sim.RNG
 	Next Receiver
+	// FR records each injected drop (KindLossInject) at Eng's current time
+	// under hop index Hop. All three fields must be set together; a nil
+	// recorder records nothing.
+	FR  *telemetry.FlightRecorder
+	Eng *sim.Engine
+	Hop int32
 
 	seen    int64
 	dropped int64
@@ -27,16 +34,22 @@ type Loss struct {
 func (l *Loss) Receive(seg *packet.Segment) {
 	l.seen++
 	if l.DropEvery > 0 && l.seen%int64(l.DropEvery) == 0 {
-		l.dropped++
-		seg.Release()
+		l.drop(seg)
 		return
 	}
 	if l.P > 0 && l.RNG != nil && l.RNG.Bool(l.P) {
-		l.dropped++
-		seg.Release()
+		l.drop(seg)
 		return
 	}
 	l.Next.Receive(seg)
+}
+
+func (l *Loss) drop(seg *packet.Segment) {
+	l.dropped++
+	if l.FR != nil {
+		l.FR.Record(l.Eng.Now(), telemetry.KindLossInject, int32(seg.Flow), l.Hop, seg.Seq, 0)
+	}
+	seg.Release()
 }
 
 // Dropped returns how many segments were discarded.
@@ -50,6 +63,11 @@ type Duplicator struct {
 	P    float64
 	RNG  *sim.RNG
 	Next Receiver
+	// FR records each extra copy (KindDup) at Eng's current time under hop
+	// index Hop; see Loss.FR.
+	FR  *telemetry.FlightRecorder
+	Eng *sim.Engine
+	Hop int32
 
 	duplicated int64
 }
@@ -61,6 +79,9 @@ func (d *Duplicator) Receive(seg *packet.Segment) {
 	var dup *packet.Segment
 	if d.P > 0 && d.RNG != nil && d.RNG.Bool(d.P) {
 		d.duplicated++
+		if d.FR != nil {
+			d.FR.Record(d.Eng.Now(), telemetry.KindDup, int32(seg.Flow), d.Hop, seg.Seq, 0)
+		}
 		dup = seg.Clone()
 	}
 	d.Next.Receive(seg)
@@ -82,6 +103,10 @@ type Reorderer struct {
 	Delay time.Duration
 	RNG   *sim.RNG
 	Next  Receiver
+	// FR records each held-back segment (KindReorder, B = extra delay in
+	// nanoseconds) under hop index Hop. A nil recorder records nothing.
+	FR  *telemetry.FlightRecorder
+	Hop int32
 
 	deliver   func(any) // bound once in NewReorderer
 	reordered int64
@@ -98,6 +123,7 @@ func NewReorderer(eng *sim.Engine, p float64, delay time.Duration, rng *sim.RNG,
 func (r *Reorderer) Receive(seg *packet.Segment) {
 	if r.P > 0 && r.RNG != nil && r.RNG.Bool(r.P) {
 		r.reordered++
+		r.FR.Record(r.eng.Now(), telemetry.KindReorder, int32(seg.Flow), r.Hop, seg.Seq, int64(r.Delay))
 		r.eng.ScheduleArgAfter(r.Delay, r.deliver, seg)
 		return
 	}

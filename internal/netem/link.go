@@ -5,6 +5,7 @@ import (
 
 	"rsstcp/internal/packet"
 	"rsstcp/internal/sim"
+	"rsstcp/internal/telemetry"
 	"rsstcp/internal/unit"
 )
 
@@ -56,6 +57,10 @@ type Link struct {
 	// OnDrop, when set, is invoked for each segment the queue refuses,
 	// before the segment is released; it must not retain the segment.
 	OnDrop func(seg *packet.Segment)
+	// FR, when set, records every queue refusal (KindHopDrop) under hop
+	// index Hop. A nil recorder records nothing.
+	FR  *telemetry.FlightRecorder
+	Hop int32
 	// Occupancy integral: ∫ queue-length dt in packet·nanoseconds,
 	// accumulated on every length change so per-hop average occupancy is a
 	// running counter, available traced or traceless.
@@ -87,6 +92,7 @@ func (l *Link) Receive(seg *packet.Segment) {
 	seg.Enqueued = l.eng.Now()
 	l.accumulateOccupancy()
 	if !l.queue.Enqueue(seg) {
+		l.FR.Record(l.eng.Now(), telemetry.KindHopDrop, int32(seg.Flow), l.Hop, seg.Seq, int64(l.queue.Len()))
 		if l.OnDrop != nil {
 			l.OnDrop(seg)
 		}

@@ -66,6 +66,10 @@ type Engine struct {
 	created  uint64
 	reused   uint64
 	recycled uint64
+
+	// self-observation (see Stats)
+	cancelled uint64
+	heapMax   int
 }
 
 // NewEngine returns an engine with the clock at the epoch.
@@ -117,6 +121,29 @@ type PoolStats struct {
 // PoolStats returns a snapshot of the event-pool counters.
 func (e *Engine) PoolStats() PoolStats {
 	return PoolStats{Created: e.created, Reused: e.reused, Recycled: e.recycled, Free: len(e.free)}
+}
+
+// EngineStats is a self-observation snapshot of the engine: lifetime event
+// and pool counters plus the calendar's high-water mark. Like the pool
+// counters, the lifetime totals survive Reset — a campaign worker's engine
+// accumulates across replicates, which is exactly what self-metrics want.
+type EngineStats struct {
+	Processed     uint64 // events executed (rewinds on Reset, like Processed())
+	Cancelled     uint64 // events removed via Cancel (lifetime)
+	HeapHighWater int    // largest calendar size ever observed (lifetime)
+	Pending       int    // events currently waiting
+	Pool          PoolStats
+}
+
+// Stats returns a self-observation snapshot.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Processed:     e.processed,
+		Cancelled:     e.cancelled,
+		HeapHighWater: e.heapMax,
+		Pending:       len(e.queue),
+		Pool:          e.PoolStats(),
+	}
 }
 
 // Leaked returns the number of issued events that are neither pending nor
@@ -256,6 +283,7 @@ func (e *Engine) Cancel(h Event) {
 	}
 	e.heapRemove(int(h.ev.index))
 	e.recycle(h.ev)
+	e.cancelled++
 }
 
 // Step executes the single earliest pending event and returns true, or
@@ -332,6 +360,9 @@ func (e *Engine) less(a, b *event) bool {
 func (e *Engine) heapPush(ev *event) {
 	ev.index = int32(len(e.queue))
 	e.queue = append(e.queue, ev)
+	if len(e.queue) > e.heapMax {
+		e.heapMax = len(e.queue)
+	}
 	e.siftUp(len(e.queue) - 1)
 }
 

@@ -1,0 +1,50 @@
+package sim
+
+import "testing"
+
+func TestEngineStats(t *testing.T) {
+	e := NewEngine()
+	h1 := e.Schedule(10, func() {})
+	e.Schedule(20, func() {})
+	e.Schedule(30, func() {})
+	if s := e.Stats(); s.HeapHighWater != 3 || s.Pending != 3 {
+		t.Fatalf("after 3 schedules: %+v", s)
+	}
+	e.Cancel(h1)
+	e.Cancel(h1) // stale: must not double-count
+	e.Run()
+	s := e.Stats()
+	if s.Processed != 2 {
+		t.Errorf("processed = %d, want 2", s.Processed)
+	}
+	if s.Cancelled != 1 {
+		t.Errorf("cancelled = %d, want 1", s.Cancelled)
+	}
+	if s.HeapHighWater != 3 {
+		t.Errorf("heap high-water = %d, want 3", s.HeapHighWater)
+	}
+	if s.Pending != 0 {
+		t.Errorf("pending = %d, want 0", s.Pending)
+	}
+	if s.Pool != e.PoolStats() {
+		t.Errorf("pool mismatch: %+v vs %+v", s.Pool, e.PoolStats())
+	}
+}
+
+func TestEngineStatsSurviveReset(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	h := e.Schedule(100, func() {})
+	e.Cancel(h)
+	e.RunUntil(50)
+	e.Reset()
+	s := e.Stats()
+	if s.Processed != 0 {
+		t.Errorf("processed must rewind on Reset: %d", s.Processed)
+	}
+	if s.Cancelled != 1 || s.HeapHighWater != 6 {
+		t.Errorf("lifetime counters must survive Reset: %+v", s)
+	}
+}

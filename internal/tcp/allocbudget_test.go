@@ -4,7 +4,9 @@ import (
 	"testing"
 	"time"
 
+	"rsstcp/internal/cc"
 	"rsstcp/internal/sim"
+	"rsstcp/internal/telemetry"
 	"rsstcp/internal/unit"
 )
 
@@ -56,6 +58,41 @@ func TestAllocBudgetSACKRecoveryLoop(t *testing.T) {
 	})
 	if avg > 8 {
 		t.Errorf("SACK recovery loop allocates %.2f/50ms-window, want <= 8", avg)
+	}
+}
+
+// TestAllocBudgetWithFlightRecorder re-runs the steady-state budget with a
+// flight recorder attached to both the sender and its controller, pinning
+// the telemetry tentpole's zero-overhead invariant: recording congestion
+// events must not add a single allocation to the event loop.
+func TestAllocBudgetWithFlightRecorder(t *testing.T) {
+	ctrl := cc.NewReno(cc.RenoConfig{IW: 2})
+	l := buildLoop(loopOpts{
+		cfg:        Config{MSS: 1448},
+		nicRate:    100 * unit.Mbps,
+		txqueuelen: 100,
+		owd:        10 * time.Millisecond,
+		ctrl:       ctrl,
+	})
+	fr := telemetry.NewFlightRecorder(0)
+	l.snd.SetFlightRecorder(fr)
+	ctrl.SetTelemetry(fr, 1)
+	l.snd.Supply(1 << 30)
+	l.eng.RunUntil(sim.At(2 * time.Second))
+
+	before := l.eng.Processed()
+	avg := testing.AllocsPerRun(20, func() {
+		l.eng.RunFor(50 * time.Millisecond)
+	})
+	events := float64(l.eng.Processed()-before) / 21
+	if events < 100 {
+		t.Fatalf("too few events per window (%.0f) for the budget to mean anything", events)
+	}
+	if avg > 2 {
+		t.Errorf("recorder-enabled loop allocates %.2f/50ms-window (%.0f events), want <= 2", avg, events)
+	}
+	if fr.Total() == 0 {
+		t.Error("flight recorder saw no events — the budget proved nothing")
 	}
 }
 

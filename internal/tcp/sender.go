@@ -6,6 +6,7 @@ import (
 	"rsstcp/internal/cc"
 	"rsstcp/internal/packet"
 	"rsstcp/internal/sim"
+	"rsstcp/internal/telemetry"
 	"rsstcp/internal/web100"
 )
 
@@ -36,6 +37,7 @@ type Sender struct {
 	path TransmitPath
 
 	stats *web100.Stats
+	fr    *telemetry.FlightRecorder // nil-safe: unset means no recording
 
 	// window state (bytes)
 	cwnd     int64
@@ -126,6 +128,9 @@ func (s *Sender) SetCwnd(b int64) {
 	if b < int64(s.cfg.MSS) {
 		b = int64(s.cfg.MSS)
 	}
+	if b != s.cwnd {
+		s.fr.Record(s.eng.Now(), telemetry.KindCwnd, int32(s.flow), -1, s.cwnd, b)
+	}
 	s.cwnd = b
 	s.stats.SetCwnd(b)
 }
@@ -177,6 +182,11 @@ func (s *Sender) Finished() bool { return s.finished }
 
 // Stats returns the live Web100-style instrument set.
 func (s *Sender) Stats() *web100.Stats { return s.stats }
+
+// SetFlightRecorder attaches a telemetry ring; the sender records its
+// congestion events (cwnd changes, loss detection, RTOs, stalls, slow-start
+// exits) into it. A nil recorder (the default) records nothing.
+func (s *Sender) SetFlightRecorder(fr *telemetry.FlightRecorder) { s.fr = fr }
 
 // Controller returns the attached congestion controller.
 func (s *Sender) Controller() cc.Controller { return s.ctrl }
@@ -301,6 +311,7 @@ func (s *Sender) noteSent(n int, rtx bool) {
 func (s *Sender) onSendStall() {
 	s.stats.SendStall++
 	s.stats.SetSndLim(web100.SndLimSender, s.eng.Now())
+	s.fr.Record(s.eng.Now(), telemetry.KindStall, int32(s.flow), -1, s.sndNxt, s.cwnd)
 	if s.OnStall != nil {
 		s.OnStall()
 	}
@@ -314,6 +325,7 @@ func (s *Sender) onSendStall() {
 		s.ctrl.OnLocalStall()
 		if wasSS && !s.ctrl.InSlowStart() {
 			s.stats.SlowStartExits++
+			s.fr.Record(s.eng.Now(), telemetry.KindSlowStartExit, int32(s.flow), -1, s.cwnd, s.ssthresh)
 		}
 	}
 	// One waker at a time: several code paths (each arriving ACK, the
@@ -528,6 +540,7 @@ func (s *Sender) onNewAck(ack int64) {
 		s.ctrl.OnAck(acked)
 		if wasSS && !s.ctrl.InSlowStart() {
 			s.stats.SlowStartExits++
+			s.fr.Record(s.eng.Now(), telemetry.KindSlowStartExit, int32(s.flow), -1, s.cwnd, s.ssthresh)
 		}
 	}
 	if s.FlightSize() == 0 {
@@ -567,10 +580,12 @@ func (s *Sender) enterRecovery() {
 	s.recover = s.sndNxt
 	s.stats.CongSignals++
 	s.stats.FastRetran++
+	s.fr.Record(s.eng.Now(), telemetry.KindLossDetect, int32(s.flow), -1, s.sndUna, s.recover)
 	wasSS := s.ctrl.InSlowStart()
 	s.ctrl.OnEnterRecovery()
 	if wasSS {
 		s.stats.SlowStartExits++
+		s.fr.Record(s.eng.Now(), telemetry.KindSlowStartExit, int32(s.flow), -1, s.cwnd, s.ssthresh)
 	}
 	s.rtxPending = true
 	s.rto.Arm(s.est.RTO())
@@ -653,6 +668,7 @@ func (s *Sender) onRTO() {
 	}
 	s.stats.Timeouts++
 	s.stats.CongSignals++
+	s.fr.Record(s.eng.Now(), telemetry.KindRTO, int32(s.flow), -1, s.sndUna, s.sndNxt-s.sndUna)
 	s.ctrl.OnRTO()
 	s.est.Backoff()
 	s.stats.CurRTO = s.est.RTO()

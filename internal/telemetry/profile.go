@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	runtimepprof "runtime/pprof"
+)
+
+// StartProfiling wires the standard Go profiling surfaces behind CLI flags:
+//
+//   - pprofAddr != "": serve net/http/pprof on that address (a private mux,
+//     so importing this package never pollutes http.DefaultServeMux);
+//   - cpuProfile != "": write a CPU profile there until stop is called;
+//   - memProfile != "": write a heap profile there when stop is called.
+//
+// It returns a stop function that must be called before process exit (a
+// no-op when no profiling was requested), and an error if any surface could
+// not be set up — callers treat that as fatal, since the user explicitly
+// asked to profile.
+func StartProfiling(pprofAddr, cpuProfile, memProfile string) (func(), error) {
+	var cleanups []func()
+	stop := func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}
+
+	if pprofAddr != "" {
+		ln, err := net.Listen("tcp", pprofAddr)
+		if err != nil {
+			return nil, fmt.Errorf("pprof listen: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		srv := &http.Server{Handler: mux}
+		go func() { _ = srv.Serve(ln) }()
+		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", ln.Addr())
+		cleanups = append(cleanups, func() { _ = srv.Close() })
+	}
+
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			stop()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := runtimepprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			stop()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		cleanups = append(cleanups, func() {
+			runtimepprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+
+	if memProfile != "" {
+		cleanups = append(cleanups, func() {
+			f, err := os.Create(memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date heap statistics
+			if err := runtimepprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		})
+	}
+
+	return stop, nil
+}

@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"io"
+	"strconv"
+
+	"rsstcp/internal/sim"
+)
+
+// DefaultRingSize is the flight-recorder capacity used when a scenario does
+// not choose one: large enough to hold the full congestion timeline of a
+// pathological run (every RTO, drop and window collapse of a 25 s transfer),
+// small enough (~100 KB) that a campaign worker pool of rings stays far
+// inside the streaming-aggregation memory budget.
+const DefaultRingSize = 2048
+
+// FlightRecorder is a fixed-size ring of Events. It is always-on and
+// allocation-free: the buffer is sized once, records are values, and a full
+// ring overwrites its oldest entry. A nil *FlightRecorder is a valid no-op
+// recorder, so components outside an instrumented scenario record
+// unconditionally without nil checks.
+//
+// A recorder belongs to one simulation (one logical thread); it is not safe
+// for concurrent use — exactly like the engine that feeds it.
+type FlightRecorder struct {
+	buf []Event
+	n   uint64 // total events ever recorded; buf index is n % cap
+}
+
+// NewFlightRecorder returns a ring holding the most recent capacity events
+// (DefaultRingSize when capacity <= 0).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultRingSize
+	}
+	return &FlightRecorder{buf: make([]Event, capacity)}
+}
+
+// Record appends an event, overwriting the oldest when full. On a nil
+// recorder it is a no-op.
+func (r *FlightRecorder) Record(t sim.Time, k Kind, flow, hop int32, a, b int64) {
+	if r == nil {
+		return
+	}
+	r.buf[r.n%uint64(len(r.buf))] = Event{T: t, Kind: k, Flow: flow, Hop: hop, A: a, B: b}
+	r.n++
+}
+
+// Reset empties the ring, keeping its buffer. On a nil recorder it is a
+// no-op.
+func (r *FlightRecorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.n = 0
+}
+
+// Cap returns the ring capacity (0 for a nil recorder).
+func (r *FlightRecorder) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.buf)
+}
+
+// Len returns the number of events currently held.
+func (r *FlightRecorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	if r.n < uint64(len(r.buf)) {
+		return int(r.n)
+	}
+	return len(r.buf)
+}
+
+// Total returns the number of events ever recorded (held + evicted).
+func (r *FlightRecorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// Evicted returns how many events were overwritten by ring wrap.
+func (r *FlightRecorder) Evicted() uint64 {
+	return r.Total() - uint64(r.Len())
+}
+
+// Events returns the held events oldest-first, as a fresh slice.
+func (r *FlightRecorder) Events() []Event {
+	n := r.Len()
+	out := make([]Event, n)
+	r.copyInto(out)
+	return out
+}
+
+// copyInto writes the held events oldest-first into dst (len(dst) == Len()).
+func (r *FlightRecorder) copyInto(dst []Event) {
+	if len(dst) == 0 {
+		return
+	}
+	capN := uint64(len(r.buf))
+	start := uint64(0)
+	if r.n > capN {
+		start = r.n % capN
+	}
+	k := copy(dst, r.buf[start:min(capN, start+uint64(len(dst)))])
+	copy(dst[k:], r.buf[:len(dst)-k])
+}
+
+// WriteJSONL dumps the held events oldest-first, one JSON object per line:
+//
+//	{"t_ns":1234567,"kind":"rto","flow":1,"hop":-1,"a":2896,"b":43440}
+//
+// The encoding is hand-rolled from interned kind names and integer fields,
+// so the bytes are a pure function of the ring contents — identical for a
+// fixed seed at any worker count — and dumping needs no reflection.
+func (r *FlightRecorder) WriteJSONL(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var line []byte
+	n := r.Len()
+	capN := uint64(len(r.buf))
+	start := uint64(0)
+	if r.n > capN {
+		start = r.n % capN
+	}
+	for i := 0; i < n; i++ {
+		ev := &r.buf[(start+uint64(i))%capN]
+		line = line[:0]
+		line = append(line, `{"t_ns":`...)
+		line = strconv.AppendInt(line, int64(ev.T), 10)
+		line = append(line, `,"kind":"`...)
+		line = append(line, ev.Kind.String()...)
+		line = append(line, `","flow":`...)
+		line = strconv.AppendInt(line, int64(ev.Flow), 10)
+		line = append(line, `,"hop":`...)
+		line = strconv.AppendInt(line, int64(ev.Hop), 10)
+		line = append(line, `,"a":`...)
+		line = strconv.AppendInt(line, ev.A, 10)
+		line = append(line, `,"b":`...)
+		line = strconv.AppendInt(line, ev.B, 10)
+		line = append(line, "}\n"...)
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AppendJSONL appends the WriteJSONL encoding to dst and returns it — the
+// buffer-reuse form campaign workers use to snapshot anomalous runs.
+func (r *FlightRecorder) AppendJSONL(dst []byte) []byte {
+	if r == nil {
+		return dst
+	}
+	w := appendWriter{buf: &dst}
+	_ = r.WriteJSONL(w)
+	return dst
+}
+
+type appendWriter struct{ buf *[]byte }
+
+func (w appendWriter) Write(p []byte) (int, error) {
+	*w.buf = append(*w.buf, p...)
+	return len(p), nil
+}

@@ -214,6 +214,80 @@ func (s *Stats) Snapshot(now sim.Time) Stats {
 	return c
 }
 
+// Export is the JSON shape of a Stats snapshot: RFC 4898-style names in
+// snake_case, durations in nanoseconds, zero-valued counters elided. It is
+// the per-flow "web100" block of campaign replicate exports.
+type Export struct {
+	SegsOut        int64 `json:"segs_out,omitempty"`
+	DataSegsOut    int64 `json:"data_segs_out,omitempty"`
+	SegsRetrans    int64 `json:"segs_retrans,omitempty"`
+	OctetsRetran   int64 `json:"octets_retrans,omitempty"`
+	SegsIn         int64 `json:"segs_in,omitempty"`
+	DupAcksIn      int64 `json:"dup_acks_in,omitempty"`
+	SACKsRcvd      int64 `json:"sacks_rcvd,omitempty"`
+	ThruOctets     int64 `json:"thru_octets_acked,omitempty"`
+	DataOctetsOut  int64 `json:"data_octets_out,omitempty"`
+	CongSignals    int64 `json:"cong_signals,omitempty"`
+	FastRetran     int64 `json:"fast_retran,omitempty"`
+	Timeouts       int64 `json:"timeouts,omitempty"`
+	SendStall      int64 `json:"send_stall,omitempty"`
+	LocalCongCwnd  int64 `json:"local_cong_cwnd,omitempty"`
+	SlowStartExits int64 `json:"slow_start_exits,omitempty"`
+	CurCwnd        int64 `json:"cur_cwnd,omitempty"`
+	MaxCwnd        int64 `json:"max_cwnd,omitempty"`
+	CurSsthresh    int64 `json:"cur_ssthresh,omitempty"`
+	MinSsthresh    int64 `json:"min_ssthresh,omitempty"`
+	CurRwnd        int64 `json:"cur_rwnd,omitempty"`
+	SmoothedRTTNs  int64 `json:"srtt_ns,omitempty"`
+	MinRTTNs       int64 `json:"min_rtt_ns,omitempty"`
+	MaxRTTNs       int64 `json:"max_rtt_ns,omitempty"`
+	CurRTONs       int64 `json:"cur_rto_ns,omitempty"`
+	CountRTT       int64 `json:"count_rtt,omitempty"`
+	LimCwndNs      int64 `json:"snd_lim_time_cwnd_ns,omitempty"`
+	LimRwndNs      int64 `json:"snd_lim_time_rwnd_ns,omitempty"`
+	LimSenderNs    int64 `json:"snd_lim_time_sender_ns,omitempty"`
+}
+
+// Export converts the snapshot to its JSON shape. The unset MinRTT/
+// MinSsthresh sentinel (-1) maps to zero, which omitempty then elides.
+func (s Stats) Export() Export {
+	e := Export{
+		SegsOut:        s.SegsOut,
+		DataSegsOut:    s.DataSegsOut,
+		SegsRetrans:    s.SegsRetrans,
+		OctetsRetran:   s.OctetsRetran,
+		SegsIn:         s.SegsIn,
+		DupAcksIn:      s.DupAcksIn,
+		SACKsRcvd:      s.SACKsRcvd,
+		ThruOctets:     s.ThruOctetsAcked,
+		DataOctetsOut:  s.DataOctetsOut,
+		CongSignals:    s.CongSignals,
+		FastRetran:     s.FastRetran,
+		Timeouts:       s.Timeouts,
+		SendStall:      s.SendStall,
+		LocalCongCwnd:  s.LocalCongCwnd,
+		SlowStartExits: s.SlowStartExits,
+		CurCwnd:        s.CurCwnd,
+		MaxCwnd:        s.MaxCwnd,
+		CurSsthresh:    s.CurSsthresh,
+		CurRwnd:        s.CurRwnd,
+		SmoothedRTTNs:  int64(s.SmoothedRTT),
+		MaxRTTNs:       int64(s.MaxRTT),
+		CurRTONs:       int64(s.CurRTO),
+		CountRTT:       s.CountRTT,
+		LimCwndNs:      int64(s.SndLimTimeCwnd),
+		LimRwndNs:      int64(s.SndLimTimeRwnd),
+		LimSenderNs:    int64(s.SndLimTimeSender),
+	}
+	if s.MinSsthresh > 0 {
+		e.MinSsthresh = s.MinSsthresh
+	}
+	if s.MinRTT > 0 {
+		e.MinRTTNs = int64(s.MinRTT)
+	}
+	return e
+}
+
 // Delta returns the change in counters from an earlier snapshot; gauges are
 // taken from the newer value. Useful for per-interval reporting.
 func Delta(older, newer Stats) Stats {
