@@ -52,6 +52,15 @@ var (
 	// MetricTimeToUtil90 is the virtual time (s) to 90% bottleneck
 	// utilization.
 	MetricTimeToUtil90 = campaign.MetricTimeToUtil90
+	// MetricFCTMean is the mean flow completion time (s) over a run's
+	// completed dynamic flows.
+	MetricFCTMean = campaign.MetricFCTMean
+	// MetricFCTP99 is the 99th-percentile flow completion time (s).
+	MetricFCTP99 = campaign.MetricFCTP99
+	// MetricSlowdownMean is mean FCT over the ideal transfer time.
+	MetricSlowdownMean = campaign.MetricSlowdownMean
+	// MetricFlowsDone counts dynamic flows completed within the run.
+	MetricFlowsDone = campaign.MetricFlowsDone
 )
 
 // Axis helpers, re-exported for callers that build axes programmatically.
@@ -107,8 +116,9 @@ func NewCampaign(opts ...CampaignOpt) *Campaign {
 }
 
 // Sweep adds a stock axis by name ("bw", "rtt", "rq", "ifq", "loss", "alg",
-// "flows", "setpoint", "tick", "mss", "sack", "nic", "matchup", "bytes")
-// from loosely typed values — native Go types or their string forms.
+// "flows", "setpoint", "tick", "mss", "sack", "nic", "matchup", "bytes",
+// "load", "arrivals", "fsize") from loosely typed values — native Go types
+// or their string forms.
 func Sweep(name string, values ...any) CampaignOpt {
 	return func(c *Campaign) {
 		a, err := campaign.NewAxis(name, values...)

@@ -58,6 +58,10 @@ type CampaignPerf struct {
 	DurationMs float64 `json:"wall_ms"`
 	RunsPerSec float64 `json:"runs_per_sec"`
 	PeakHeapMB float64 `json:"peak_heap_mb,omitempty"`
+	// Churn rows only (PR 7 on): dynamic flows completed across the sweep
+	// and the attach-to-complete lifecycle rate they imply.
+	FlowsDone   int64   `json:"flows_done,omitempty"`
+	FlowsPerSec float64 `json:"flows_per_sec,omitempty"`
 }
 
 // BenchReport is the BENCH_campaign.json schema. v2 adds the PR-3 epoch
@@ -90,6 +94,10 @@ type BenchSnapshot struct {
 	// tracked against the one-link epochs. The Alg field carries
 	// "alg/preset".
 	Topology []ScenarioPerf `json:"topology,omitempty"`
+	// Churn row (from PR 7 on): a dynamic-workload sweep — 0.8 offered
+	// load, bounded-Pareto transfer sizes, both algorithms — so the flow
+	// attach/detach machinery's cost (flows/sec) rides the trajectory.
+	Churn *CampaignPerf `json:"churn,omitempty"`
 }
 
 // preOverhaulBaseline is the trajectory anchor: measured at commit 5dd424d
@@ -244,6 +252,44 @@ func measureCampaign(dur time.Duration) (CampaignPerf, error) {
 	}, nil
 }
 
+// measureChurn times the flow-lifecycle sweep: 0.8 offered load of
+// bounded-Pareto transfers over Poisson arrivals, both algorithms,
+// traceless and streaming. The completed-flow count comes from the
+// flows_done metric, giving a flows/sec lifecycle rate alongside runs/sec.
+func measureChurn(dur time.Duration) (CampaignPerf, error) {
+	p := campaign.Plan{
+		Axes: []campaign.Axis{
+			campaign.AxisLoads(0.8),
+			campaign.AxisFlowSizes("pareto:1.2:4k:10M"),
+			campaign.AxisAlgorithms(experiment.AlgStandard, experiment.AlgRestricted),
+		},
+		Metrics:    []campaign.Metric{campaign.MetricFlowsDone, campaign.MetricFCTMean},
+		Replicates: 2,
+		Duration:   dur,
+	}
+	t0 := time.Now()
+	rep, err := campaign.ExecutePlan(p, campaign.Options{})
+	wall := time.Since(t0)
+	if err != nil {
+		return CampaignPerf{}, err
+	}
+	var flows int64
+	for _, c := range rep.Cells {
+		if m, ok := c.Metric("flows_done"); ok {
+			flows += int64(m.Mean*float64(m.N) + 0.5)
+		}
+	}
+	return CampaignPerf{
+		Axes:  "load{0.8} x fsize{pareto:1.2:4k:10M} x alg{standard,restricted}",
+		Cells: p.Size(), Replicates: p.Replicates, Runs: p.Runs(),
+		Workers:     campaign.DefaultWorkers(),
+		DurationMs:  wall.Seconds() * 1000,
+		RunsPerSec:  float64(p.Runs()) / wall.Seconds(),
+		FlowsDone:   flows,
+		FlowsPerSec: float64(flows) / wall.Seconds(),
+	}, nil
+}
+
 // bigGridPlan is the campaign-scale sweep: 64 cells over bandwidth, RTT,
 // IFQ and algorithm, replicated up to the requested run count.
 func bigGridPlan(runs int, dur time.Duration) (campaign.Plan, string) {
@@ -341,6 +387,14 @@ func emitBenchJSON(path string, paperDur, campDur time.Duration, reps, bigRuns i
 		cur.Topology = append(cur.Topology, p)
 	}
 
+	// Churn row: the dynamic-workload sweep, so flow attach/detach cost is
+	// on the trajectory from this PR forward.
+	churn, err := measureChurn(campDur)
+	if err != nil {
+		return err
+	}
+	cur.Churn = &churn
+
 	// Big-grid rows: workers=1 and workers=GOMAXPROCS on the same plan,
 	// so single-thread throughput and parallel efficiency are both on
 	// record. On a single-CPU runner the rows coincide — still recorded,
@@ -398,6 +452,12 @@ func emitBenchJSON(path string, paperDur, campDur time.Duration, reps, bigRuns i
 	fmt.Printf("wrote %s\n", path)
 	for k, v := range speedup {
 		fmt.Printf("  %s: %vx\n", k, v)
+	}
+	if cur.Churn != nil {
+		// No earlier epoch to compare against: the absolute lifecycle rate
+		// anchors the trajectory for future PRs.
+		fmt.Printf("  churn_lifecycle: %d flows at %.0f flows/s\n",
+			cur.Churn.FlowsDone, cur.Churn.FlowsPerSec)
 	}
 	return nil
 }

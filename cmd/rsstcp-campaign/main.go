@@ -29,6 +29,14 @@
 //	rsstcp-campaign -bw 100 -rtt 60ms -ifq 100 -alg restricted \
 //	    -axis tick=5ms,10ms,20ms -axis mss=1448,8948 -metrics throughput_mbps,collapses
 //
+// Dynamic workloads sweep too: -loads, -arrivals and -fsizes open the
+// flow-lifecycle axes (offered load, arrival process, transfer-size
+// distribution), with completion-time metrics to match:
+//
+//	rsstcp-campaign -bw 100 -rtt 60ms -alg standard,restricted \
+//	    -loads 0.4,0.8 -fsizes exp:100k,pareto:1.2:4k:10M \
+//	    -metrics fct_mean,fct_p99,slowdown_mean,flows_done
+//
 // Topologies sweep too: -topo sweeps stock presets (parking-lot,
 // reverse-congested, ...), repeatable -hop flags pin a custom hop chain on
 // every cell, -rev makes the reverse channel a real queued link, and the
@@ -79,6 +87,9 @@ func main() {
 		metrics    = flag.String("metrics", "", "metric columns to report, in order (comma list; known: "+strings.Join(rsstcp.MetricNames(), ",")+")")
 		setpoints  = flag.String("setpoints", "", "RSS IFQ set-point fractions to sweep (comma list; adds a 'setpoint' axis)")
 		ticks      = flag.String("ticks", "", "RSS control periods to sweep (comma list of durations; adds a 'tick' axis)")
+		loads      = flag.String("loads", "", "offered-load fractions of the bottleneck to sweep under dynamic arrivals (comma list; adds a 'load' axis)")
+		arrivalsF  = flag.String("arrivals", "", "flow arrival processes to sweep, e.g. poisson:50 or mmpp:10:200:500ms (comma list; adds an 'arrivals' axis)")
+		fsizes     = flag.String("fsizes", "", "dynamic transfer-size distributions to sweep, e.g. exp:100k or pareto:1.2:4k:10M (comma list; adds an 'fsize' axis)")
 		topoNames  = flag.String("topo", "", "topology presets to sweep (comma list of "+strings.Join(rsstcp.TopologyPresets(), ",")+"; adds a 'topo' axis)")
 		rev        = flag.String("rev", "", "real reverse channel for every cell as rate=Mbps[,delay=D][,queue=N] (adds an 'rbw' axis value)")
 		retainRuns = flag.Bool("retain-runs", false, "keep every raw replicate in the generic report (memory grows with run count)")
@@ -152,6 +163,21 @@ func main() {
 	}
 	if *ticks != "" {
 		axisOrDie(&extraAxes, "tick", *ticks)
+	}
+
+	// Churn flags: each compiles to one of the flow-lifecycle axes. They
+	// must precede the grid's alg axis (which then decorates the dynamic
+	// flow template), so they are collected separately and stacked ahead of
+	// the grid axes below.
+	var churnAxes []rsstcp.Axis
+	if *loads != "" {
+		axisOrDie(&churnAxes, "load", *loads)
+	}
+	if *arrivalsF != "" {
+		axisOrDie(&churnAxes, "arrivals", *arrivalsF)
+	}
+	if *fsizes != "" {
+		axisOrDie(&churnAxes, "fsize", *fsizes)
 	}
 
 	// Topology flags: -topo sweeps stock presets, repeatable -hop builds one
@@ -267,7 +293,7 @@ func main() {
 		}
 	}
 
-	if len(extraAxes) > 0 || len(topoAxes) > 0 || *metrics != "" {
+	if len(extraAxes) > 0 || len(topoAxes) > 0 || len(churnAxes) > 0 || *metrics != "" {
 		// Generic path: legacy flags compile to stock axes, new flags
 		// stack more dimensions and choose the metric columns — no
 		// campaign-internal edits involved.
@@ -306,8 +332,15 @@ func main() {
 			}
 			gridAxes = dropAxes(gridAxes, "bw", "rtt", "rq", "loss")
 		}
+		// A dynamic workload replaces the default single static flow, so the
+		// grid's flows axis comes off the plan — unless -flows was set on
+		// purpose, which keeps that many static flows as background load.
+		if len(churnAxes) > 0 && !explicit["flows"] {
+			gridAxes = dropAxes(gridAxes, "flows")
+		}
 		builderOpts := []rsstcp.CampaignOpt{
 			rsstcp.SweepAxis(topoAxes...),
+			rsstcp.SweepAxis(churnAxes...),
 			rsstcp.SweepAxis(gridAxes...),
 			rsstcp.SweepAxis(extraAxes...),
 			rsstcp.Replicates(*replicates),

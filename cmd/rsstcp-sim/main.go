@@ -20,7 +20,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -43,6 +45,10 @@ func main() {
 		rev      = flag.String("rev", "", "real reverse channel as rate=Mbps[,delay=D][,queue=N] (default: ideal wire)")
 		duration = flag.Duration("duration", 25*time.Second, "run length")
 		bytes    = flag.Int64("bytes", 0, "transfer size (0 = backlogged for the whole run)")
+		arrivals = flag.String("arrivals", "", "dynamic flow arrivals: poisson:RATE|mmpp:LO:HI:SOJOURN|web:S:F:THINK|legacy:N (default: one static flow)")
+		fsize    = flag.String("fsize", "", "dynamic transfer sizes: fixed:64k|exp:100k|pareto:A:MIN:MAX|lognorm:MED:SIGMA (default exp:100k)")
+		load     = flag.Float64("load", 0, "offered load as a fraction of the bottleneck (rescales -arrivals; 0 = use the spec's own rate)")
+		maxflows = flag.Int("maxflows", 0, "admission cap on concurrently live dynamic flows (0 = unbounded)")
 		setpoint = flag.Float64("setpoint", 0, "RSS IFQ set point fraction (0 = paper's 0.9)")
 		sack     = flag.Bool("sack", false, "enable SACK")
 		seed     = flag.Uint64("seed", 1, "random seed")
@@ -81,17 +87,35 @@ func main() {
 		Hops:        *hops,
 		AQM:         rsstcp.QueueDiscipline(*aqm),
 	}
+	flowSpec := rsstcp.Flow{
+		Alg:              rsstcp.Algorithm(*alg),
+		Bytes:            *bytes,
+		SetpointFraction: *setpoint,
+		SACK:             *sack,
+	}
 	opts := rsstcp.Options{
-		Path: path,
-		Flows: []rsstcp.Flow{{
-			Alg:              rsstcp.Algorithm(*alg),
-			Bytes:            *bytes,
-			SetpointFraction: *setpoint,
-			SACK:             *sack,
-		}},
+		Path:     path,
 		Duration: *duration,
 		Seed:     *seed,
 		EventLog: *eventsCap,
+	}
+	if *arrivals != "" || *fsize != "" || *load > 0 || *maxflows > 0 {
+		// A dynamic workload replaces the single static flow: the flag-derived
+		// spec becomes the template every arrival is stamped from. Sizes come
+		// from -fsize, so an explicit -bytes would silently never run.
+		if *bytes != 0 {
+			fatal(fmt.Errorf("-bytes conflicts with a dynamic workload; transfer sizes come from -fsize"))
+		}
+		flowSpec.Bytes = 0
+		opts.Churn = &rsstcp.Churn{
+			Arrivals: *arrivals,
+			Size:     *fsize,
+			Load:     *load,
+			MaxLive:  *maxflows,
+			Flow:     flowSpec,
+		}
+	} else {
+		opts.Flows = []rsstcp.Flow{flowSpec}
 	}
 	if *topo != "" && len(hopSpecs) > 0 {
 		fatal(fmt.Errorf("-topo and -hop are mutually exclusive"))
@@ -149,18 +173,22 @@ func main() {
 	fmt.Printf("path             %s\n", topoDesc)
 	fmt.Printf("duration         %v\n", res.Duration)
 	fmt.Printf("throughput       %.2f Mbps\n", float64(res.Throughput)/1e6)
-	fmt.Printf("acked            %s\n", unit.ByteSize(st.ThruOctetsAcked))
 	fmt.Printf("utilization      %.3f\n", res.Utilization)
-	fmt.Printf("send-stalls      %d\n", st.SendStall)
-	fmt.Printf("cong-signals     %d (fast-retrans %d, timeouts %d, local %d)\n",
-		st.CongSignals, st.FastRetran, st.Timeouts, st.LocalCongCwnd)
-	fmt.Printf("segments         out %d, retrans %d, dup-acks-in %d\n",
-		st.SegsOut, st.SegsRetrans, st.DupAcksIn)
-	fmt.Printf("cwnd             cur %d, max %d (bytes)\n", st.CurCwnd, st.MaxCwnd)
-	fmt.Printf("rtt              min %v, srtt %v, max %v (rto %v)\n",
-		st.MinRTT, st.SmoothedRTT, st.MaxRTT, st.CurRTO)
-	fmt.Printf("snd-lim          cwnd %v, rwnd %v, sender %v\n",
-		st.SndLimTimeCwnd, st.SndLimTimeRwnd, st.SndLimTimeSender)
+	if opts.Churn != nil {
+		printChurn(res)
+	} else {
+		fmt.Printf("acked            %s\n", unit.ByteSize(st.ThruOctetsAcked))
+		fmt.Printf("send-stalls      %d\n", st.SendStall)
+		fmt.Printf("cong-signals     %d (fast-retrans %d, timeouts %d, local %d)\n",
+			st.CongSignals, st.FastRetran, st.Timeouts, st.LocalCongCwnd)
+		fmt.Printf("segments         out %d, retrans %d, dup-acks-in %d\n",
+			st.SegsOut, st.SegsRetrans, st.DupAcksIn)
+		fmt.Printf("cwnd             cur %d, max %d (bytes)\n", st.CurCwnd, st.MaxCwnd)
+		fmt.Printf("rtt              min %v, srtt %v, max %v (rto %v)\n",
+			st.MinRTT, st.SmoothedRTT, st.MaxRTT, st.CurRTO)
+		fmt.Printf("snd-lim          cwnd %v, rwnd %v, sender %v\n",
+			st.SndLimTimeCwnd, st.SndLimTimeRwnd, st.SndLimTimeSender)
+	}
 	fmt.Printf("router-drops     %d\n", res.RouterDrops)
 	if explicitTopo || len(res.Hops) > 1 {
 		for i, h := range res.Hops {
@@ -178,7 +206,9 @@ func main() {
 		fmt.Printf("reverse          %v, %d pkts queue: ack-drops=%d\n",
 			s.Topo.Reverse.Rate, s.Topo.Reverse.Queue, res.ReverseDrops)
 	}
-	fmt.Printf("nic              sent %d segs, max IFQ %d pkts\n", res.NIC.Sent, res.NIC.MaxQueue)
+	if opts.Churn == nil {
+		fmt.Printf("nic              sent %d segs, max IFQ %d pkts\n", res.NIC.Sent, res.NIC.MaxQueue)
+	}
 
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
@@ -210,6 +240,31 @@ func main() {
 				*eventsPath, s.FR.Len(), s.FR.Evicted())
 		}
 	}
+}
+
+// printChurn summarizes a dynamic-workload run: completion counts and the
+// FCT/slowdown figures of merit over the completed flows.
+func printChurn(res rsstcp.Result) {
+	fmt.Printf("flows            %d completed, %d live at end, %d refused\n",
+		len(res.Flows), res.FlowsActive, res.FlowsRefused)
+	if len(res.Flows) == 0 {
+		return
+	}
+	fcts := make([]float64, len(res.Flows))
+	var fctSum, sdSum float64
+	var bytes, retrans int64
+	for i, f := range res.Flows {
+		fcts[i] = f.FCT().Seconds()
+		fctSum += fcts[i]
+		sdSum += f.Slowdown
+		bytes += f.Bytes
+		retrans += f.Retrans
+	}
+	sort.Float64s(fcts)
+	p99 := fcts[max(0, int(math.Ceil(0.99*float64(len(fcts))))-1)]
+	fmt.Printf("fct              mean %.2f ms, p99 %.2f ms\n", fctSum/float64(len(fcts))*1e3, p99*1e3)
+	fmt.Printf("slowdown         mean %.2f\n", sdSum/float64(len(res.Flows)))
+	fmt.Printf("transferred      %s (%d segs retransmitted)\n", unit.ByteSize(bytes), retrans)
 }
 
 func fatal(err error) {

@@ -137,6 +137,27 @@ func (p Plan) Validate() error {
 			}
 		}
 	}
+	// The churn axes (load/arrivals/fsize) switch the workload to dynamic
+	// flow arrivals, whose per-arrival size samples discard any swept
+	// "bytes" value — a hard conflict — and whose flow template the
+	// per-flow/alg axes only reach once a churn axis has installed it, so
+	// those must come after.
+	for _, cn := range churnAxisNames {
+		ci, ok := axisPos[cn]
+		if !ok {
+			continue
+		}
+		for _, clash := range churnHardConflicts {
+			if _, ok := axisPos[clash]; ok {
+				return fmt.Errorf("campaign: axis %q drives a dynamic workload whose arrivals sample their own sizes and conflicts with axis %q; sweep one or the other", cn, clash)
+			}
+		}
+		for _, af := range churnAfterAxes {
+			if pi, ok := axisPos[af]; ok && pi < ci {
+				return fmt.Errorf("campaign: axis %q must come before axis %q, which otherwise mutates the static flow list instead of the dynamic flow template", cn, af)
+			}
+		}
+	}
 	for _, a := range p.Axes {
 		if len(a.Values) == 0 {
 			return fmt.Errorf("campaign: axis %q has no values", a.Name)
@@ -251,6 +272,14 @@ func cloneConfig(cfg experiment.Config) experiment.Config {
 	if cfg.Topology != nil {
 		t := cfg.Topology.Clone()
 		out.Topology = &t
+	}
+	if cfg.Churn != nil {
+		ch := *cfg.Churn
+		if ch.Flow.OnOff != nil {
+			oo := *ch.Flow.OnOff
+			ch.Flow.OnOff = &oo
+		}
+		out.Churn = &ch
 	}
 	return out
 }

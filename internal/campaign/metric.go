@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -157,7 +158,92 @@ var (
 		Name:    "rev_drops",
 		Extract: func(r experiment.Result) float64 { return float64(r.ReverseDrops) },
 	}
+	// MetricFCTMean is the mean flow completion time, in seconds, over the
+	// run's completed dynamic flows (NaN when the run had none — the
+	// NaN-tolerant exports render it null).
+	MetricFCTMean = Metric{
+		Name: "fct_mean",
+		Extract: func(r experiment.Result) float64 {
+			if len(r.Flows) == 0 {
+				return math.NaN()
+			}
+			var sum float64
+			for _, f := range r.Flows {
+				sum += f.FCT().Seconds()
+			}
+			return sum / float64(len(r.Flows))
+		},
+	}
+	// MetricFCTP99 is the 99th-percentile flow completion time in seconds —
+	// the tail figure short-flow studies care about (NaN with no flows).
+	MetricFCTP99 = Metric{
+		Name: "fct_p99",
+		Extract: func(r experiment.Result) float64 {
+			if len(r.Flows) == 0 {
+				return math.NaN()
+			}
+			fcts := make([]float64, len(r.Flows))
+			for i, f := range r.Flows {
+				fcts[i] = f.FCT().Seconds()
+			}
+			sort.Float64s(fcts)
+			idx := int(math.Ceil(0.99*float64(len(fcts)))) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			return fcts[idx]
+		},
+	}
+	// MetricSlowdownMean is the mean slowdown — completion time over the
+	// ideal transfer time at the route's bottleneck rate — across completed
+	// dynamic flows. 1.0 is a perfect network; the gap above it is queueing
+	// and loss recovery (NaN with no flows).
+	MetricSlowdownMean = Metric{
+		Name:    "slowdown_mean",
+		Extract: func(r experiment.Result) float64 { return meanSlowdown(r, -1) },
+	}
+	// MetricSlowdownSmall is the mean slowdown of flows under 100 kB — the
+	// mice whose FCT restricted slow-start claims to protect.
+	MetricSlowdownSmall = Metric{
+		Name:    "slowdown_small",
+		Extract: func(r experiment.Result) float64 { return meanSlowdown(r, 0) },
+	}
+	// MetricSlowdownMedium is the mean slowdown of flows in [100 kB, 1 MB).
+	MetricSlowdownMedium = Metric{
+		Name:    "slowdown_medium",
+		Extract: func(r experiment.Result) float64 { return meanSlowdown(r, 1) },
+	}
+	// MetricSlowdownLarge is the mean slowdown of flows of 1 MB and above.
+	MetricSlowdownLarge = Metric{
+		Name:    "slowdown_large",
+		Extract: func(r experiment.Result) float64 { return meanSlowdown(r, 2) },
+	}
+	// MetricFlowsDone counts dynamic flows that ran to byte-completion
+	// within the run (0, not NaN, for static runs — "no churn" and "no
+	// completions under churn" both mean zero finished transfers).
+	MetricFlowsDone = Metric{
+		Name:    "flows_done",
+		Extract: func(r experiment.Result) float64 { return float64(len(r.Flows)) },
+	}
 )
+
+// meanSlowdown averages FlowRecord.Slowdown over completed flows, filtered
+// to one size class (-1 = all). NaN when no flow matches.
+func meanSlowdown(r experiment.Result, class int) float64 {
+	var sum float64
+	n := 0
+	for _, f := range r.Flows {
+		if class >= 0 && f.Class != class {
+			continue
+		}
+		sum += f.Slowdown
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
 
 // StockMetrics returns the default metric set — the six summaries the legacy
 // grid engine reported per cell, in the legacy column order.
@@ -175,6 +261,9 @@ func Metrics() []Metric {
 		MetricRouterDrops, MetricInjectedDrops, MetricUtilization,
 		MetricTimeouts, MetricFairness, MetricCollapses, MetricTimeToUtil90,
 		MetricHopDropsMax, MetricReverseDrops,
+		MetricFCTMean, MetricFCTP99, MetricSlowdownMean,
+		MetricSlowdownSmall, MetricSlowdownMedium, MetricSlowdownLarge,
+		MetricFlowsDone,
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"rsstcp/internal/experiment"
+	"rsstcp/internal/lifecycle"
 	"rsstcp/internal/unit"
 )
 
@@ -51,6 +52,23 @@ var (
 	topoAfterAxes     = []string{"rbw", "aqm"}
 )
 
+// Stock-axis semantic constraints around the churn axes (load, arrivals,
+// fsize), which switch the configuration from a static flow list to a
+// dynamic flow-lifecycle workload. Plan.Validate enforces both:
+//
+//   - churnHardConflicts can never share a plan with a churn axis: every
+//     dynamic arrival samples its transfer size from the churn size
+//     distribution, so a swept per-flow "bytes" value would be silently
+//     discarded and its cell labels would lie.
+//   - churnAfterAxes mutate the flow template through eachFlow, which only
+//     sees the churn template once a churn axis has installed it; they
+//     compose with churn axes only when they come after them.
+var (
+	churnAxisNames     = []string{"load", "arrivals", "fsize"}
+	churnHardConflicts = []string{"bytes"}
+	churnAfterAxes     = []string{"alg", "setpoint", "tick", "mss", "sack"}
+)
+
 // legacyAxisNames are the seven grid dimensions, exported order.
 var legacyAxisNames = []string{"bw", "rtt", "rq", "ifq", "loss", "alg", "flows"}
 
@@ -69,8 +87,13 @@ func IsLegacyAxis(name string) bool {
 // default flow first if none exist, so per-flow axes compose in any order.
 // Cross-traffic flows (FlowSpec.Cross, e.g. installed by a topology preset)
 // are background load, not subjects: per-flow axes leave them untouched.
+// Under a churn configuration the dynamic flow template is a subject too —
+// and when churn is the only workload no default static flow is invented,
+// mirroring experiment.Config.withDefaults.
 func eachFlow(cfg *experiment.Config, f func(*experiment.FlowSpec)) {
-	if len(measuredFlows(cfg.Flows)) == 0 {
+	if cfg.Churn != nil {
+		f(&cfg.Churn.Flow)
+	} else if len(measuredFlows(cfg.Flows)) == 0 {
 		cfg.Flows = append([]experiment.FlowSpec{{}}, cfg.Flows...)
 	}
 	for i := range cfg.Flows {
@@ -79,6 +102,18 @@ func eachFlow(cfg *experiment.Config, f func(*experiment.FlowSpec)) {
 		}
 		f(&cfg.Flows[i])
 	}
+}
+
+// ensureChurn returns the config's churn spec, installing a default one
+// (Poisson arrivals, exponential sizes, standard template — see
+// experiment.ChurnSpec.withDefaults) if the config was static. Every churn
+// axis mutates through it so load/arrivals/fsize compose in any order among
+// themselves.
+func ensureChurn(cfg *experiment.Config) *experiment.ChurnSpec {
+	if cfg.Churn == nil {
+		cfg.Churn = &experiment.ChurnSpec{}
+	}
+	return cfg.Churn
 }
 
 // measuredFlows returns the non-cross flows, in order.
@@ -340,6 +375,64 @@ func AxisBytes(vs ...int64) Axis {
 		}
 		a.Values = append(a.Values, Val(strconv.FormatInt(v, 10), func(cfg *experiment.Config) {
 			eachFlow(cfg, func(f *experiment.FlowSpec) { f.Bytes = v })
+		}))
+	}
+	return a
+}
+
+// AxisLoads sweeps the offered load of a dynamic flow-lifecycle workload
+// ("load"), as a fraction of the bottleneck rate: the scenario rescales the
+// arrival process so mean arrival rate × mean transfer size equals the
+// fraction of the bottleneck's byte rate. Values above 1 deliberately
+// overdrive the link. Sweeping load on a static config installs a default
+// churn spec (Poisson arrivals, exponential sizes).
+func AxisLoads(vs ...float64) Axis {
+	a := Axis{Name: "load"}
+	for _, v := range vs {
+		v := v
+		if v <= 0 {
+			a.fail("non-positive offered load %g", v)
+		}
+		a.Values = append(a.Values, Val(fmt.Sprintf("%g", v), func(cfg *experiment.Config) {
+			ensureChurn(cfg).Load = v
+		}))
+	}
+	return a
+}
+
+// AxisArrivals sweeps the flow arrival process ("arrivals"): each value is a
+// lifecycle source spec — "poisson:RATE", "mmpp:LO:HI:SOJOURN",
+// "web:SESSIONS:FLOWS:THINK", or "legacy:N". Specs are validated at
+// construction so a typo fails Plan.Validate instead of running defaults
+// under a lying label. The spec string is the cell label (':' is legal in
+// labels; '=' and '/' are not, and no source spec contains them).
+func AxisArrivals(specs ...string) Axis {
+	a := Axis{Name: "arrivals"}
+	for _, s := range specs {
+		s := s
+		if _, err := lifecycle.ParseSource(s); err != nil {
+			a.fail("%v", err)
+		}
+		a.Values = append(a.Values, Val(s, func(cfg *experiment.Config) {
+			ensureChurn(cfg).Arrivals = s
+		}))
+	}
+	return a
+}
+
+// AxisFlowSizes sweeps the transfer-size distribution of dynamic flows
+// ("fsize"): each value is a lifecycle size-dist spec — "fixed:64k",
+// "exp:100k", "pareto:ALPHA:MIN:MAX", or "lognorm:MEDIAN:SIGMA". Validated
+// at construction; the spec string is the cell label.
+func AxisFlowSizes(specs ...string) Axis {
+	a := Axis{Name: "fsize"}
+	for _, s := range specs {
+		s := s
+		if _, err := lifecycle.ParseSizeDist(s); err != nil {
+			a.fail("%v", err)
+		}
+		a.Values = append(a.Values, Val(s, func(cfg *experiment.Config) {
+			ensureChurn(cfg).Size = s
 		}))
 	}
 	return a
@@ -743,6 +836,33 @@ var stockAxes = map[string]axisSpec{
 			}
 			return AxisBytes(n), nil
 		},
+	},
+	"load": specFloat("load", "offered load as a fraction of the bottleneck (e.g. 0.8)", func(vs ...float64) Axis {
+		return AxisLoads(vs...)
+	}),
+	"arrivals": {
+		help: "arrival process spec (poisson:RATE, mmpp:LO:HI:SOJOURN, web:S:F:THINK, legacy:N)",
+		fromAny: func(v any) (Axis, error) {
+			switch x := v.(type) {
+			case string:
+				return AxisArrivals(x), nil
+			default:
+				return Axis{}, fmt.Errorf("arrivals: want string spec, got %T", v)
+			}
+		},
+		fromString: func(s string) (Axis, error) { return AxisArrivals(s), nil },
+	},
+	"fsize": {
+		help: "transfer-size distribution spec (fixed:64k, exp:100k, pareto:A:MIN:MAX, lognorm:MED:SIGMA)",
+		fromAny: func(v any) (Axis, error) {
+			switch x := v.(type) {
+			case string:
+				return AxisFlowSizes(x), nil
+			default:
+				return Axis{}, fmt.Errorf("fsize: want string spec, got %T", v)
+			}
+		},
+		fromString: func(s string) (Axis, error) { return AxisFlowSizes(s), nil },
 	},
 }
 

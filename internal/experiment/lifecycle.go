@@ -1,0 +1,392 @@
+package experiment
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"rsstcp/internal/host"
+	"rsstcp/internal/lifecycle"
+	"rsstcp/internal/packet"
+	"rsstcp/internal/sim"
+	"rsstcp/internal/telemetry"
+)
+
+// ChurnSpec describes a dynamic flow population: an arrival process births
+// flows from a template, each transfers a size drawn from a distribution
+// and detaches on completion. Arrival gaps and sizes come from independent
+// splitmix-derived streams of the run seed, so a churn run is a pure
+// function of (Config, Seed) at any worker count.
+type ChurnSpec struct {
+	// Arrivals is a lifecycle.ParseSource spec — "poisson:100",
+	// "mmpp:20:200:500ms", "web:5:8:2s", or "legacy:N" (default
+	// "poisson:100"). A legacy source expands into N static template
+	// copies at build time and runs the classic path byte-identically.
+	Arrivals string
+	// Load, when > 0, overrides the spec's arrival rate so the offered
+	// load — rate × E[size] — equals this fraction of the template
+	// route's bottleneck rate. Incompatible with legacy sources, which
+	// have no rate.
+	Load float64 `json:",omitempty"`
+	// Size is a lifecycle.ParseSizeDist spec — "fixed:64k", "exp:100k",
+	// "pareto:1.3:10k:10M", "lognorm:100k:1.5" (default "exp:100k").
+	Size string `json:",omitempty"`
+	// Flow is the template each arrival instantiates; Bytes and StartAt
+	// are replaced per arrival (size draw, birth time). OnOff templates
+	// never complete by byte count and so never detach on their own.
+	Flow FlowSpec
+	// MaxLive caps concurrently live dynamic flows; arrivals beyond the
+	// cap are refused and counted in Result.FlowsRefused (0 = unlimited).
+	MaxLive int `json:",omitempty"`
+}
+
+func (c ChurnSpec) withDefaults() ChurnSpec {
+	if c.Arrivals == "" {
+		c.Arrivals = "poisson:100"
+	}
+	if c.Size == "" {
+		c.Size = "exp:100k"
+	}
+	if c.Flow.Alg == "" {
+		c.Flow.Alg = AlgStandard
+	}
+	return c
+}
+
+// legacyCount reports whether spec is a well-formed legacy arrival spec,
+// and its flow count. Config.withDefaults uses it to expand legacy churn
+// statically; malformed specs return false and fail later in initChurn
+// with a real error.
+func legacyCount(spec string) (int, bool) {
+	rest, ok := strings.CutPrefix(spec, "legacy:")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 1 {
+		return 0, false
+	}
+	return n, true
+}
+
+// FlowRecord is one completed dynamic flow: birth and completion times,
+// bytes moved, retransmissions, and the completion-time figures derived
+// from them. Slowdown is the flow's completion time divided by its ideal
+// transfer time (route propagation plus serialization at the route's
+// bottleneck rate) — 1.0 is a perfect network. Class buckets the size for
+// per-class metrics: 0 below 100 kB, 1 below 1 MB, 2 at or above.
+type FlowRecord struct {
+	ID         packet.FlowID
+	Alg        Algorithm
+	Start, End time.Duration
+	Bytes      int64
+	Retrans    int64
+	Slowdown   float64
+	Class      int
+}
+
+// FCT returns the flow's completion time.
+func (r FlowRecord) FCT() time.Duration { return r.End - r.Start }
+
+// Size-class boundaries for FlowRecord.Class.
+const (
+	classMediumBytes = 100_000   // Class 1 at or above
+	classLargeBytes  = 1_000_000 // Class 2 at or above
+)
+
+func sizeClass(bytes int64) int {
+	switch {
+	case bytes >= classLargeBytes:
+		return 2
+	case bytes >= classMediumBytes:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// churnState is the scenario's dynamic-flow machinery.
+type churnState struct {
+	src     lifecycle.FlowSource
+	dist    lifecycle.SizeDist
+	sizeRNG *sim.RNG
+	tmpl    FlowSpec
+	live    []*Flow
+	records []FlowRecord
+	// totals accumulates counters folded out of detached flows, so
+	// Result.Totals covers flows that no longer exist.
+	totals     Totals
+	bytesAcked int64 // goodput folded out of detached flows
+	refused    int64
+	nextID     packet.FlowID
+	// spareNICs parks idle NICs of detached flows by first-hop index;
+	// attach reuses them, so steady-state churn allocates no interfaces.
+	spareNICs map[int][]*host.Interface
+	// Ideal-transfer-time model for Slowdown: route propagation (forward
+	// + reverse) plus serialization at the route's slowest hop.
+	baseRTT time.Duration
+	perByte float64 // seconds per byte at the route's bottleneck
+	stopped bool
+}
+
+// reset clears per-run state but keeps backing arrays warm for the next
+// replicate; the NIC free list is dropped because its interfaces drain
+// into the previous topology's hops.
+func (c *churnState) reset() {
+	c.src, c.dist, c.sizeRNG = nil, nil, nil
+	c.tmpl = FlowSpec{}
+	for i := range c.live {
+		c.live[i] = nil
+	}
+	c.live = c.live[:0]
+	c.records = c.records[:0]
+	c.totals = Totals{}
+	c.bytesAcked, c.refused, c.nextID = 0, 0, 0
+	c.spareNICs = nil
+	c.baseRTT, c.perByte = 0, 0
+	c.stopped = false
+}
+
+func (c *churnState) takeNIC(firstHop int) *host.Interface {
+	list := c.spareNICs[firstHop]
+	if n := len(list); n > 0 {
+		nic := list[n-1]
+		c.spareNICs[firstHop] = list[:n-1]
+		nic.Recycle()
+		return nic
+	}
+	return nil
+}
+
+// add folds another Totals in (used when combining static and churn
+// aggregates).
+func (t *Totals) add(o Totals) {
+	t.Stalls += o.Stalls
+	t.CongSignals += o.CongSignals
+	t.Timeouts += o.Timeouts
+	t.Collapses += o.Collapses
+}
+
+// initChurn validates the churn spec and starts the arrival process on the
+// freshly built scenario (legacy specs were expanded away in withDefaults
+// and never reach here).
+func (s *Scenario) initChurn(cfg Config) error {
+	spec := *cfg.Churn
+	src, err := lifecycle.ParseSource(spec.Arrivals)
+	if err != nil {
+		return err
+	}
+	dist, err := lifecycle.ParseSizeDist(spec.Size)
+	if err != nil {
+		return err
+	}
+	tmpl := spec.Flow
+	if !knownAlg(tmpl.Alg) {
+		return fmt.Errorf("unknown algorithm %q", tmpl.Alg)
+	}
+	first, last, err := tmpl.Route.span(len(s.hops))
+	if err != nil {
+		return err
+	}
+	// Ideal-time model: the slowest hop on the template's route bounds the
+	// rate; propagation is the route's forward delay plus the reverse
+	// delay (symmetric when unset).
+	bottleneck := s.Topo.Hops[first].Rate
+	var fwd time.Duration
+	for i := first; i <= last; i++ {
+		fwd += s.Topo.Hops[i].Delay
+		if r := s.Topo.Hops[i].Rate; r < bottleneck {
+			bottleneck = r
+		}
+	}
+	rev := s.Topo.Reverse.Delay
+	if rev <= 0 {
+		rev = fwd
+	}
+	s.churn.baseRTT = fwd + rev
+	s.churn.perByte = 1 / bottleneck.BytesPerSecond()
+
+	if spec.Load > 0 {
+		if src.Rate() <= 0 {
+			return fmt.Errorf("load %.2f needs a rated arrival process, %q has none", spec.Load, spec.Arrivals)
+		}
+		src = src.WithRate(spec.Load * bottleneck.BytesPerSecond() / dist.Mean())
+	} else if src.Rate() <= 0 {
+		return fmt.Errorf("arrival process %q has no rate; set Load or use a rated source", spec.Arrivals)
+	}
+
+	s.churn.src, s.churn.dist, s.churn.tmpl = src, dist, tmpl
+	s.churn.sizeRNG = sim.NewRNG(lifecycle.StreamSeed(cfg.Seed, lifecycle.SaltSizes))
+	s.churn.spareNICs = map[int][]*host.Interface{}
+	src.Start(s.Eng, sim.NewRNG(lifecycle.StreamSeed(cfg.Seed, lifecycle.SaltArrivals)), s.launchChurnFlow)
+	return nil
+}
+
+func knownAlg(a Algorithm) bool {
+	if a == "" {
+		return true
+	}
+	for _, k := range Algorithms() {
+		if a == k {
+			return true
+		}
+	}
+	return false
+}
+
+// launchChurnFlow is the arrival callback: draw a size, attach a flow.
+func (s *Scenario) launchChurnFlow() {
+	if s.churn.stopped {
+		return
+	}
+	if maxLive := s.Cfg.Churn.MaxLive; maxLive > 0 && len(s.churn.live) >= maxLive {
+		s.churn.refused++
+		return
+	}
+	spec := s.churn.tmpl
+	spec.Bytes = s.churn.dist.Sample(s.churn.sizeRNG)
+	spec.StartAt = 0
+	if _, err := s.AttachFlow(spec); err != nil {
+		// The template was validated at init; a failure here is a
+		// scenario-construction bug, not a configuration error.
+		panic(fmt.Sprintf("experiment: churn attach: %v", err))
+	}
+}
+
+// AttachFlow binds a new dynamic flow to the warm engine mid-run: a fresh
+// sender/receiver pair on the spec's route, workload started immediately.
+// Flows with a positive Bytes run to byte-completion, record a FlowRecord
+// and detach themselves, releasing every timer, queue slot and pooled
+// segment; unbounded or on/off flows live until DetachFlow. The flow does
+// not join Scenario.Flows — static per-flow results and gauges cover only
+// the configured flow list.
+func (s *Scenario) AttachFlow(spec FlowSpec) (*Flow, error) {
+	id := s.churn.nextID
+	f, err := buildFlow(s, spec, id, true)
+	if err != nil {
+		return nil, err
+	}
+	s.churn.nextID++
+	f.liveIdx = len(s.churn.live)
+	s.churn.live = append(s.churn.live, f)
+	f.Sender.OnComplete = func() { s.completeChurnFlow(f) }
+	s.aggValid = false
+	s.FR.Record(s.Eng.Now(), telemetry.KindFlowStart, int32(id), -1,
+		spec.Bytes, int64(len(s.churn.live)))
+	return f, nil
+}
+
+// completeChurnFlow records a finished dynamic flow and tears it down.
+func (s *Scenario) completeChurnFlow(f *Flow) {
+	now := s.Eng.Now()
+	st := f.Sender.Stats().Snapshot(now)
+	fct := now.Sub(f.started)
+	ideal := s.churn.baseRTT.Seconds() + float64(f.Spec.Bytes)*s.churn.perByte
+	rec := FlowRecord{
+		ID:      f.ID,
+		Alg:     f.Spec.Alg,
+		Start:   f.started.Duration(),
+		End:     now.Duration(),
+		Bytes:   f.Spec.Bytes,
+		Retrans: st.SegsRetrans,
+		Class:   sizeClass(f.Spec.Bytes),
+	}
+	if ideal > 0 {
+		rec.Slowdown = fct.Seconds() / ideal
+	}
+	s.churn.records = append(s.churn.records, rec)
+	s.FR.Record(now, telemetry.KindFlowComplete, int32(f.ID), -1,
+		f.Spec.Bytes, int64(fct))
+	s.DetachFlow(f)
+}
+
+// DetachFlow releases a flow's hold on the engine: the RTO and
+// delayed-ACK timers are cancelled, an on/off workload's toggle and pump
+// entries are cancelled, a private RSS controller's ticker stops, and the
+// demux routes are cleared so stray in-flight segments are released back
+// to the pool on arrival. A dynamic flow's counters fold into the churn
+// totals and its private NIC, once idle, is parked for reuse by the next
+// attach. Idempotent; detaching a static (configured) flow stops it
+// without folding, so its Result entry still reads correctly.
+func (s *Scenario) DetachFlow(f *Flow) {
+	if f.detached {
+		return
+	}
+	f.detached = true
+	dynamic := f.liveIdx >= 0
+	if dynamic {
+		now := s.Eng.Now()
+		st := f.Sender.Stats().Snapshot(now)
+		s.churn.totals.Stalls += f.Stalls.Value()
+		s.churn.totals.CongSignals += st.CongSignals
+		s.churn.totals.Timeouts += st.Timeouts
+		s.churn.totals.Collapses += st.LocalCongCwnd
+		s.churn.bytesAcked += st.ThruOctetsAcked
+
+		last := len(s.churn.live) - 1
+		s.churn.live[f.liveIdx] = s.churn.live[last]
+		s.churn.live[f.liveIdx].liveIdx = f.liveIdx
+		s.churn.live[last] = nil
+		s.churn.live = s.churn.live[:last]
+		f.liveIdx = -1
+	}
+	f.Sender.Stop()
+	f.Receiver.Stop()
+	if f.onoff != nil {
+		f.onoff.Stop()
+	}
+	if f.RSS != nil && f.Spec.Host == 0 {
+		f.RSS.Stop()
+	}
+	s.dm.set(f.ID, nil)
+	if s.revDemux != nil {
+		s.revDemux.set(f.ID, nil)
+	}
+	if dynamic && f.Spec.Host == 0 && f.NIC.Idle() {
+		if s.churn.spareNICs == nil {
+			s.churn.spareNICs = map[int][]*host.Interface{}
+		}
+		first, _, _ := f.Spec.Route.span(len(s.hops))
+		s.churn.spareNICs[first] = append(s.churn.spareNICs[first], f.NIC)
+	}
+	s.aggValid = false
+}
+
+// StopChurn halts the arrival process: no further flows are born. Live
+// flows keep running; with finite sizes, letting the engine run on drains
+// them to completion — the leak gates use exactly that.
+func (s *Scenario) StopChurn() {
+	s.churn.stopped = true
+	if s.churn.src != nil {
+		s.churn.src.Stop()
+	}
+}
+
+// LiveFlows reports how many dynamic flows are currently attached.
+func (s *Scenario) LiveFlows() int { return len(s.churn.live) }
+
+// ChurnRefused reports arrivals turned away by ChurnSpec.MaxLive.
+func (s *Scenario) ChurnRefused() int64 { return s.churn.refused }
+
+// SegCounters exposes the scenario-private segment pool's cumulative
+// get/release counters; outside a callback they must balance, which the
+// flow-leak gates assert after churn runs.
+func (s *Scenario) SegCounters() (gets, releases int64) { return s.segs.Counters() }
+
+// churnBytesAcked totals goodput over the dynamic population: bytes folded
+// out of detached flows plus live flows' acknowledged bytes.
+func (s *Scenario) churnBytesAcked(now sim.Time) int64 {
+	total := s.churn.bytesAcked
+	for _, f := range s.churn.live {
+		total += f.Sender.Stats().Snapshot(now).ThruOctetsAcked
+	}
+	return total
+}
+
+// IdealTransferTime is the Slowdown denominator for a dynamic flow of the
+// given size: route propagation plus serialization at the route's
+// bottleneck rate.
+func (s *Scenario) IdealTransferTime(bytes int64) time.Duration {
+	return s.churn.baseRTT + time.Duration(float64(bytes)*s.churn.perByte*float64(time.Second))
+}

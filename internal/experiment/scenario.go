@@ -181,6 +181,14 @@ type Config struct {
 	// Flows to run; Flows[0] is the measured flow. Empty means one
 	// standard flow.
 	Flows []FlowSpec
+	// Churn, when non-nil, adds dynamic flows on top of Flows: an arrival
+	// process births flows from a template spec, each runs to
+	// byte-completion (size drawn from a distribution) and detaches,
+	// leaving a FlowRecord in Result.Flows. A "legacy:N" arrival spec
+	// expands into N static template copies at build time — byte-identical
+	// to listing them in Flows — and with Churn set, Flows may be empty or
+	// all-cross: no default measured flow is injected.
+	Churn *ChurnSpec `json:",omitempty"`
 	// Duration ends the run (default 25 s, the span of Figure 1).
 	Duration time.Duration
 	// Sample is the gauge sampling period (default 100 ms).
@@ -204,11 +212,31 @@ type Config struct {
 
 func (c Config) withDefaults() Config {
 	c.Path = c.Path.withDefaults()
+	if c.Churn != nil {
+		churn := c.Churn.withDefaults()
+		c.Churn = &churn
+		// The legacy source is static by definition: expand it into
+		// template copies in Flows and drop the churn spec entirely, so
+		// the classic build path runs and the output is byte-identical to
+		// a hand-written N-flow configuration. Unparseable specs fall
+		// through for initChurn to report.
+		if n, ok := legacyCount(churn.Arrivals); ok {
+			for i := 0; i < n; i++ {
+				c.Flows = append(c.Flows, churn.Flow)
+			}
+			c.Churn = nil
+		}
+	}
 	if len(c.Flows) == 0 {
-		c.Flows = []FlowSpec{{Alg: AlgStandard}}
+		// A churn-only run measures its dynamic flows; only a fully static
+		// empty config gets the default measured flow.
+		if c.Churn == nil {
+			c.Flows = []FlowSpec{{Alg: AlgStandard}}
+		}
 	} else {
 		// Cross traffic alone (e.g. a topology preset applied before any
-		// flow axis) still needs a measured flow in front.
+		// flow axis) still needs a measured flow in front — unless churn
+		// provides the measured (dynamic) flows.
 		primary := false
 		for _, f := range c.Flows {
 			if !f.Cross {
@@ -216,7 +244,7 @@ func (c Config) withDefaults() Config {
 				break
 			}
 		}
-		if !primary {
+		if !primary && c.Churn == nil {
 			c.Flows = append([]FlowSpec{{Alg: AlgStandard}}, c.Flows...)
 		}
 	}
@@ -242,6 +270,14 @@ type Flow struct {
 	// RSS is non-nil for AlgRestricted.
 	RSS    *core.RestrictedSlowStart
 	Stalls *trace.Counter
+
+	// Lifecycle bookkeeping: birth time, the on/off source to stop at
+	// detach, the flow's slot in the live churn set (-1 for static flows)
+	// and whether it has been detached.
+	started  sim.Time
+	onoff    *workload.OnOff
+	liveIdx  int
+	detached bool
 }
 
 // builtHop is one assembled forward hop: the ingress chain (loss → reorder →
@@ -305,6 +341,12 @@ type Scenario struct {
 	hosts      map[int]*host.Interface           // shared NICs by FlowSpec.Host
 	hostEntry  map[int]int                       // shared NICs' first-hop index
 	rssByHost  map[int]*core.RestrictedSlowStart // shared controllers by FlowSpec.Host
+
+	// churn is the dynamic-flow machinery (Cfg.Churn != nil): arrival
+	// source, size stream, live set and completed-flow records. Its nextID
+	// counter is live even without churn so manual AttachFlow works on any
+	// scenario.
+	churn churnState
 
 	// Cross-flow aggregate cache, keyed by the virtual time it was
 	// computed at, so repeated ResultFor calls after a run stay O(flows)
@@ -382,6 +424,7 @@ func (s *Scenario) Reset(cfg Config) error {
 	s.revLink, s.revQ, s.revDemux = nil, nil, nil
 	s.drops, s.revDrops = 0, 0
 	s.aggValid, s.aggTps, s.aggStats = false, nil, nil
+	s.churn.reset()
 	s.FR.Reset()
 	return s.init(cfg)
 }
@@ -493,11 +536,17 @@ func (s *Scenario) init(cfg Config) error {
 
 	for i, spec := range cfg.Flows {
 		id := packet.FlowID(i + 1)
-		flow, err := buildFlow(s, spec, id, dm)
+		flow, err := buildFlow(s, spec, id, false)
 		if err != nil {
 			return fmt.Errorf("experiment: flow %d: %w", i, err)
 		}
 		s.Flows = append(s.Flows, flow)
+	}
+	s.churn.nextID = packet.FlowID(len(cfg.Flows) + 1)
+	if cfg.Churn != nil {
+		if err := s.initChurn(cfg); err != nil {
+			return fmt.Errorf("experiment: churn: %w", err)
+		}
 	}
 
 	// Scenario-global gauge: cumulative bottleneck utilization, sampled so
@@ -548,9 +597,16 @@ func (s *Scenario) setExit(id packet.FlowID, last int) {
 	s.exitHop[id] = last
 }
 
-func buildFlow(s *Scenario, spec FlowSpec, id packet.FlowID, dm *demux) (*Flow, error) {
+// buildFlow wires one sender/receiver pair into the scenario. Static flows
+// (dynamic=false) register traced gauges and start their workload at
+// StartAt; dynamic flows — churn arrivals attached mid-run — recycle idle
+// NICs from earlier detaches, keep their stall counter anonymous (a
+// short-lived flow must not grow the recorder's series set), and start
+// their workload synchronously at attach time.
+func buildFlow(s *Scenario, spec FlowSpec, id packet.FlowID, dynamic bool) (*Flow, error) {
 	eng := s.Eng
 	cfg := s.Cfg
+	dm := s.dm
 
 	first, last, err := spec.Route.span(len(s.hops))
 	if err != nil {
@@ -576,6 +632,9 @@ func buildFlow(s *Scenario, spec FlowSpec, id packet.FlowID, dm *demux) (*Flow, 
 				spec.Host, s.hostEntry[spec.Host], first)
 		}
 	}
+	if nic == nil && dynamic && spec.Host == 0 {
+		nic = s.churn.takeNIC(first)
+	}
 	if nic == nil {
 		nic = host.NewInterface(eng, host.InterfaceConfig{
 			Rate:       cfg.Path.NICRate,
@@ -587,7 +646,7 @@ func buildFlow(s *Scenario, spec FlowSpec, id packet.FlowID, dm *demux) (*Flow, 
 		}
 	}
 
-	flow := &Flow{Spec: spec, ID: id, NIC: nic}
+	flow := &Flow{Spec: spec, ID: id, NIC: nic, started: eng.Now(), liveIdx: -1}
 
 	ctrl, err := buildController(s, spec, nic, flow)
 	if err != nil {
@@ -622,7 +681,7 @@ func buildFlow(s *Scenario, spec FlowSpec, id packet.FlowID, dm *demux) (*Flow, 
 
 	flow.Sender = tcp.NewSender(eng, tcpCfg, id, ctrl, nic)
 	flow.Sender.SetFlightRecorder(s.FR)
-	if s.Rec.Enabled() {
+	if s.Rec.Enabled() && !dynamic {
 		flow.Stalls = trace.NewCounter(s.Rec, fmt.Sprintf("stalls/%d", id))
 
 		// Gauges for this flow.
@@ -642,20 +701,26 @@ func buildFlow(s *Scenario, spec FlowSpec, id packet.FlowID, dm *demux) (*Flow, 
 	}
 	flow.Sender.OnStall = flow.Stalls.Inc
 
-	// Workload.
-	start := spec.StartAt
-	eng.Schedule(sim.At(start), func() {
+	// Workload: dynamic flows start at attach time (now), static flows at
+	// their configured StartAt.
+	startWorkload := func() {
 		switch {
 		case spec.OnOff != nil:
 			src := workload.NewOnOff(eng, flow.Sender,
 				spec.OnOff.On, spec.OnOff.Off, spec.OnOff.Rate, int64(tcpCfg.MSS))
+			flow.onoff = src
 			src.Start()
 		case spec.Bytes > 0:
 			workload.Bulk(flow.Sender, spec.Bytes)
 		default:
 			workload.Unbounded(flow.Sender)
 		}
-	})
+	}
+	if dynamic {
+		startWorkload()
+	} else {
+		eng.Schedule(sim.At(spec.StartAt), startWorkload)
+	}
 	return flow, nil
 }
 
@@ -751,6 +816,13 @@ type Result struct {
 	// ReverseDrops counts ACKs refused by the reverse channel's queue
 	// (always zero on the ideal pure-delay reverse wire).
 	ReverseDrops int64
+	// Flows lists every completed dynamic (churn) flow in completion
+	// order; empty for static runs, so legacy exports are unchanged.
+	Flows []FlowRecord `json:",omitempty"`
+	// FlowsActive counts dynamic flows still live when the run ended.
+	FlowsActive int `json:",omitempty"`
+	// FlowsRefused counts arrivals turned away by ChurnSpec.MaxLive.
+	FlowsRefused int64 `json:",omitempty"`
 	// Series exposes the recorder for figure generation.
 	Rec *trace.Recorder
 }
@@ -771,9 +843,16 @@ func (s *Scenario) Run() Result {
 }
 
 func (s *Scenario) resultFor(i int) Result {
-	f := s.Flows[i]
 	now := s.Eng.Now()
-	st := f.Sender.Stats().Snapshot(now)
+	// Per-flow figures come from the indexed static flow; a churn-only run
+	// has none, so those fields describe the dynamic population instead
+	// (template algorithm, aggregate goodput, zero Web100 snapshot).
+	var f *Flow
+	if i < len(s.Flows) {
+		f = s.Flows[i]
+	} else if i > 0 || len(s.Flows) > 0 {
+		panic(fmt.Sprintf("experiment: no flow %d", i))
+	}
 	var injected int64
 	hops := make([]HopStats, len(s.hops))
 	for hi := range s.hops {
@@ -797,17 +876,17 @@ func (s *Scenario) resultFor(i int) Result {
 		hops[hi] = hs
 	}
 	tps, flowStats, totals := s.flowAggregates(now)
+	if s.Cfg.Churn != nil {
+		// The dynamic population appears as one aggregate goodput entry, so
+		// cross-flow metrics (throughput sums, fairness) see churn traffic.
+		tps = append(tps, unit.Throughput(unit.ByteSize(s.churnBytesAcked(now)), now.Duration()))
+	}
 	bn := s.bottleneck(now)
 	t90 := time.Duration(-1)
 	if at, ok := bn.UtilizationReachedAt(); ok {
 		t90 = at.Duration()
 	}
-	return Result{
-		Alg:             f.Spec.Alg,
-		Stats:           st,
-		Throughput:      st.Throughput(now),
-		Stalls:          f.Stalls.Value(),
-		NIC:             f.NIC.Stats(),
+	res := Result{
 		Utilization:     bn.Utilization(now),
 		RouterDrops:     s.drops,
 		InjectedDrops:   injected,
@@ -818,8 +897,25 @@ func (s *Scenario) resultFor(i int) Result {
 		TimeToUtil90:    t90,
 		Hops:            hops,
 		ReverseDrops:    s.revDrops,
+		FlowsActive:     len(s.churn.live),
+		FlowsRefused:    s.churn.refused,
 		Rec:             s.Rec,
 	}
+	if len(s.churn.records) > 0 {
+		res.Flows = append([]FlowRecord(nil), s.churn.records...)
+	}
+	if f != nil {
+		st := f.Sender.Stats().Snapshot(now)
+		res.Alg = f.Spec.Alg
+		res.Stats = st
+		res.Throughput = st.Throughput(now)
+		res.Stalls = f.Stalls.Value()
+		res.NIC = f.NIC.Stats()
+	} else {
+		res.Alg = s.churn.tmpl.Alg
+		res.Throughput = unit.Throughput(unit.ByteSize(s.churnBytesAcked(now)), now.Duration())
+	}
+	return res
 }
 
 // flowAggregates computes (and caches per virtual time) the cross-flow
@@ -834,6 +930,16 @@ func (s *Scenario) flowAggregates(now sim.Time) ([]unit.Bandwidth, []web100.Stat
 			fst := fl.Sender.Stats().Snapshot(now)
 			tps[j] = fst.Throughput(now)
 			stats[j] = fst
+			totals.Stalls += fl.Stalls.Value()
+			totals.CongSignals += fst.CongSignals
+			totals.Timeouts += fst.Timeouts
+			totals.Collapses += fst.LocalCongCwnd
+		}
+		// Dynamic flows contribute too: detached ones were folded into the
+		// churn totals at teardown, live ones are snapshotted here.
+		totals.add(s.churn.totals)
+		for _, fl := range s.churn.live {
+			fst := fl.Sender.Stats().Snapshot(now)
 			totals.Stalls += fl.Stalls.Value()
 			totals.CongSignals += fst.CongSignals
 			totals.Timeouts += fst.Timeouts

@@ -189,6 +189,25 @@ func (i *Interface) AvgOccupancy() float64 {
 	return i.occWeight / float64(now)
 }
 
+// Idle reports whether the NIC has nothing in flight and an empty IFQ —
+// the precondition for recycling it to a new flow.
+func (i *Interface) Idle() bool { return !i.busy && i.queue.Len() == 0 }
+
+// Recycle prepares an idle NIC for reuse by a new flow: wakers armed by a
+// previous owner are dropped and the counters restart from zero, so the
+// new owner observes a NIC indistinguishable from a fresh one (the drain
+// destination is fixed at construction and carries over). Recycling a
+// non-idle NIC panics — a busy transmit callback must drain first.
+func (i *Interface) Recycle() {
+	if !i.Idle() {
+		panic("host: Recycle on a non-idle interface")
+	}
+	i.wakers = i.wakers[:0]
+	i.stats = InterfaceStats{}
+	i.accumulateOccupancy()
+	i.occWeight = 0
+}
+
 // Stats returns a copy of the NIC counters.
 func (i *Interface) Stats() InterfaceStats { return i.stats }
 

@@ -1,0 +1,234 @@
+package lifecycle
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"rsstcp/internal/sim"
+)
+
+func TestStreamSeedIndependence(t *testing.T) {
+	if StreamSeed(1, SaltArrivals) == StreamSeed(1, SaltSizes) {
+		t.Fatal("salts must derive distinct streams")
+	}
+	if StreamSeed(1, SaltArrivals) == StreamSeed(2, SaltArrivals) {
+		t.Fatal("seeds must derive distinct streams")
+	}
+	if StreamSeed(7, SaltSizes) != StreamSeed(7, SaltSizes) {
+		t.Fatal("derivation must be deterministic")
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]float64{
+		"1000": 1000, "64k": 64e3, "1.5M": 1.5e6, "2G": 2e9, "10K": 10e3,
+	}
+	for in, want := range cases {
+		got, err := parseSize(in)
+		if err != nil || got != want {
+			t.Errorf("parseSize(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseSize("x12"); err == nil {
+		t.Error("parseSize(x12) should fail")
+	}
+}
+
+func TestSizeDistMeans(t *testing.T) {
+	dists := []SizeDist{
+		Fixed{Bytes: 64000},
+		Exponential{MeanBytes: 100e3},
+		BoundedPareto{Alpha: 1.3, Min: 10e3, Max: 10e6},
+		BoundedPareto{Alpha: 1, Min: 10e3, Max: 10e6},
+		Lognormal{Median: 100e3, Sigma: 1},
+	}
+	for _, d := range dists {
+		rng := sim.NewRNG(42)
+		const n = 200000
+		var sum float64
+		for i := 0; i < n; i++ {
+			s := d.Sample(rng)
+			if s < 1 {
+				t.Fatalf("%s: sample %d < 1 byte", d.Label(), s)
+			}
+			sum += float64(s)
+		}
+		got := sum / n
+		want := d.Mean()
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("%s: empirical mean %.0f vs analytic %.0f", d.Label(), got, want)
+		}
+	}
+}
+
+func TestBoundedParetoBounds(t *testing.T) {
+	d := BoundedPareto{Alpha: 1.3, Min: 10e3, Max: 10e6}
+	rng := sim.NewRNG(7)
+	for i := 0; i < 100000; i++ {
+		s := d.Sample(rng)
+		if float64(s) < d.Min || float64(s) > d.Max {
+			t.Fatalf("sample %d outside [%v, %v]", s, d.Min, d.Max)
+		}
+	}
+}
+
+func TestParseSizeDistRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"fixed:64k", "exp:100k", "pareto:1.3:10k:10M", "lognorm:100k:1.5",
+	} {
+		d, err := ParseSizeDist(spec)
+		if err != nil {
+			t.Fatalf("ParseSizeDist(%q): %v", spec, err)
+		}
+		d2, err := ParseSizeDist(d.Label())
+		if err != nil {
+			t.Fatalf("label %q does not re-parse: %v", d.Label(), err)
+		}
+		if d2.Label() != d.Label() {
+			t.Errorf("label not stable: %q -> %q", d.Label(), d2.Label())
+		}
+	}
+	for _, bad := range []string{
+		"", "zipf:2", "fixed", "fixed:0", "exp:-1", "pareto:1.3:10k",
+		"pareto:0:1:2", "pareto:1.3:10M:10k", "lognorm:100k:-1",
+	} {
+		if _, err := ParseSizeDist(bad); err == nil {
+			t.Errorf("ParseSizeDist(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseSourceRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"poisson:100", "mmpp:20:200:500ms", "web:5:8:2s", "legacy:4",
+	} {
+		s, err := ParseSource(spec)
+		if err != nil {
+			t.Fatalf("ParseSource(%q): %v", spec, err)
+		}
+		if s.Label() != spec {
+			t.Errorf("label %q != spec %q", s.Label(), spec)
+		}
+	}
+	for _, bad := range []string{
+		"", "uniform:3", "poisson", "poisson:0", "mmpp:20:200",
+		"mmpp:0:1:1s", "mmpp:1:1:0s", "web:5:0:1s", "web:5:8:junk", "legacy:0",
+	} {
+		if _, err := ParseSource(bad); err == nil {
+			t.Errorf("ParseSource(%q) should fail", bad)
+		}
+	}
+}
+
+// runSource counts launches over a simulated window.
+func runSource(src FlowSource, seed uint64, window time.Duration) int {
+	eng := sim.NewEngine()
+	n := 0
+	src.Start(eng, sim.NewRNG(seed), func() { n++ })
+	eng.RunUntil(sim.At(window))
+	src.Stop()
+	return n
+}
+
+func TestPoissonRate(t *testing.T) {
+	n := runSource(NewPoisson(200), 1, 100*time.Second)
+	if want := 200 * 100; math.Abs(float64(n-want))/float64(want) > 0.05 {
+		t.Errorf("got %d arrivals, want ~%d", n, want)
+	}
+}
+
+func TestMMPPRate(t *testing.T) {
+	src := NewMMPP(20, 200, 500*time.Millisecond)
+	if src.Rate() != 110 {
+		t.Fatalf("Rate() = %v, want 110", src.Rate())
+	}
+	n := runSource(src, 1, 200*time.Second)
+	if want := 110 * 200; math.Abs(float64(n-want))/float64(want) > 0.10 {
+		t.Errorf("got %d arrivals, want ~%d", n, want)
+	}
+}
+
+func TestWebSessionRate(t *testing.T) {
+	src := NewWebSession(5, 8, 2*time.Second)
+	if src.Rate() != 40 {
+		t.Fatalf("Rate() = %v, want 40", src.Rate())
+	}
+	n := runSource(src, 1, 200*time.Second)
+	// The tail of the window holds sessions mid-chain, so expect slightly
+	// under the long-run rate.
+	if want := 40 * 200; math.Abs(float64(n-want))/float64(want) > 0.10 {
+		t.Errorf("got %d arrivals, want ~%d", n, want)
+	}
+}
+
+func TestLegacyLaunchesSynchronously(t *testing.T) {
+	eng := sim.NewEngine()
+	n := 0
+	NewLegacy(7).Start(eng, sim.NewRNG(1), func() { n++ })
+	if n != 7 {
+		t.Fatalf("legacy launched %d flows at Start, want 7", n)
+	}
+	if eng.Pending() != 0 {
+		t.Fatalf("legacy left %d calendar entries", eng.Pending())
+	}
+}
+
+func TestWithRate(t *testing.T) {
+	for _, src := range []FlowSource{
+		NewPoisson(100),
+		NewMMPP(20, 200, 500*time.Millisecond),
+		NewWebSession(5, 8, 2*time.Second),
+	} {
+		scaled := src.WithRate(55)
+		if math.Abs(scaled.Rate()-55) > 1e-9 {
+			t.Errorf("%s: WithRate(55).Rate() = %v", src.Label(), scaled.Rate())
+		}
+	}
+}
+
+// TestStopLeavesCleanCalendar pins the teardown invariant: a stopped
+// source cancels every pending entry it owns, and the pool accounts for
+// all of them.
+func TestStopLeavesCleanCalendar(t *testing.T) {
+	sources := []FlowSource{
+		NewPoisson(100),
+		NewMMPP(20, 200, 500*time.Millisecond),
+		NewWebSession(5, 8, 2*time.Second),
+	}
+	for _, src := range sources {
+		eng := sim.NewEngine()
+		src.Start(eng, sim.NewRNG(3), func() {})
+		eng.RunUntil(sim.At(5 * time.Second))
+		src.Stop()
+		if got := eng.Pending(); got != 0 {
+			t.Errorf("%s: %d calendar entries survive Stop", src.Label(), got)
+		}
+		if got := eng.Leaked(); got != 0 {
+			t.Errorf("%s: %d pool entries leaked after Stop", src.Label(), got)
+		}
+	}
+}
+
+// TestSourceDeterminism pins that arrival times are a pure function of
+// (config, seed).
+func TestSourceDeterminism(t *testing.T) {
+	trace := func() []sim.Time {
+		eng := sim.NewEngine()
+		src := NewMMPP(20, 200, 500*time.Millisecond)
+		var ts []sim.Time
+		src.Start(eng, sim.NewRNG(9), func() { ts = append(ts, eng.Now()) })
+		eng.RunUntil(sim.At(10 * time.Second))
+		src.Stop()
+		return ts
+	}
+	a, b := trace(), trace()
+	if len(a) != len(b) {
+		t.Fatalf("arrival counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

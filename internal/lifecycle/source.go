@@ -1,0 +1,436 @@
+package lifecycle
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"rsstcp/internal/sim"
+)
+
+// FlowSource is an arrival process: Start schedules flow births on the
+// engine, invoking launch once per arrival, until Stop. Implementations
+// draw gaps only from the RNG they are started with, keep at most a
+// handful of live calendar entries, and cancel every one of them in Stop —
+// a stopped source leaves the calendar exactly as it found it.
+//
+// Rate reports the long-run arrival rate in flows/sec; WithRate returns a
+// copy rescaled to the given rate (the load axis uses it to convert an
+// offered-load fraction into arrivals). Label is the canonical spec string
+// accepted by ParseSource.
+type FlowSource interface {
+	Start(eng *sim.Engine, rng *sim.RNG, launch func())
+	Stop()
+	Rate() float64
+	WithRate(r float64) FlowSource
+	Label() string
+}
+
+// expGap converts a mean-1 exponential draw into a calendar gap at the
+// given rate (events/sec), saturating instead of overflowing for
+// pathologically small rates.
+func expGap(rng *sim.RNG, perSecond float64) sim.Duration {
+	gap := rng.ExpFloat64() / perSecond * float64(time.Second)
+	if gap > float64(1<<62) {
+		return 1 << 62
+	}
+	return sim.Duration(gap)
+}
+
+// Poisson is a memoryless arrival process: independent exponential gaps at
+// PerSecond flows/sec.
+type Poisson struct {
+	PerSecond float64
+
+	eng     *sim.Engine
+	rng     *sim.RNG
+	launch  func()
+	ev      sim.Event
+	stopped bool
+	fire    func()
+}
+
+// NewPoisson returns a Poisson source at the given rate (flows/sec).
+func NewPoisson(perSecond float64) *Poisson {
+	if perSecond <= 0 {
+		panic("lifecycle: Poisson rate must be positive")
+	}
+	return &Poisson{PerSecond: perSecond}
+}
+
+// Start schedules the first arrival one drawn gap from now.
+func (p *Poisson) Start(eng *sim.Engine, rng *sim.RNG, launch func()) {
+	p.eng, p.rng, p.launch, p.stopped = eng, rng, launch, false
+	p.fire = p.arrive
+	p.ev = eng.ScheduleAfter(expGap(rng, p.PerSecond), p.fire)
+}
+
+func (p *Poisson) arrive() {
+	if p.stopped {
+		return
+	}
+	p.launch()
+	p.ev = p.eng.ScheduleAfter(expGap(p.rng, p.PerSecond), p.fire)
+}
+
+// Stop cancels the pending arrival; no further launches occur.
+func (p *Poisson) Stop() {
+	if p.stopped || p.eng == nil {
+		return
+	}
+	p.stopped = true
+	p.eng.Cancel(p.ev)
+}
+
+// Rate returns the arrival rate in flows/sec.
+func (p *Poisson) Rate() float64 { return p.PerSecond }
+
+// WithRate returns a fresh Poisson source at the given rate.
+func (p *Poisson) WithRate(r float64) FlowSource { return NewPoisson(r) }
+
+// Label returns the canonical spec, e.g. "poisson:100".
+func (p *Poisson) Label() string { return "poisson:" + formatFloat(p.PerSecond) }
+
+// MMPP is a two-phase Markov-modulated Poisson process: arrivals are
+// Poisson at Lo or Hi flows/sec depending on the current phase, and the
+// phase flips after exponentially distributed sojourns with mean Sojourn.
+// It produces the bursty arrival patterns Poisson cannot — quiet stretches
+// punctuated by arrival storms — while staying fully deterministic per
+// seed.
+type MMPP struct {
+	Lo, Hi  float64
+	Sojourn sim.Duration
+
+	eng        *sim.Engine
+	rng        *sim.RNG
+	launch     func()
+	ev         sim.Event
+	stopped    bool
+	fire       func()
+	phaseHi    bool
+	phaseUntil sim.Time
+}
+
+// NewMMPP returns a two-phase MMPP source. Both rates must be positive and
+// the mean sojourn nonzero.
+func NewMMPP(lo, hi float64, sojourn sim.Duration) *MMPP {
+	if lo <= 0 || hi <= 0 {
+		panic("lifecycle: MMPP rates must be positive")
+	}
+	if sojourn <= 0 {
+		panic("lifecycle: MMPP sojourn must be positive")
+	}
+	return &MMPP{Lo: lo, Hi: hi, Sojourn: sojourn}
+}
+
+// Start begins in the low phase with a freshly drawn sojourn.
+func (m *MMPP) Start(eng *sim.Engine, rng *sim.RNG, launch func()) {
+	m.eng, m.rng, m.launch, m.stopped = eng, rng, launch, false
+	m.fire = m.arrive
+	m.phaseHi = false
+	m.phaseUntil = eng.Now().Add(expGap(rng, m.flipRate()))
+	m.schedule()
+}
+
+func (m *MMPP) flipRate() float64 { return 1 / m.Sojourn.Seconds() }
+
+func (m *MMPP) phaseRate() float64 {
+	if m.phaseHi {
+		return m.Hi
+	}
+	return m.Lo
+}
+
+// schedule draws the next arrival, walking phase boundaries as it goes.
+// Crossing a boundary discards the partial gap and redraws at the new
+// phase's rate — valid because exponential gaps are memoryless.
+func (m *MMPP) schedule() {
+	now := m.eng.Now()
+	for {
+		at := now.Add(expGap(m.rng, m.phaseRate()))
+		if at <= m.phaseUntil {
+			m.ev = m.eng.Schedule(at, m.fire)
+			return
+		}
+		now = m.phaseUntil
+		m.phaseHi = !m.phaseHi
+		m.phaseUntil = now.Add(expGap(m.rng, m.flipRate()))
+	}
+}
+
+func (m *MMPP) arrive() {
+	if m.stopped {
+		return
+	}
+	m.launch()
+	m.schedule()
+}
+
+// Stop cancels the pending arrival; no further launches occur.
+func (m *MMPP) Stop() {
+	if m.stopped || m.eng == nil {
+		return
+	}
+	m.stopped = true
+	m.eng.Cancel(m.ev)
+}
+
+// Rate returns the long-run average arrival rate: the phases have equal
+// mean sojourn, so the process spends half its time in each.
+func (m *MMPP) Rate() float64 { return (m.Lo + m.Hi) / 2 }
+
+// WithRate returns a fresh MMPP with both phase rates scaled so the
+// average hits r; the burstiness ratio Hi/Lo and the sojourn are kept.
+func (m *MMPP) WithRate(r float64) FlowSource {
+	scale := r / m.Rate()
+	return NewMMPP(m.Lo*scale, m.Hi*scale, m.Sojourn)
+}
+
+// Label returns the canonical spec, e.g. "mmpp:20:200:500ms".
+func (m *MMPP) Label() string {
+	return fmt.Sprintf("mmpp:%s:%s:%s",
+		formatFloat(m.Lo), formatFloat(m.Hi), time.Duration(m.Sojourn))
+}
+
+// WebSession models on/off web-style traffic: sessions arrive Poisson at
+// SessionsPerSec, and each session issues FlowsPerSession flows separated
+// by exponential think times with mean Think. Many sessions overlap, so
+// the instantaneous arrival rate swings with session activity.
+type WebSession struct {
+	SessionsPerSec  float64
+	FlowsPerSession int
+	Think           sim.Duration
+
+	eng     *sim.Engine
+	rng     *sim.RNG
+	launch  func()
+	ev      sim.Event
+	stopped bool
+	fire    func()
+	chains  []*webChain
+	spare   []*webChain
+}
+
+// webChain is one live session's pending-flow state: its next scheduled
+// flow and how many remain after it.
+type webChain struct {
+	src       *WebSession
+	remaining int
+	ev        sim.Event
+	idx       int
+	fire      func()
+}
+
+// NewWebSession returns a web-session source.
+func NewWebSession(sessionsPerSec float64, flowsPerSession int, think sim.Duration) *WebSession {
+	if sessionsPerSec <= 0 {
+		panic("lifecycle: session rate must be positive")
+	}
+	if flowsPerSession < 1 {
+		panic("lifecycle: flows per session must be ≥ 1")
+	}
+	if think <= 0 {
+		panic("lifecycle: think time must be positive")
+	}
+	return &WebSession{SessionsPerSec: sessionsPerSec, FlowsPerSession: flowsPerSession, Think: think}
+}
+
+// Start schedules the first session arrival one drawn gap from now.
+func (w *WebSession) Start(eng *sim.Engine, rng *sim.RNG, launch func()) {
+	w.eng, w.rng, w.launch, w.stopped = eng, rng, launch, false
+	w.fire = w.session
+	w.chains = w.chains[:0]
+	w.ev = eng.ScheduleAfter(expGap(rng, w.SessionsPerSec), w.fire)
+}
+
+// session fires on each session arrival: the first flow launches
+// immediately, the rest follow as an independent think-time chain.
+func (w *WebSession) session() {
+	if w.stopped {
+		return
+	}
+	w.launch()
+	if w.FlowsPerSession > 1 {
+		c := w.getChain()
+		c.remaining = w.FlowsPerSession - 1
+		c.ev = w.eng.ScheduleAfter(expGap(w.rng, 1/w.Think.Seconds()), c.fire)
+	}
+	w.ev = w.eng.ScheduleAfter(expGap(w.rng, w.SessionsPerSec), w.fire)
+}
+
+func (w *WebSession) getChain() *webChain {
+	var c *webChain
+	if n := len(w.spare); n > 0 {
+		c, w.spare = w.spare[n-1], w.spare[:n-1]
+	} else {
+		c = &webChain{src: w}
+		c.fire = c.step
+	}
+	c.idx = len(w.chains)
+	w.chains = append(w.chains, c)
+	return c
+}
+
+// dropChain swap-removes a finished chain and parks it for reuse.
+func (w *WebSession) dropChain(c *webChain) {
+	last := len(w.chains) - 1
+	w.chains[c.idx] = w.chains[last]
+	w.chains[c.idx].idx = c.idx
+	w.chains = w.chains[:last]
+	w.spare = append(w.spare, c)
+}
+
+func (c *webChain) step() {
+	w := c.src
+	if w.stopped {
+		return
+	}
+	w.launch()
+	c.remaining--
+	if c.remaining == 0 {
+		w.dropChain(c)
+		return
+	}
+	c.ev = w.eng.ScheduleAfter(expGap(w.rng, 1/w.Think.Seconds()), c.fire)
+}
+
+// Stop cancels the session arrival and every live chain's pending flow.
+func (w *WebSession) Stop() {
+	if w.stopped || w.eng == nil {
+		return
+	}
+	w.stopped = true
+	w.eng.Cancel(w.ev)
+	for _, c := range w.chains {
+		w.eng.Cancel(c.ev)
+		w.spare = append(w.spare, c)
+	}
+	w.chains = w.chains[:0]
+}
+
+// Rate returns the long-run flow arrival rate: sessions/sec × flows each.
+func (w *WebSession) Rate() float64 {
+	return w.SessionsPerSec * float64(w.FlowsPerSession)
+}
+
+// WithRate returns a fresh source with the session rate scaled so the
+// aggregate flow rate hits r; flows per session and think time are kept.
+func (w *WebSession) WithRate(r float64) FlowSource {
+	return NewWebSession(r/float64(w.FlowsPerSession), w.FlowsPerSession, w.Think)
+}
+
+// Label returns the canonical spec, e.g. "web:5:8:2s".
+func (w *WebSession) Label() string {
+	return fmt.Sprintf("web:%s:%d:%s",
+		formatFloat(w.SessionsPerSec), w.FlowsPerSession, time.Duration(w.Think))
+}
+
+// Legacy is the fixed-count source: exactly N flows, all born at start.
+// The experiment layer special-cases it — a legacy churn spec expands into
+// the static flow list before the scenario is built, so its output is
+// byte-identical to a hand-written N-flow configuration. Used directly as
+// a FlowSource it launches N flows synchronously at Start.
+type Legacy struct {
+	N       int
+	stopped bool
+}
+
+// NewLegacy returns a fixed-count source.
+func NewLegacy(n int) *Legacy {
+	if n < 1 {
+		panic("lifecycle: legacy flow count must be ≥ 1")
+	}
+	return &Legacy{N: n}
+}
+
+// Start launches all N flows immediately.
+func (l *Legacy) Start(eng *sim.Engine, rng *sim.RNG, launch func()) {
+	l.stopped = false
+	for i := 0; i < l.N && !l.stopped; i++ {
+		launch()
+	}
+}
+
+// Stop halts any remaining synchronous launches; there are no calendar
+// entries to cancel.
+func (l *Legacy) Stop() { l.stopped = true }
+
+// Rate is 0: a fixed count has no arrival rate, so the load axis rejects
+// legacy sources.
+func (l *Legacy) Rate() float64 { return 0 }
+
+// WithRate returns the source unchanged; callers that need a rate must
+// validate Rate() > 0 first.
+func (l *Legacy) WithRate(float64) FlowSource { return l }
+
+// Label returns the canonical spec, e.g. "legacy:4".
+func (l *Legacy) Label() string { return "legacy:" + strconv.Itoa(l.N) }
+
+// ParseSource builds a FlowSource from its colon-separated spec:
+//
+//	poisson:RATE            memoryless arrivals at RATE flows/sec
+//	mmpp:LO:HI:SOJOURN      two-phase bursty arrivals (e.g. mmpp:20:200:500ms)
+//	web:SESSIONS:FLOWS:THINK  web sessions (e.g. web:5:8:2s)
+//	legacy:N                N static flows, byte-identical to a hand-written list
+func ParseSource(spec string) (FlowSource, error) {
+	parts := strings.Split(spec, ":")
+	bad := func(format string, args ...any) (FlowSource, error) {
+		return nil, fmt.Errorf("arrival spec %q: %s", spec, fmt.Sprintf(format, args...))
+	}
+	switch parts[0] {
+	case "poisson":
+		if len(parts) != 2 {
+			return bad("want poisson:RATE")
+		}
+		r, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil || r <= 0 {
+			return bad("bad rate %q", parts[1])
+		}
+		return NewPoisson(r), nil
+	case "mmpp":
+		if len(parts) != 4 {
+			return bad("want mmpp:LO:HI:SOJOURN")
+		}
+		lo, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil || lo <= 0 {
+			return bad("bad low rate %q", parts[1])
+		}
+		hi, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || hi <= 0 {
+			return bad("bad high rate %q", parts[2])
+		}
+		soj, err := time.ParseDuration(parts[3])
+		if err != nil || soj <= 0 {
+			return bad("bad sojourn %q", parts[3])
+		}
+		return NewMMPP(lo, hi, soj), nil
+	case "web":
+		if len(parts) != 4 {
+			return bad("want web:SESSIONS:FLOWS:THINK")
+		}
+		sess, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil || sess <= 0 {
+			return bad("bad session rate %q", parts[1])
+		}
+		flows, err := strconv.Atoi(parts[2])
+		if err != nil || flows < 1 {
+			return bad("bad flows per session %q", parts[2])
+		}
+		think, err := time.ParseDuration(parts[3])
+		if err != nil || think <= 0 {
+			return bad("bad think time %q", parts[3])
+		}
+		return NewWebSession(sess, flows, think), nil
+	case "legacy":
+		if len(parts) != 2 {
+			return bad("want legacy:N")
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil || n < 1 {
+			return bad("bad flow count %q", parts[1])
+		}
+		return NewLegacy(n), nil
+	}
+	return bad("unknown process %q (want poisson|mmpp|web|legacy)", parts[0])
+}

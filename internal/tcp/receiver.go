@@ -30,6 +30,7 @@ type Receiver struct {
 	ooo     []packet.SACKBlock // sorted, disjoint
 	pending int                // in-order segments since last ACK
 	delack  *sim.Timer
+	stopped bool
 	stats   ReceiverStats
 }
 
@@ -47,13 +48,25 @@ func NewReceiver(eng *sim.Engine, cfg Config, flow packet.FlowID, out netem.Rece
 // RcvNxt returns the next expected sequence number.
 func (r *Receiver) RcvNxt() int64 { return r.rcvNxt }
 
+// Stop tears the receiver down for detach: the delayed-ACK timer is
+// cancelled and any stray late segment is released unprocessed, so a
+// detached receiver holds no live calendar entries and emits no further
+// ACKs. Idempotent.
+func (r *Receiver) Stop() {
+	if r.stopped {
+		return
+	}
+	r.stopped = true
+	r.delack.Stop()
+}
+
 // Stats returns a copy of the receive counters.
 func (r *Receiver) Stats() ReceiverStats { return r.stats }
 
 // Receive processes an arriving data segment (netem.Receiver). The receiver
 // is the segment's terminal consumer and releases it.
 func (r *Receiver) Receive(seg *packet.Segment) {
-	if !seg.IsData() {
+	if r.stopped || !seg.IsData() {
 		seg.Release()
 		return
 	}

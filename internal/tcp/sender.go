@@ -703,6 +703,23 @@ func (s *Sender) checkComplete() {
 	}
 }
 
+// Stop force-finishes the sender for detach: further supplies, sends and
+// ACK processing become no-ops and the RTO timer is cancelled, so a
+// detached sender holds no live calendar entries. Segments already in
+// flight are released wherever they land (the demux drops unroutable
+// ones). OnComplete does not fire — Stop is the teardown path for flows
+// that did not run to byte-completion. Idempotent, and a no-op after
+// normal completion.
+func (s *Sender) Stop() {
+	if s.finished {
+		return
+	}
+	s.finished = true
+	s.rto.Stop()
+	s.stats.SetSndLim(web100.SndLimNone, s.eng.Now())
+	s.stats.Finish(s.eng.Now())
+}
+
 func min64(a, b int64) int64 {
 	if a < b {
 		return a

@@ -58,6 +58,12 @@ const (
 	KindReorder
 	// KindDup: the duplicator emitted an extra copy. A = sequence.
 	KindDup
+	// KindFlowStart: a dynamic flow attached to the scenario. A = transfer
+	// size in bytes (0 = unbounded), B = live flow count after the attach.
+	KindFlowStart
+	// KindFlowComplete: a dynamic flow ran to byte-completion and detached.
+	// A = bytes transferred, B = completion time in nanoseconds.
+	KindFlowComplete
 
 	kindCount // sentinel: number of kinds
 )
@@ -76,6 +82,8 @@ var kindNames = [kindCount]string{
 	KindLossInject:    "loss-inject",
 	KindReorder:       "reorder",
 	KindDup:           "dup",
+	KindFlowStart:     "flow-start",
+	KindFlowComplete:  "flow-complete",
 }
 
 // String names the kind.

@@ -7,6 +7,7 @@ package workload
 import (
 	"time"
 
+	"rsstcp/internal/lifecycle"
 	"rsstcp/internal/sim"
 	"rsstcp/internal/unit"
 )
@@ -82,6 +83,8 @@ type OnOff struct {
 	parcel   int64
 	active   bool
 	stopped  bool
+	toggleEv sim.Event
+	pumpEv   sim.Event
 	toggleFn func() // bound once; phase flips allocate nothing
 	pumpFn   func() // bound once; per-parcel rescheduling allocates nothing
 }
@@ -101,13 +104,22 @@ func NewOnOff(eng *sim.Engine, app App, on, off time.Duration, rate unit.Bandwid
 // Start enters the first active phase immediately.
 func (o *OnOff) Start() {
 	o.active = true
-	o.eng.ScheduleAfter(o.on, o.toggleFn)
+	o.toggleEv = o.eng.ScheduleAfter(o.on, o.toggleFn)
 	o.pump()
 }
 
-// Stop ends the source permanently (the app is not closed; timed
-// experiments read counters instead).
-func (o *OnOff) Stop() { o.stopped = true }
+// Stop ends the source permanently and cancels its pending toggle and pump
+// entries, so a stopped (e.g. detached) source leaves no live calendar
+// entries behind. The app is not closed; timed experiments read counters
+// instead.
+func (o *OnOff) Stop() {
+	if o.stopped {
+		return
+	}
+	o.stopped = true
+	o.eng.Cancel(o.toggleEv)
+	o.eng.Cancel(o.pumpEv)
+}
 
 // Active reports whether the source is currently in an on phase.
 func (o *OnOff) Active() bool { return o.active && !o.stopped }
@@ -122,7 +134,7 @@ func (o *OnOff) toggle() {
 		next = o.on
 		o.pump()
 	}
-	o.eng.ScheduleAfter(next, o.toggleFn)
+	o.toggleEv = o.eng.ScheduleAfter(next, o.toggleFn)
 }
 
 func (o *OnOff) pump() {
@@ -131,31 +143,22 @@ func (o *OnOff) pump() {
 	}
 	o.app.Supply(o.parcel)
 	interval := o.rate.Serialization(unit.ByteSize(o.parcel))
-	o.eng.ScheduleAfter(interval, o.pumpFn)
+	o.pumpEv = o.eng.ScheduleAfter(interval, o.pumpFn)
 }
 
 // PoissonArrivals schedules fn at exponentially distributed intervals with
 // the given mean rate (events per second) until the returned stop function
-// is called. Used to launch flow arrivals.
+// is called.
+//
+// Deprecated: use lifecycle.NewPoisson, the FlowSource form of the same
+// process — it exposes Rate/WithRate for the load axis and its Stop
+// cancels the pending arrival instead of letting it fire as a no-op. This
+// shim delegates to it and remains only so existing callers compile.
 func PoissonArrivals(eng *sim.Engine, rng *sim.RNG, perSecond float64, fn func()) (stop func()) {
 	if perSecond <= 0 {
 		panic("workload: PoissonArrivals requires a positive rate")
 	}
-	stopped := false
-	var next func()
-	next = func() {
-		if stopped {
-			return
-		}
-		gap := time.Duration(rng.ExpFloat64() / perSecond * float64(time.Second))
-		eng.ScheduleAfter(gap, func() {
-			if stopped {
-				return
-			}
-			fn()
-			next()
-		})
-	}
-	next()
-	return func() { stopped = true }
+	src := lifecycle.NewPoisson(perSecond)
+	src.Start(eng, rng, fn)
+	return src.Stop
 }

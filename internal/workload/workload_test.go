@@ -136,6 +136,34 @@ func TestOnOffStop(t *testing.T) {
 	}
 }
 
+// TestOnOffStopCancelsTimers pins the detach invariant: Stop cancels the
+// pending toggle and pump entries, so a detached flow's source leaves no
+// live calendar entries and the event pool accounts for every entry it
+// issued.
+func TestOnOffStopCancelsTimers(t *testing.T) {
+	eng := sim.NewEngine()
+	app := &fakeApp{}
+	o := NewOnOff(eng, app, time.Second, time.Second, 10*unit.Mbps, 1250)
+	o.Start()
+	eng.RunUntil(sim.At(10 * time.Millisecond))
+	o.Stop()
+	if got := eng.Pending(); got != 0 {
+		t.Errorf("%d calendar entries survive Stop", got)
+	}
+	if got := eng.Leaked(); got != 0 {
+		t.Errorf("%d pool entries leaked", got)
+	}
+	ps := eng.PoolStats()
+	if issued := ps.Created + ps.Reused; issued != ps.Recycled {
+		t.Errorf("pool imbalance: issued %d, recycled %d", issued, ps.Recycled)
+	}
+	// Stop twice is a no-op, not a double cancel.
+	o.Stop()
+	if got := eng.Leaked(); got != 0 {
+		t.Errorf("double Stop leaked %d entries", got)
+	}
+}
+
 func TestPoissonArrivalsRate(t *testing.T) {
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(11)

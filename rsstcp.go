@@ -62,6 +62,13 @@ type (
 	Table = experiment.Table
 	// Figure1Data carries the cumulative send-stall series of Figure 1.
 	Figure1Data = experiment.Figure1Result
+	// Churn describes a dynamic flow-lifecycle workload: an arrival
+	// process, a transfer-size distribution, and the template the dynamic
+	// flows are stamped from.
+	Churn = experiment.ChurnSpec
+	// FlowRecord is one completed dynamic flow: start/end times, bytes,
+	// retransmissions, slowdown and size class.
+	FlowRecord = experiment.FlowRecord
 	// Gains are PID parameters in the paper's standard form.
 	Gains = pid.Gains
 	// Critical is a Ziegler-Nichols critical point (Kc, Tc).

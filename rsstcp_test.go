@@ -335,3 +335,42 @@ func TestTopologyCampaignFacade(t *testing.T) {
 		t.Error("topo + bw axis accepted")
 	}
 }
+
+func TestChurnCampaignFacade(t *testing.T) {
+	t.Parallel()
+	// The tentpole surface: a load × fsize sweep under Poisson arrivals,
+	// measuring completion-time metrics, assembled entirely through the
+	// facade builder.
+	rep, err := rsstcp.NewCampaign(
+		rsstcp.Sweep("load", 0.5),
+		rsstcp.Sweep("arrivals", "poisson:50"),
+		rsstcp.Sweep("fsize", "exp:40k"),
+		rsstcp.Sweep("alg", rsstcp.Restricted),
+		rsstcp.Measure(rsstcp.MetricFCTMean, rsstcp.MetricFCTP99,
+			rsstcp.MetricSlowdownMean, rsstcp.MetricFlowsDone),
+		rsstcp.Duration(2*time.Second),
+	).Run(rsstcp.CampaignOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 1 {
+		t.Fatalf("cells = %d, want 1", len(rep.Cells))
+	}
+	if got := rep.Cells[0].Key; got != "load=0.5/arrivals=poisson:50/fsize=exp:40k/alg=restricted" {
+		t.Errorf("cell key = %q", got)
+	}
+	if m, ok := rep.Cells[0].Metric("flows_done"); !ok || m.Mean <= 0 {
+		t.Errorf("flows_done = %+v, %v; the sweep churned no flows", m, ok)
+	}
+	if m, ok := rep.Cells[0].Metric("fct_mean"); !ok || m.Mean <= 0 {
+		t.Errorf("fct_mean = %+v, %v", m, ok)
+	}
+	// Churn axes after a template-mutating axis must fail validation.
+	_, err = rsstcp.NewCampaign(
+		rsstcp.Sweep("alg", rsstcp.Standard),
+		rsstcp.Sweep("load", 0.5),
+	).Run(rsstcp.CampaignOptions{})
+	if err == nil {
+		t.Error("alg-before-load plan accepted")
+	}
+}
