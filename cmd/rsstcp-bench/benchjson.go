@@ -98,6 +98,28 @@ type BenchSnapshot struct {
 	// load, bounded-Pareto transfer sizes, both algorithms — so the flow
 	// attach/detach machinery's cost (flows/sec) rides the trajectory.
 	Churn *CampaignPerf `json:"churn,omitempty"`
+	// Density rows (from PR 8 on): flow-count scaling — one scenario held
+	// at N concurrently live flows on the wheel-backed timers, for N up to
+	// 50k, recording ns/event and resident bytes/flow. The many-flows
+	// acceptance figures (per-event cost near the 2-flow paper grid, memory
+	// O(flows)) ride the trajectory here.
+	Density []DensityPerf `json:"density,omitempty"`
+}
+
+// DensityPerf is one flow-count scaling row: a churn scenario admission-
+// capped at Flows live transfers too large to drain, so the population
+// pins at the cap and the steady-state cost per event and per flow is
+// what gets measured.
+type DensityPerf struct {
+	Flows        int     `json:"flows"`
+	LiveAtEnd    int     `json:"live_at_end"`
+	DurationSim  string  `json:"sim_duration"`
+	Events       uint64  `json:"events_per_run"`
+	WallMs       float64 `json:"wall_ms"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	NsPerEvent   float64 `json:"ns_per_event"`
+	HeapMB       float64 `json:"heap_mb"`
+	BytesPerFlow float64 `json:"bytes_per_flow"`
 }
 
 // preOverhaulBaseline is the trajectory anchor: measured at commit 5dd424d
@@ -290,6 +312,61 @@ func measureChurn(dur time.Duration) (CampaignPerf, error) {
 	}, nil
 }
 
+// measureDensity holds one scenario at n concurrently live flows: Poisson
+// arrivals twice the admission cap fill it during a one-second ramp, and
+// 10 MB transfers on a gigabit bottleneck keep completions negligible, so
+// the population stays pinned. Only the post-ramp window is timed — the
+// figure is the steady-state per-event cost of carrying n flows (timers on
+// the wheel, per-flow records disabled), not the attach ramp's allocation
+// burst.
+func measureDensity(n int, dur time.Duration) (DensityPerf, error) {
+	const ramp = time.Second
+	cfg := experiment.Config{
+		Path: experiment.PathConfig{Bottleneck: unit.Gbps, TxQueueLen: 1000},
+		Churn: &experiment.ChurnSpec{
+			Arrivals: fmt.Sprintf("poisson:%d", 2*n),
+			Size:     "fixed:10M",
+			MaxLive:  n,
+			Flow:     experiment.FlowSpec{Alg: experiment.AlgStandard},
+		},
+		Duration:    ramp,
+		Seed:        1,
+		Traceless:   true,
+		TimerWheel:  true,
+		RetainFlows: -1,
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	s, err := experiment.Build(cfg)
+	if err != nil {
+		return DensityPerf{}, err
+	}
+	s.Run() // the ramp: population reaches the cap
+	e0 := s.Eng.Processed()
+	t0 := time.Now()
+	s.Eng.RunUntil(sim.At(ramp + dur))
+	wall := time.Since(t0)
+	events := s.Eng.Processed() - e0
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	live := s.LiveFlows()
+	perf := DensityPerf{
+		Flows:        n,
+		LiveAtEnd:    live,
+		DurationSim:  dur.String(),
+		Events:       events,
+		WallMs:       wall.Seconds() * 1000,
+		EventsPerSec: float64(events) / wall.Seconds(),
+		NsPerEvent:   float64(wall.Nanoseconds()) / float64(events),
+		HeapMB:       float64(m1.HeapAlloc) / (1 << 20),
+	}
+	if live > 0 && m1.HeapAlloc > m0.HeapAlloc {
+		perf.BytesPerFlow = float64(m1.HeapAlloc-m0.HeapAlloc) / float64(live)
+	}
+	return perf, nil
+}
+
 // bigGridPlan is the campaign-scale sweep: 64 cells over bandwidth, RTT,
 // IFQ and algorithm, replicated up to the requested run count.
 func bigGridPlan(runs int, dur time.Duration) (campaign.Plan, string) {
@@ -395,6 +472,17 @@ func emitBenchJSON(path string, paperDur, campDur time.Duration, reps, bigRuns i
 	}
 	cur.Churn = &churn
 
+	// Density rows: flow-count scaling at a fixed virtual duration. Two
+	// seconds is enough for the arrival ramp to pin every population at its
+	// cap while keeping the 50k row a sub-second measurement.
+	for _, n := range []int{100, 1000, 10000, 50000} {
+		row, err := measureDensity(n, 2*time.Second)
+		if err != nil {
+			return err
+		}
+		cur.Density = append(cur.Density, row)
+	}
+
 	// Big-grid rows: workers=1 and workers=GOMAXPROCS on the same plan,
 	// so single-thread throughput and parallel efficiency are both on
 	// record. On a single-CPU runner the rows coincide — still recorded,
@@ -424,6 +512,15 @@ func emitBenchJSON(path string, paperDur, campDur time.Duration, reps, bigRuns i
 		if cur.BigGrid[0].Workers == 1 && best.Workers > 1 {
 			speedup["big_grid_parallel_efficiency"] = round2(
 				best.RunsPerSec / (cur.BigGrid[0].RunsPerSec * float64(best.Workers)))
+		}
+	}
+
+	// The many-flows acceptance ratio: per-event cost at 10k concurrent
+	// flows against the 2-flow paper path (target: within 2×).
+	for _, d := range cur.Density {
+		if d.Flows == 10000 && len(cur.PaperPath) > 0 {
+			speedup["density_10k_ns_per_event_vs_paper"] =
+				round2(d.NsPerEvent / cur.PaperPath[0].NsPerEvent)
 		}
 	}
 

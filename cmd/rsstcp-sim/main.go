@@ -20,9 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math"
 	"os"
-	"sort"
 	"strings"
 	"time"
 
@@ -49,6 +47,8 @@ func main() {
 		fsize    = flag.String("fsize", "", "dynamic transfer sizes: fixed:64k|exp:100k|pareto:A:MIN:MAX|lognorm:MED:SIGMA (default exp:100k)")
 		load     = flag.Float64("load", 0, "offered load as a fraction of the bottleneck (rescales -arrivals; 0 = use the spec's own rate)")
 		maxflows = flag.Int("maxflows", 0, "admission cap on concurrently live dynamic flows (0 = unbounded)")
+		wheel    = flag.Bool("wheel", false, "run flow timers on the hierarchical timer wheel (byte-identical results, cheaper at high flow counts)")
+		retain   = flag.Int("retain", 0, "per-flow completion records to retain under churn: 0 = all, -1 = digest only, N = first N (the FCT summary always covers every flow)")
 		setpoint = flag.Float64("setpoint", 0, "RSS IFQ set point fraction (0 = paper's 0.9)")
 		sack     = flag.Bool("sack", false, "enable SACK")
 		seed     = flag.Uint64("seed", 1, "random seed")
@@ -94,10 +94,12 @@ func main() {
 		SACK:             *sack,
 	}
 	opts := rsstcp.Options{
-		Path:     path,
-		Duration: *duration,
-		Seed:     *seed,
-		EventLog: *eventsCap,
+		Path:        path,
+		Duration:    *duration,
+		Seed:        *seed,
+		EventLog:    *eventsCap,
+		TimerWheel:  *wheel,
+		RetainFlows: *retain,
 	}
 	if *arrivals != "" || *fsize != "" || *load > 0 || *maxflows > 0 {
 		// A dynamic workload replaces the single static flow: the flag-derived
@@ -242,29 +244,28 @@ func main() {
 	}
 }
 
-// printChurn summarizes a dynamic-workload run: completion counts and the
-// FCT/slowdown figures of merit over the completed flows.
+// printChurn summarizes a dynamic-workload run from the streaming FCT
+// digest, which covers every completion even when the per-flow record list
+// is capped (Config.RetainFlows).
 func printChurn(res rsstcp.Result) {
+	var done int64
+	if res.FCT != nil {
+		done = res.FCT.Count
+	}
 	fmt.Printf("flows            %d completed, %d live at end, %d refused\n",
-		len(res.Flows), res.FlowsActive, res.FlowsRefused)
-	if len(res.Flows) == 0 {
+		done, res.FlowsActive, res.FlowsRefused)
+	if res.FCT == nil {
 		return
 	}
-	fcts := make([]float64, len(res.Flows))
-	var fctSum, sdSum float64
-	var bytes, retrans int64
-	for i, f := range res.Flows {
-		fcts[i] = f.FCT().Seconds()
-		fctSum += fcts[i]
-		sdSum += f.Slowdown
-		bytes += f.Bytes
-		retrans += f.Retrans
-	}
-	sort.Float64s(fcts)
-	p99 := fcts[max(0, int(math.Ceil(0.99*float64(len(fcts))))-1)]
-	fmt.Printf("fct              mean %.2f ms, p99 %.2f ms\n", fctSum/float64(len(fcts))*1e3, p99*1e3)
-	fmt.Printf("slowdown         mean %.2f\n", sdSum/float64(len(res.Flows)))
-	fmt.Printf("transferred      %s (%d segs retransmitted)\n", unit.ByteSize(bytes), retrans)
+	f := res.FCT
+	fmt.Printf("fct              mean %.2f ms, p50 %.2f ms, p90 %.2f ms, p99 %.2f ms\n",
+		f.Mean*1e3, f.P50*1e3, f.P90*1e3, f.P99*1e3)
+	fmt.Printf("slowdown         mean %.2f (small %.2f x%d, medium %.2f x%d, large %.2f x%d)\n",
+		f.SlowdownMean,
+		f.Class[0].SlowdownMean, f.Class[0].Count,
+		f.Class[1].SlowdownMean, f.Class[1].Count,
+		f.Class[2].SlowdownMean, f.Class[2].Count)
+	fmt.Printf("transferred      %s (%d segs retransmitted)\n", unit.ByteSize(f.Bytes), f.Retrans)
 }
 
 func fatal(err error) {

@@ -69,6 +69,15 @@ type Plan struct {
 	Duration time.Duration
 	// BaseSeed roots every derived replicate seed (default 1).
 	BaseSeed uint64
+	// Base seeds every cell's configuration before axis mutators run.
+	// It carries plan-wide toggles that are not sweep dimensions —
+	// timer backend (TimerWheel), record retention (RetainFlows) — and
+	// deliberately does not contribute to cell keys, so flipping a Base
+	// field never perturbs the derived replicate seeds: a plan run with
+	// TimerWheel on is byte-comparable to the same plan with it off.
+	// Plan.Duration and the runner's trace policy still override the
+	// corresponding Base fields.
+	Base experiment.Config
 }
 
 func (p Plan) withDefaults() Plan {
@@ -260,7 +269,9 @@ func (p Plan) Cells() []PlanCell {
 			rec(axis+1, next)
 		}
 	}
-	rec(0, experiment.Config{Duration: p.Duration})
+	base := cloneConfig(p.Base)
+	base.Duration = p.Duration
+	rec(0, base)
 	return cells
 }
 

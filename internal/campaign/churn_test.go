@@ -178,6 +178,35 @@ func TestChurnCampaignWorkerCountDeterminism(t *testing.T) {
 	}
 }
 
+// TestChurnCampaignTimerWheelDeterminism is the campaign half of the wheel
+// differential: the same churn sweep renders byte-identical JSON whether the
+// endpoint timers ride the hierarchical wheel or the calendar heap, at 1, 4,
+// and GOMAXPROCS workers. Plan.Base carries the toggle precisely because it
+// stays out of cell keys — both runs derive identical replicate seeds.
+func TestChurnCampaignTimerWheelDeterminism(t *testing.T) {
+	t.Parallel()
+	render := func(wheel bool, workers int) string {
+		p := churnPlan()
+		p.Base.TimerWheel = wheel
+		rep, err := ExecutePlan(p, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var j strings.Builder
+		if err := rep.WriteJSON(&j); err != nil {
+			t.Fatal(err)
+		}
+		return j.String()
+	}
+	want := render(false, 1)
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		if got := render(true, workers); got != want {
+			t.Errorf("wheel campaign JSON diverged from heap baseline at %d workers:\n%.1500s\nvs\n%.1500s",
+				workers, got, want)
+		}
+	}
+}
+
 // TestChurnCampaignProducesFlows: the sweep actually churns — every cell
 // completes flows and reports finite completion times.
 func TestChurnCampaignProducesFlows(t *testing.T) {

@@ -160,10 +160,16 @@ var (
 	}
 	// MetricFCTMean is the mean flow completion time, in seconds, over the
 	// run's completed dynamic flows (NaN when the run had none — the
-	// NaN-tolerant exports render it null).
+	// NaN-tolerant exports render it null). It reads the streaming
+	// Result.FCT digest — full-population even when RetainFlows capped the
+	// record list — falling back to a Result.Flows scan for hand-built
+	// results that predate the digest.
 	MetricFCTMean = Metric{
 		Name: "fct_mean",
 		Extract: func(r experiment.Result) float64 {
+			if r.FCT != nil {
+				return r.FCT.Mean
+			}
 			if len(r.Flows) == 0 {
 				return math.NaN()
 			}
@@ -176,9 +182,14 @@ var (
 	}
 	// MetricFCTP99 is the 99th-percentile flow completion time in seconds —
 	// the tail figure short-flow studies care about (NaN with no flows).
+	// Via the digest it is exact through the first 4096 completions and a
+	// deterministic P² estimate beyond.
 	MetricFCTP99 = Metric{
 		Name: "fct_p99",
 		Extract: func(r experiment.Result) float64 {
+			if r.FCT != nil {
+				return r.FCT.P99
+			}
 			if len(r.Flows) == 0 {
 				return math.NaN()
 			}
@@ -222,14 +233,39 @@ var (
 	// within the run (0, not NaN, for static runs — "no churn" and "no
 	// completions under churn" both mean zero finished transfers).
 	MetricFlowsDone = Metric{
-		Name:    "flows_done",
-		Extract: func(r experiment.Result) float64 { return float64(len(r.Flows)) },
+		Name: "flows_done",
+		Extract: func(r experiment.Result) float64 {
+			if r.FCT != nil {
+				return float64(r.FCT.Count)
+			}
+			return float64(len(r.Flows))
+		},
+	}
+	// MetricFlowsRefused counts arrivals turned away by the churn
+	// population cap (ChurnSpec.MaxLive) — the admission-control loss a
+	// many-flows density sweep trades against per-flow completion time.
+	// Zero, not NaN, without churn: an uncapped or static run refuses
+	// nothing.
+	MetricFlowsRefused = Metric{
+		Name:    "flows_refused",
+		Extract: func(r experiment.Result) float64 { return float64(r.FlowsRefused) },
 	}
 )
 
 // meanSlowdown averages FlowRecord.Slowdown over completed flows, filtered
-// to one size class (-1 = all). NaN when no flow matches.
+// to one size class (-1 = all). NaN when no flow matches. The streaming
+// digest answers when present; the Flows scan is the legacy fallback.
 func meanSlowdown(r experiment.Result, class int) float64 {
+	if r.FCT != nil {
+		if class < 0 {
+			return r.FCT.SlowdownMean
+		}
+		c := r.FCT.Class[class]
+		if c.Count == 0 {
+			return math.NaN()
+		}
+		return c.SlowdownMean
+	}
 	var sum float64
 	n := 0
 	for _, f := range r.Flows {
@@ -263,7 +299,7 @@ func Metrics() []Metric {
 		MetricHopDropsMax, MetricReverseDrops,
 		MetricFCTMean, MetricFCTP99, MetricSlowdownMean,
 		MetricSlowdownSmall, MetricSlowdownMedium, MetricSlowdownLarge,
-		MetricFlowsDone,
+		MetricFlowsDone, MetricFlowsRefused,
 	}
 }
 

@@ -1,0 +1,271 @@
+package experiment
+
+import (
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"rsstcp/internal/sim"
+	"rsstcp/internal/stats"
+)
+
+// TestChurnTablesBoundedByPeakLive pins the density contract of FlowID
+// recycling: after thousands of flow lifetimes under a small admission cap,
+// the demux route tables and the shared sender flow table are sized to the
+// peak live population, not to the total churn.
+func TestChurnTablesBoundedByPeakLive(t *testing.T) {
+	t.Parallel()
+	// ~80% offered load of short transfers: ≥10k lifetimes complete in 25s
+	// while the admission cap keeps the live population (and therefore the
+	// expected table sizes) small.
+	const maxLive = 128
+	cfg := churnCfg()
+	cfg.Churn.Arrivals = "poisson:1500"
+	cfg.Churn.Size = "exp:10k"
+	cfg.Churn.MaxLive = maxLive
+	cfg.RetainFlows = -1
+	cfg.Duration = 25 * time.Second
+	if testing.Short() {
+		cfg.Duration = 4 * time.Second
+	}
+	s, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if res.FCT == nil {
+		t.Fatal("no flows completed")
+	}
+	if !testing.Short() && res.FCT.Count < 10000 {
+		t.Fatalf("only %d flows completed, want ≥ 10000 churns", res.FCT.Count)
+	}
+	// IDs 1..maxLive can be live at once and nextID sits one past the high
+	// water, so the route tables hold at most maxLive+2 entries.
+	if got := len(s.dm.routes); got > maxLive+2 {
+		t.Errorf("demux routes grew to %d entries after %d churns, want ≤ %d",
+			got, res.FCT.Count, maxLive+2)
+	}
+	if got := s.ftab.Rows(); got > maxLive+2 {
+		t.Errorf("flow table grew to %d rows after %d churns, want ≤ %d",
+			got, res.FCT.Count, maxLive+2)
+	}
+	if s.ftab.Reuses() == 0 {
+		t.Error("no flow-table rows were recycled under churn")
+	}
+}
+
+// TestManyFlows10kConcurrentHeapGate is the CI density gate: one scenario
+// holds ≥10k concurrently live flows on the wheel-backed timers, with heap
+// bounded (< 256 MiB total, O(flows) per-flow footprint) and a clean
+// teardown — zero leaked calendar entries, balanced segment pool.
+//
+// Not Parallel: it reads global heap statistics.
+func TestManyFlows10kConcurrentHeapGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-concurrent density gate is a CI job, not a -short test")
+	}
+	const wantLive = 10000
+	cfg := churnCfg()
+	// Transfers far larger than the bottleneck can drain keep the live
+	// population pinned at the admission cap once the arrival ramp fills it.
+	cfg.Churn.Arrivals = "poisson:4000"
+	cfg.Churn.Size = "fixed:10M"
+	cfg.Churn.MaxLive = wantLive
+	cfg.TimerWheel = true
+	cfg.RetainFlows = -1
+	cfg.Duration = 6 * time.Second
+
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+
+	s, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	live := s.LiveFlows()
+	if live < wantLive {
+		t.Fatalf("only %d flows concurrently live, want ≥ %d", live, wantLive)
+	}
+
+	runtime.GC()
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	const heapBudget = 256 << 20
+	if m1.HeapAlloc > heapBudget {
+		t.Errorf("heap %d MiB with %d live flows, budget %d MiB",
+			m1.HeapAlloc>>20, live, heapBudget>>20)
+	}
+	perFlow := float64(m1.HeapAlloc-m0.HeapAlloc) / float64(live)
+	t.Logf("%d live flows: heap %.1f MiB (%.0f B/flow), wheel stats %+v",
+		live, float64(m1.HeapAlloc)/(1<<20), perFlow, s.wheel.Stats())
+	// ~2.7 KiB/flow measured (cold sender+receiver, SoA row, NIC, routes);
+	// 8 KiB catches an O(flows) blow-up without pinning allocator noise.
+	if perFlow > 8<<10 {
+		t.Errorf("per-flow heap footprint %.0f B, want ≤ 8 KiB", perFlow)
+	}
+
+	// Teardown at scale: detach every live flow, let in-flight segments
+	// reach the cleared demux routes, and assert nothing leaked.
+	s.StopChurn()
+	for n := s.LiveFlows(); n > 0; n = s.LiveFlows() {
+		s.DetachFlow(s.churn.live[n-1])
+	}
+	s.Eng.RunUntil(sim.At(cfg.Duration + 2*time.Second))
+	if got := s.Eng.Leaked(); got != 0 {
+		t.Errorf("%d calendar entries leaked after detaching %d flows", got, live)
+	}
+	gets, releases := s.SegCounters()
+	if gets != releases {
+		t.Errorf("segment pool imbalance after teardown: %d gets, %d releases", gets, releases)
+	}
+}
+
+// TestChurnFCTSummaryMatchesRecords: the streaming digest must agree with
+// the retained per-flow records it replaced — exactly for the counts, sums
+// and exact-regime quantiles.
+func TestChurnFCTSummaryMatchesRecords(t *testing.T) {
+	t.Parallel()
+	s, err := Build(churnCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if res.FCT == nil || len(res.Flows) == 0 {
+		t.Fatal("churn run produced no completions")
+	}
+	f := res.FCT
+	if f.Count != int64(len(res.Flows)) {
+		t.Fatalf("digest count %d != %d records", f.Count, len(res.Flows))
+	}
+	fcts := make([]float64, len(res.Flows))
+	var fctSum, sdSum float64
+	var bytes, retrans int64
+	for i, r := range res.Flows {
+		fcts[i] = r.FCT().Seconds()
+		fctSum += fcts[i]
+		sdSum += r.Slowdown
+		bytes += r.Bytes
+		retrans += r.Retrans
+	}
+	if f.Bytes != bytes || f.Retrans != retrans {
+		t.Errorf("digest bytes/retrans %d/%d, records say %d/%d", f.Bytes, f.Retrans, bytes, retrans)
+	}
+	if f.Mean != fctSum/float64(len(fcts)) {
+		t.Errorf("digest mean %v != running mean %v", f.Mean, fctSum/float64(len(fcts)))
+	}
+	if f.SlowdownMean != sdSum/float64(len(fcts)) {
+		t.Errorf("digest slowdown mean %v != %v", f.SlowdownMean, sdSum/float64(len(fcts)))
+	}
+	// In the exact regime (run completes well under 4096 flows) the digest
+	// quantiles are bit-identical to batch Describe over the same values.
+	want := stats.Describe(append([]float64(nil), fcts...))
+	if f.Min != want.Min || f.Max != want.Max || f.P50 != want.P50 || f.P90 != want.P90 {
+		t.Errorf("digest quantiles diverge from Describe:\n got min/max/p50/p90 = %v/%v/%v/%v\nwant %v/%v/%v/%v",
+			f.Min, f.Max, f.P50, f.P90, want.Min, want.Max, want.P50, want.P90)
+	}
+	if f.P99 < f.P90 || f.P99 > f.Max {
+		t.Errorf("p99 %v outside [p90 %v, max %v]", f.P99, f.P90, f.Max)
+	}
+	var classN [NumSizeClasses]int64
+	for _, r := range res.Flows {
+		classN[r.Class]++
+	}
+	for i := range classN {
+		if f.Class[i].Count != classN[i] {
+			t.Errorf("class %d count %d, records say %d", i, f.Class[i].Count, classN[i])
+		}
+	}
+	if math.IsNaN(f.SlowdownMean) || math.IsNaN(f.P99) {
+		t.Error("digest produced NaN figures")
+	}
+}
+
+// TestRetainFlowsCap: a positive cap keeps exactly the first N records in
+// completion order, a negative cap keeps none, and the digest is identical
+// in every case — retention is presentation, not measurement.
+func TestRetainFlowsCap(t *testing.T) {
+	t.Parallel()
+	full, err := Build(churnCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := full.Run()
+
+	capped := churnCfg()
+	capped.RetainFlows = 10
+	cs, err := Build(capped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cs.Run()
+	if len(got.Flows) != 10 {
+		t.Fatalf("RetainFlows=10 kept %d records", len(got.Flows))
+	}
+	for i := range got.Flows {
+		if got.Flows[i] != want.Flows[i] {
+			t.Errorf("capped record %d diverged: %+v vs %+v", i, got.Flows[i], want.Flows[i])
+		}
+	}
+	if *got.FCT != *want.FCT {
+		t.Errorf("digest changed under the record cap:\nfull:   %+v\ncapped: %+v", *want.FCT, *got.FCT)
+	}
+
+	none := churnCfg()
+	none.RetainFlows = -1
+	ns, err := Build(none)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := ns.Run()
+	if len(bare.Flows) != 0 {
+		t.Fatalf("RetainFlows=-1 kept %d records", len(bare.Flows))
+	}
+	if bare.FCT == nil || *bare.FCT != *want.FCT {
+		t.Errorf("digest absent or changed with records disabled")
+	}
+}
+
+// TestTimerWheelMatchesHeapChurn is the scenario-level wheel contract: the
+// same churn configuration produces identical results — record for record,
+// digest for digest — whether the endpoint timers ride the wheel or the
+// calendar heap.
+func TestTimerWheelMatchesHeapChurn(t *testing.T) {
+	t.Parallel()
+	heapCfg := churnCfg()
+	heapCfg.Churn.Size = "pareto:1.3:5k:5M" // heavy tail: RTOs and delacks fire
+	wheelCfg := heapCfg
+	churn := *heapCfg.Churn
+	wheelCfg.Churn = &churn
+	wheelCfg.TimerWheel = true
+
+	hs, err := Build(heapCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := Build(wheelCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resH, resW := hs.Run(), ws.Run()
+	sameChurnResult(t, "heap-vs-wheel", resH, resW)
+	if (resH.FCT == nil) != (resW.FCT == nil) {
+		t.Fatal("digest presence diverged between timer backends")
+	}
+	if resH.FCT != nil && *resH.FCT != *resW.FCT {
+		t.Errorf("FCT digest diverged:\nheap:  %+v\nwheel: %+v", *resH.FCT, *resW.FCT)
+	}
+	if ws.wheel == nil || ws.wheel.Stats().Armed == 0 {
+		t.Error("wheel run never placed a timer on the ring")
+	}
+
+	// The wheel scenario resets clean: a second replicate on the reused
+	// context still matches.
+	if err := ws.Reset(wheelCfg); err != nil {
+		t.Fatal(err)
+	}
+	again := ws.Run()
+	sameChurnResult(t, "wheel-reset", resW, again)
+}

@@ -10,6 +10,7 @@ import (
 	"rsstcp/internal/lifecycle"
 	"rsstcp/internal/packet"
 	"rsstcp/internal/sim"
+	"rsstcp/internal/stats"
 	"rsstcp/internal/telemetry"
 )
 
@@ -95,6 +96,45 @@ const (
 	classLargeBytes  = 1_000_000 // Class 2 at or above
 )
 
+// NumSizeClasses is the number of FlowRecord.Class buckets.
+const NumSizeClasses = 3
+
+// FCTSummary is the streaming digest of a run's completed dynamic flows:
+// completion-time moments and quantiles in seconds, mean slowdown overall
+// and per size class, and byte/retransmission totals. It is folded one
+// completion at a time (quantiles exact through the first 4096 completions,
+// deterministic P² estimates beyond), so it covers the full population even
+// when Config.RetainFlows drops the per-flow records. Every field is finite
+// whenever the summary exists — a run with no completions has a nil
+// Result.FCT instead of NaN moments.
+type FCTSummary struct {
+	// Count is the number of completed dynamic flows.
+	Count int64 `json:"count"`
+	// Bytes and Retrans total the completed flows' transfer sizes and
+	// retransmitted segments.
+	Bytes   int64 `json:"bytes"`
+	Retrans int64 `json:"retrans"`
+	// Completion-time figures, in seconds.
+	Mean float64 `json:"mean_s"`
+	Min  float64 `json:"min_s"`
+	Max  float64 `json:"max_s"`
+	P50  float64 `json:"p50_s"`
+	P90  float64 `json:"p90_s"`
+	P99  float64 `json:"p99_s"`
+	// SlowdownMean is the mean FCT over ideal transfer time (1.0 is a
+	// perfect network).
+	SlowdownMean float64 `json:"slowdown_mean"`
+	// Class splits the population by FlowRecord.Class (mice/medium/large).
+	Class [NumSizeClasses]FCTClass `json:"class"`
+}
+
+// FCTClass is one size class's share of an FCTSummary. SlowdownMean is zero
+// (not NaN) for an empty class; Count disambiguates.
+type FCTClass struct {
+	Count        int64   `json:"count"`
+	SlowdownMean float64 `json:"slowdown_mean"`
+}
+
 func sizeClass(bytes int64) int {
 	switch {
 	case bytes >= classLargeBytes:
@@ -120,6 +160,12 @@ type churnState struct {
 	bytesAcked int64 // goodput folded out of detached flows
 	refused    int64
 	nextID     packet.FlowID
+	// freeIDs holds FlowIDs of detached dynamic flows for reuse, so the
+	// demux route tables and the shared flow table stay bounded by the
+	// peak live population instead of growing with total churn. Safe
+	// because every incarnation of an ID carries its own generation (see
+	// demux).
+	freeIDs []packet.FlowID
 	// spareNICs parks idle NICs of detached flows by first-hop index;
 	// attach reuses them, so steady-state churn allocates no interfaces.
 	spareNICs map[int][]*host.Interface
@@ -128,6 +174,66 @@ type churnState struct {
 	baseRTT time.Duration
 	perByte float64 // seconds per byte at the route's bottleneck
 	stopped bool
+
+	// Streaming completion digest (Result.FCT): running sums in completion
+	// order plus an exact-then-P² quantile accumulator, so churn runs need
+	// not retain per-flow records to report completion-time figures.
+	fctBytes   int64
+	fctRetrans int64
+	fctSum     float64 // Σ FCT seconds, completion order
+	fct        stats.Accumulator
+	fctP99     stats.P2
+	sdSum      float64 // Σ slowdown, completion order
+	classN     [NumSizeClasses]int64
+	classSD    [NumSizeClasses]float64
+}
+
+// foldRecord streams one completed flow into the digest.
+func (c *churnState) foldRecord(rec FlowRecord) {
+	if c.fct.N() == 0 {
+		c.fctP99 = stats.NewP2(0.99)
+	}
+	fs := rec.FCT().Seconds()
+	c.fctSum += fs
+	c.fct.Add(fs)
+	c.fctP99.Add(fs)
+	c.fctBytes += rec.Bytes
+	c.fctRetrans += rec.Retrans
+	c.sdSum += rec.Slowdown
+	c.classN[rec.Class]++
+	c.classSD[rec.Class] += rec.Slowdown
+}
+
+// fctSummary renders the digest, nil when nothing completed.
+func (c *churnState) fctSummary() *FCTSummary {
+	n := c.fct.N()
+	if n == 0 {
+		return nil
+	}
+	sum := c.fct.Summary()
+	f := &FCTSummary{
+		Count:        int64(n),
+		Bytes:        c.fctBytes,
+		Retrans:      c.fctRetrans,
+		Mean:         c.fctSum / float64(n),
+		Min:          sum.Min,
+		Max:          sum.Max,
+		P50:          sum.P50,
+		P90:          sum.P90,
+		SlowdownMean: c.sdSum / float64(n),
+	}
+	if p, ok := c.fct.Percentile(0.99); ok {
+		f.P99 = p
+	} else {
+		f.P99 = c.fctP99.Quantile()
+	}
+	for i := range f.Class {
+		f.Class[i].Count = c.classN[i]
+		if c.classN[i] > 0 {
+			f.Class[i].SlowdownMean = c.classSD[i] / float64(c.classN[i])
+		}
+	}
+	return f
 }
 
 // reset clears per-run state but keeps backing arrays warm for the next
@@ -143,9 +249,15 @@ func (c *churnState) reset() {
 	c.records = c.records[:0]
 	c.totals = Totals{}
 	c.bytesAcked, c.refused, c.nextID = 0, 0, 0
+	c.freeIDs = c.freeIDs[:0]
 	c.spareNICs = nil
 	c.baseRTT, c.perByte = 0, 0
 	c.stopped = false
+	c.fctBytes, c.fctRetrans, c.fctSum, c.sdSum = 0, 0, 0, 0
+	c.fct.Reset()
+	c.fctP99 = stats.P2{}
+	c.classN = [NumSizeClasses]int64{}
+	c.classSD = [NumSizeClasses]float64{}
 }
 
 func (c *churnState) takeNIC(firstHop int) *host.Interface {
@@ -262,12 +374,26 @@ func (s *Scenario) launchChurnFlow() {
 // not join Scenario.Flows — static per-flow results and gauges cover only
 // the configured flow list.
 func (s *Scenario) AttachFlow(spec FlowSpec) (*Flow, error) {
+	// Recycle a detached flow's ID when one is free — the route tables and
+	// the shared flow table then stay sized to the peak live population.
+	// buildFlow gives the incarnation a fresh generation, so stray
+	// segments of the ID's previous owner cannot reach this flow.
 	id := s.churn.nextID
+	fromFree := false
+	if n := len(s.churn.freeIDs); n > 0 {
+		id, fromFree = s.churn.freeIDs[n-1], true
+		s.churn.freeIDs = s.churn.freeIDs[:n-1]
+	}
 	f, err := buildFlow(s, spec, id, true)
 	if err != nil {
+		if fromFree {
+			s.churn.freeIDs = append(s.churn.freeIDs, id)
+		}
 		return nil, err
 	}
-	s.churn.nextID++
+	if !fromFree {
+		s.churn.nextID++
+	}
 	f.liveIdx = len(s.churn.live)
 	s.churn.live = append(s.churn.live, f)
 	f.Sender.OnComplete = func() { s.completeChurnFlow(f) }
@@ -295,7 +421,10 @@ func (s *Scenario) completeChurnFlow(f *Flow) {
 	if ideal > 0 {
 		rec.Slowdown = fct.Seconds() / ideal
 	}
-	s.churn.records = append(s.churn.records, rec)
+	s.churn.foldRecord(rec)
+	if cap := s.Cfg.RetainFlows; cap == 0 || (cap > 0 && len(s.churn.records) < cap) {
+		s.churn.records = append(s.churn.records, rec)
+	}
 	s.FR.Record(now, telemetry.KindFlowComplete, int32(f.ID), -1,
 		f.Spec.Bytes, int64(fct))
 	s.DetachFlow(f)
@@ -333,15 +462,24 @@ func (s *Scenario) DetachFlow(f *Flow) {
 	}
 	f.Sender.Stop()
 	f.Receiver.Stop()
+	if dynamic {
+		// The hot-state row returns to the shared table for the next
+		// attach; the cold Sender keeps its Web100 counters (already
+		// folded above) but its window accessors go quiet.
+		f.Sender.ReleaseRow()
+	}
 	if f.onoff != nil {
 		f.onoff.Stop()
 	}
 	if f.RSS != nil && f.Spec.Host == 0 {
 		f.RSS.Stop()
 	}
-	s.dm.set(f.ID, nil)
+	s.dm.set(f.ID, 0, nil)
 	if s.revDemux != nil {
-		s.revDemux.set(f.ID, nil)
+		s.revDemux.set(f.ID, 0, nil)
+	}
+	if dynamic {
+		s.churn.freeIDs = append(s.churn.freeIDs, f.ID)
 	}
 	if dynamic && f.Spec.Host == 0 && f.NIC.Idle() {
 		if s.churn.spareNICs == nil {

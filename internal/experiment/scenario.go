@@ -208,6 +208,19 @@ type Config struct {
 	// (figure generation) need tracing. Campaign workers run traceless so
 	// million-run sweeps spend nothing on series nobody reads.
 	Traceless bool
+	// TimerWheel hosts every endpoint timer (each sender's RTO, each
+	// receiver's delayed ACK) on a timer wheel instead of the calendar
+	// heap. The observable schedule is byte-identical either way (see
+	// sim.Wheel); the wheel keeps calendar depth flat when tens of
+	// thousands of flows re-arm timers on every ACK.
+	TimerWheel bool `json:",omitempty"`
+	// RetainFlows caps how many completed-flow records Result.Flows keeps:
+	// 0 retains every record (the legacy default), -1 retains none, a
+	// positive cap keeps the first N in completion order. The streaming
+	// Result.FCT summary covers every completion regardless of the cap, so
+	// many-flows churn runs can bound memory without losing their
+	// completion-time figures.
+	RetainFlows int `json:",omitempty"`
 }
 
 func (c Config) withDefaults() Config {
@@ -333,6 +346,7 @@ type Scenario struct {
 	hops       []builtHop
 	dm         *demux      // forward egress → per-flow receivers
 	exitHop    []int       // FlowID → index of the last hop the flow traverses
+	flowGen    []uint32    // FlowID → current incarnation (see demux)
 	revLink    *netem.Link // non-nil when the reverse channel is real
 	revQ       *netem.DropTail
 	revDemux   *demux // reverse egress → per-flow senders
@@ -363,27 +377,43 @@ type Scenario struct {
 	// campaign replicates after the first run entirely on recycled
 	// segments.
 	segs *packet.Pool
+
+	// ftab is the shared struct-of-arrays flow table every sender of the
+	// scenario draws its hot-state row from; detached dynamic flows return
+	// their rows, so the table is bounded by the peak live population. It
+	// survives Reset like the segment pool. wheel is the endpoint-timer
+	// wheel, allocated on the first Cfg.TimerWheel run and kept (reset)
+	// across replicates.
+	ftab  *tcp.FlowTable
+	wheel *sim.Wheel
 }
 
 // demux routes segments to per-flow receivers. Flow IDs are dense small
-// integers assigned at build time, so routing is a slice index.
+// integers, so routing is a slice index; churn recycles the IDs of detached
+// flows (the route table stays bounded by the peak live population), so each
+// route also carries the generation of the flow incarnation that owns it —
+// a stray in-flight segment of a dead flow carries the old generation and
+// is released instead of delivered to the ID's next owner.
 type demux struct {
 	routes []netem.Receiver // indexed by FlowID
+	gens   []uint32         // owning incarnation per route
 }
 
-func (d *demux) set(id packet.FlowID, r netem.Receiver) {
+func (d *demux) set(id packet.FlowID, gen uint32, r netem.Receiver) {
 	for int(id) >= len(d.routes) {
 		d.routes = append(d.routes, nil)
+		d.gens = append(d.gens, 0)
 	}
 	d.routes[id] = r
+	d.gens[id] = gen
 }
 
 func (d *demux) Receive(seg *packet.Segment) {
-	if i := int(seg.Flow); i < len(d.routes) && d.routes[i] != nil {
+	if i := int(seg.Flow); i < len(d.routes) && d.routes[i] != nil && d.gens[i] == seg.Gen {
 		d.routes[i].Receive(seg)
 		return
 	}
-	seg.Release() // unroutable: drop and recycle
+	seg.Release() // unroutable or stale generation: drop and recycle
 }
 
 // Build assembles the testbed described by cfg.
@@ -421,6 +451,7 @@ func (s *Scenario) Reset(cfg Config) error {
 	clear(s.rssByHost)
 	s.Bottleneck, s.hops, s.dm = nil, nil, nil
 	s.exitHop = s.exitHop[:0]
+	s.flowGen = s.flowGen[:0]
 	s.revLink, s.revQ, s.revDemux = nil, nil, nil
 	s.drops, s.revDrops = 0, 0
 	s.aggValid, s.aggTps, s.aggStats = false, nil, nil
@@ -442,6 +473,21 @@ func (s *Scenario) init(cfg Config) error {
 	// emptied); a capacity change re-sizes it.
 	if cap := cfg.EventLog; s.FR == nil || (cap > 0 && s.FR.Cap() != cap) {
 		s.FR = telemetry.NewFlightRecorder(cap)
+	}
+	// The flow table and (when enabled) the timer wheel persist across
+	// Reset like the segment pool: replicates after the first run entirely
+	// on recycled rows. A wheel allocated for an earlier replicate stays
+	// cached while a non-wheel config runs — nothing references it then.
+	if s.ftab == nil {
+		s.ftab = tcp.NewFlowTable(len(cfg.Flows) + 1)
+	} else {
+		s.ftab.Reset()
+	}
+	if s.wheel != nil {
+		s.wheel.Reset()
+	}
+	if cfg.TimerWheel && s.wheel == nil {
+		s.wheel = sim.NewWheel(eng, sim.DefaultWheelGran, sim.DefaultWheelSlots)
 	}
 	topo := cfg.topology()
 	if err := topo.Validate(); err != nil {
@@ -597,6 +643,17 @@ func (s *Scenario) setExit(id packet.FlowID, last int) {
 	s.exitHop[id] = last
 }
 
+// nextGen advances and returns the FlowID's incarnation counter. The first
+// owner of an ID gets generation 1, so a cleared route (generation 0) can
+// never match a stamped segment.
+func (s *Scenario) nextGen(id packet.FlowID) uint32 {
+	for int(id) >= len(s.flowGen) {
+		s.flowGen = append(s.flowGen, 0)
+	}
+	s.flowGen[id]++
+	return s.flowGen[id]
+}
+
 // buildFlow wires one sender/receiver pair into the scenario. Static flows
 // (dynamic=false) register traced gauges and start their workload at
 // StartAt; dynamic flows — churn arrivals attached mid-run — recycle idle
@@ -613,9 +670,15 @@ func buildFlow(s *Scenario, spec FlowSpec, id packet.FlowID, dynamic bool) (*Flo
 		return nil, err
 	}
 	s.setExit(id, last)
+	gen := s.nextGen(id)
 
 	tcpCfg := tcp.DefaultConfig()
 	tcpCfg.Pool = s.segs
+	tcpCfg.Table = s.ftab
+	tcpCfg.Gen = gen
+	if cfg.TimerWheel {
+		tcpCfg.Wheel = s.wheel
+	}
 	if spec.MSS > 0 {
 		tcpCfg.MSS = spec.MSS
 	}
@@ -661,7 +724,7 @@ func buildFlow(s *Scenario, spec FlowSpec, id packet.FlowID, dynamic bool) (*Flo
 	// otherwise the flow gets an ideal wire whose delay mirrors its route.
 	var ackPath netem.Receiver
 	if s.revLink != nil {
-		s.revDemux.set(id, netem.Func(func(seg *packet.Segment) {
+		s.revDemux.set(id, gen, netem.Func(func(seg *packet.Segment) {
 			flow.Sender.Receive(seg)
 		}))
 		ackPath = s.revLink
@@ -677,7 +740,7 @@ func buildFlow(s *Scenario, spec FlowSpec, id packet.FlowID, dynamic bool) (*Flo
 		}))
 	}
 	flow.Receiver = tcp.NewReceiver(eng, tcpCfg, id, ackPath)
-	dm.set(id, flow.Receiver)
+	dm.set(id, gen, flow.Receiver)
 
 	flow.Sender = tcp.NewSender(eng, tcpCfg, id, ctrl, nic)
 	flow.Sender.SetFlightRecorder(s.FR)
@@ -816,9 +879,15 @@ type Result struct {
 	// ReverseDrops counts ACKs refused by the reverse channel's queue
 	// (always zero on the ideal pure-delay reverse wire).
 	ReverseDrops int64
-	// Flows lists every completed dynamic (churn) flow in completion
-	// order; empty for static runs, so legacy exports are unchanged.
+	// Flows lists completed dynamic (churn) flows in completion order —
+	// every one by default, the first Config.RetainFlows under a positive
+	// cap, none under a negative one. Empty for static runs, so legacy
+	// exports are unchanged.
 	Flows []FlowRecord `json:",omitempty"`
+	// FCT is the streaming digest of every completed dynamic flow — always
+	// full-population, regardless of the RetainFlows cap on Flows. Nil
+	// when the run completed none.
+	FCT *FCTSummary `json:",omitempty"`
 	// FlowsActive counts dynamic flows still live when the run ended.
 	FlowsActive int `json:",omitempty"`
 	// FlowsRefused counts arrivals turned away by ChurnSpec.MaxLive.
@@ -904,6 +973,7 @@ func (s *Scenario) resultFor(i int) Result {
 	if len(s.churn.records) > 0 {
 		res.Flows = append([]FlowRecord(nil), s.churn.records...)
 	}
+	res.FCT = s.churn.fctSummary()
 	if f != nil {
 		st := f.Sender.Stats().Snapshot(now)
 		res.Alg = f.Spec.Alg

@@ -72,6 +72,11 @@ const HeaderBytes = 40
 type Segment struct {
 	// Flow identifies the connection the segment belongs to.
 	Flow FlowID
+	// Gen is the flow's incarnation under FlowID reuse: endpoints stamp
+	// their configured generation on every segment, and demultiplexers
+	// deliver only when it matches the route's — a stray segment of a
+	// detached flow can never reach the ID's next owner.
+	Gen uint32
 	// Seq is the first data byte carried; Seq+Len is one past the last.
 	Seq int64
 	// Len is the number of payload bytes.

@@ -23,6 +23,14 @@ type Timer struct {
 	at     Time   // target deadline, meaningful while armed
 	seq    uint64 // sequence number reserved by the latest Arm
 	armed  bool
+
+	// Wheel-backed mode (see Wheel): when wheel is non-nil, Arm and Stop
+	// route through the wheel's O(1) slot lists instead of the calendar
+	// heap. wNext/wPrev/wSlot are the intrusive slot-list node, owned by
+	// the wheel while wSlot >= 0.
+	wheel        *Wheel
+	wNext, wPrev *Timer
+	wSlot        int32
 }
 
 // NewTimer returns a stopped timer that will invoke fn when it expires.
@@ -30,9 +38,30 @@ func NewTimer(eng *Engine, fn func()) *Timer {
 	if fn == nil {
 		panic("sim: NewTimer with nil func")
 	}
-	t := &Timer{eng: eng, fn: fn}
+	t := &Timer{eng: eng, fn: fn, wSlot: -1}
 	t.fireFn = t.fire
 	return t
+}
+
+// NewWheelTimer returns a stopped timer whose deadlines are managed by the
+// wheel. The Arm/Stop/Deadline API and the observable firing order are
+// identical to a plain timer on the same engine; only the bookkeeping cost
+// differs.
+func NewWheelTimer(w *Wheel, fn func()) *Timer {
+	t := NewTimer(w.eng, fn)
+	t.wheel = w
+	return t
+}
+
+// Init (re)initializes a zero Timer value in place, the allocation-free
+// equivalent of NewTimer for timers embedded by value in a larger per-flow
+// struct. w may be nil for a plain heap-backed timer.
+func (t *Timer) Init(eng *Engine, w *Wheel, fn func()) {
+	if fn == nil {
+		panic("sim: Timer.Init with nil func")
+	}
+	*t = Timer{eng: eng, fn: fn, wheel: w, wSlot: -1}
+	t.fireFn = t.fire
 }
 
 // Arm (re)schedules the timer to fire d from now, superseding any earlier
@@ -49,6 +78,13 @@ func (t *Timer) ArmAt(at Time) {
 	t.at = at
 	t.armed = true
 	t.seq = t.eng.ReserveSeq()
+	if t.wheel != nil {
+		// Wheel mode: relocation is O(1) on the ring, so re-arm eagerly.
+		// The entry that finally fires still carries this reserved
+		// number, so ordering matches the heap path exactly.
+		t.wheel.arm(t)
+		return
+	}
 	if t.ev.Pending() && t.ev.At() < at {
 		// Deadline moved later: keep the stale entry; fire() will
 		// re-schedule at the real deadline with the reserved number.
@@ -61,6 +97,9 @@ func (t *Timer) ArmAt(at Time) {
 // Stop cancels the pending expiry, if any.
 func (t *Timer) Stop() {
 	t.armed = false
+	if t.wheel != nil && t.wSlot >= 0 {
+		t.wheel.unlink(t)
+	}
 	t.eng.Cancel(t.ev)
 	t.ev = Event{}
 }

@@ -111,6 +111,21 @@ func (a *Accumulator) Summary() Summary {
 	return s
 }
 
+// Percentile returns the exact p-quantile — sorted-sample linear
+// interpolation, the same estimator Summary uses for P50/P90 — while the
+// accumulator is still in the exact regime. Once it has overflowed into P²
+// estimation (or holds no observations) ok is false and the caller must fall
+// back to its own tail estimator; the Accumulator only tracks P50/P90 past
+// the exact buffer.
+func (a *Accumulator) Percentile(p float64) (q float64, ok bool) {
+	if a.approx || len(a.exact) == 0 {
+		return math.NaN(), false
+	}
+	sorted := append(make([]float64, 0, len(a.exact)), a.exact...)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p), true
+}
+
 // Merge folds b's observations into a, as if b's stream had been appended
 // to a's. An exact-regime b merges losslessly (its buffered values are
 // replayed in order). Once b has overflowed into P² estimation the moments

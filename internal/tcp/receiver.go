@@ -29,7 +29,7 @@ type Receiver struct {
 	rcvNxt  int64
 	ooo     []packet.SACKBlock // sorted, disjoint
 	pending int                // in-order segments since last ACK
-	delack  *sim.Timer
+	delack  sim.Timer
 	stopped bool
 	stats   ReceiverStats
 }
@@ -41,7 +41,7 @@ func NewReceiver(eng *sim.Engine, cfg Config, flow packet.FlowID, out netem.Rece
 	}
 	cfg = cfg.withDefaults()
 	r := &Receiver{eng: eng, cfg: cfg, flow: flow, out: out}
-	r.delack = sim.NewTimer(eng, r.onDelAckTimeout)
+	r.delack.Init(eng, cfg.Wheel, r.onDelAckTimeout)
 	return r
 }
 
@@ -134,6 +134,7 @@ func (r *Receiver) onDelAckTimeout() {
 func (r *Receiver) sendAck(delayed bool, recentSeq int64) {
 	ack := r.cfg.getSegment()
 	ack.Flow = r.flow
+	ack.Gen = r.cfg.Gen
 	ack.Ack = r.rcvNxt
 	ack.Flags = packet.FlagACK
 	ack.Wnd = r.cfg.RcvWnd

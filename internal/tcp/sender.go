@@ -25,10 +25,16 @@ func (r *sentRecord) end() int64 { return r.seq + int64(r.length) }
 // live returns the outstanding window: the records not yet consumed by a
 // cumulative ACK. Pointers into it stay valid until the next append or
 // popAcked compaction.
-func (s *Sender) live() []sentRecord { return s.segs[s.segHead:] }
+func (s *Sender) live() []sentRecord { return s.segs[s.tbl.segHead[s.slot]:] }
 
 // Sender is the TCP sending side. It implements cc.Window for its
 // congestion controller and netem.Receiver for the incoming ACK stream.
+//
+// The hot window and sequence state (cwnd, ssthresh, snd.una, snd.nxt, the
+// SACK aggregates, the record-list head) lives in a FlowTable row — the
+// struct-of-arrays layout many-flows scenarios need — addressed by tbl and
+// slot. The struct itself is the cold half: configuration, wiring, loss-
+// recovery mode, and instrumentation.
 type Sender struct {
 	eng  *sim.Engine
 	cfg  Config
@@ -36,34 +42,23 @@ type Sender struct {
 	ctrl cc.Controller
 	path TransmitPath
 
+	tbl  *FlowTable // hot state rows; private single-row table if unshared
+	slot int32      // row owned by this sender, -1 after ReleaseRow
+
 	stats *web100.Stats
 	fr    *telemetry.FlightRecorder // nil-safe: unset means no recording
 
-	// window state (bytes)
-	cwnd     int64
-	ssthresh int64
-	rwnd     int64 // peer's advertised window, from ACKs
+	closed bool // application will supply no more
 
-	// sequence state
-	sndUna   int64
-	sndNxt   int64
-	maxSent  int64 // transmission high-water mark (survives RTO rewind)
-	supplied int64 // bytes the application has made available
-	closed   bool  // application will supply no more
-
-	// Outstanding records, ordered by seq, live in segs[segHead:]. ACKs
-	// consume from the front by advancing segHead (with amortized
-	// compaction) instead of copying the surviving window down — at
-	// paper-path windows a per-ACK copy moved the whole flight every ACK
-	// and dominated the profile's memmove time.
-	segs        []sentRecord
-	segHead     int
-	sackedBytes int64 // bytes of outstanding records marked SACKed
-	fack        int64 // forward ACK: highest SACKed sequence end
-	rtxOut      int64 // retransmitted bytes not yet (S)ACKed
+	// Outstanding records, ordered by seq, live in segs[segHead:] (the
+	// head index is table state). ACKs consume from the front by advancing
+	// segHead (with amortized compaction) instead of copying the surviving
+	// window down — at paper-path windows a per-ACK copy moved the whole
+	// flight every ACK and dominated the profile's memmove time.
+	segs []sentRecord
 
 	est     rttEstimator
-	rto     *sim.Timer
+	rto     sim.Timer
 	lastRTT time.Duration // most recent raw sample, for delay heuristics
 
 	// loss recovery
@@ -95,17 +90,25 @@ func NewSender(eng *sim.Engine, cfg Config, flow packet.FlowID, ctrl cc.Controll
 		panic("tcp: NewSender with nil transmit path")
 	}
 	cfg = cfg.withDefaults()
+	tbl := cfg.Table
+	if tbl == nil {
+		// Unshared sender: a private one-row table keeps the hot-state
+		// access pattern identical without requiring callers to care.
+		tbl = NewFlowTable(1)
+	}
 	s := &Sender{
 		eng:   eng,
 		cfg:   cfg,
 		flow:  flow,
 		ctrl:  ctrl,
 		path:  path,
+		tbl:   tbl,
+		slot:  tbl.Alloc(),
 		stats: web100.New(eng.Now()),
-		rwnd:  cfg.RcvWnd,
 		est:   newRTTEstimator(cfg.InitialRTO, cfg.MinRTO, cfg.MaxRTO, cfg.RTOGranularity),
 	}
-	s.rto = sim.NewTimer(eng, s.onRTO)
+	s.tbl.rwnd[s.slot] = cfg.RcvWnd
+	s.rto.Init(eng, cfg.Wheel, s.onRTO)
 	s.resumeFn = func() {
 		s.wakerArmed = false
 		s.trySend()
@@ -115,40 +118,73 @@ func NewSender(eng *sim.Engine, cfg Config, flow packet.FlowID, ctrl cc.Controll
 	return s
 }
 
+// Slot returns the sender's flow-table row index (-1 after ReleaseRow).
+func (s *Sender) Slot() int32 { return s.slot }
+
+// ReleaseRow returns the sender's hot-state row to its table's free list.
+// Only legal once the sender is finished (completed or stopped); after the
+// call the window accessors report zero and the row may be recycled by a
+// new flow. Idempotent.
+func (s *Sender) ReleaseRow() {
+	if s.slot < 0 {
+		return
+	}
+	if !s.finished {
+		panic("tcp: ReleaseRow on a sender that is still running")
+	}
+	s.tbl.Free(s.slot)
+	s.slot = -1
+}
+
 // --- cc.Window implementation ---
 
 // MSS returns the segment payload size.
 func (s *Sender) MSS() int { return s.cfg.MSS }
 
-// Cwnd returns the congestion window in bytes.
-func (s *Sender) Cwnd() int64 { return s.cwnd }
+// Cwnd returns the congestion window in bytes (0 once the row is released).
+func (s *Sender) Cwnd() int64 {
+	if s.slot < 0 {
+		return 0
+	}
+	return s.tbl.cwnd[s.slot]
+}
 
 // SetCwnd sets the congestion window, clamped to at least one MSS.
 func (s *Sender) SetCwnd(b int64) {
 	if b < int64(s.cfg.MSS) {
 		b = int64(s.cfg.MSS)
 	}
-	if b != s.cwnd {
-		s.fr.Record(s.eng.Now(), telemetry.KindCwnd, int32(s.flow), -1, s.cwnd, b)
+	if b != s.tbl.cwnd[s.slot] {
+		s.fr.Record(s.eng.Now(), telemetry.KindCwnd, int32(s.flow), -1, s.tbl.cwnd[s.slot], b)
 	}
-	s.cwnd = b
+	s.tbl.cwnd[s.slot] = b
 	s.stats.SetCwnd(b)
 }
 
-// Ssthresh returns the slow-start threshold in bytes.
-func (s *Sender) Ssthresh() int64 { return s.ssthresh }
+// Ssthresh returns the slow-start threshold in bytes (0 once released).
+func (s *Sender) Ssthresh() int64 {
+	if s.slot < 0 {
+		return 0
+	}
+	return s.tbl.ssthresh[s.slot]
+}
 
 // SetSsthresh sets the slow-start threshold, clamped to >= 2 MSS.
 func (s *Sender) SetSsthresh(b int64) {
 	if b < 2*int64(s.cfg.MSS) {
 		b = 2 * int64(s.cfg.MSS)
 	}
-	s.ssthresh = b
+	s.tbl.ssthresh[s.slot] = b
 	s.stats.SetSsthresh(b)
 }
 
 // FlightSize returns the outstanding bytes (snd.nxt - snd.una).
-func (s *Sender) FlightSize() int64 { return s.sndNxt - s.sndUna }
+func (s *Sender) FlightSize() int64 {
+	if s.slot < 0 {
+		return 0
+	}
+	return s.tbl.sndNxt[s.slot] - s.tbl.sndUna[s.slot]
+}
 
 // SRTT returns the smoothed RTT (0 before the first sample).
 func (s *Sender) SRTT() time.Duration { return s.est.SRTT() }
@@ -166,7 +202,7 @@ func (s *Sender) Supply(n int64) {
 	if n <= 0 || s.finished {
 		return
 	}
-	s.supplied += n
+	s.tbl.supplied[s.slot] += n
 	s.trySend()
 }
 
@@ -192,10 +228,20 @@ func (s *Sender) SetFlightRecorder(fr *telemetry.FlightRecorder) { s.fr = fr }
 func (s *Sender) Controller() cc.Controller { return s.ctrl }
 
 // SndUna returns the oldest unacknowledged sequence number.
-func (s *Sender) SndUna() int64 { return s.sndUna }
+func (s *Sender) SndUna() int64 {
+	if s.slot < 0 {
+		return 0
+	}
+	return s.tbl.sndUna[s.slot]
+}
 
 // SndNxt returns the next sequence number to be sent.
-func (s *Sender) SndNxt() int64 { return s.sndNxt }
+func (s *Sender) SndNxt() int64 {
+	if s.slot < 0 {
+		return 0
+	}
+	return s.tbl.sndNxt[s.slot]
+}
 
 // InRecovery reports whether fast recovery is in progress.
 func (s *Sender) InRecovery() bool { return s.inRecovery }
@@ -230,7 +276,7 @@ func (s *Sender) trySend() {
 			// Burst cap: later ACKs (or the NIC waker) release more.
 			return
 		}
-		avail := s.supplied - s.sndNxt
+		avail := s.tbl.supplied[s.slot] - s.tbl.sndNxt[s.slot]
 		if avail <= 0 {
 			// Nothing from the application: sender-limited.
 			s.stats.SetSndLim(web100.SndLimSender, s.eng.Now())
@@ -249,7 +295,7 @@ func (s *Sender) trySend() {
 			inFlight = s.pipe()
 		}
 		if inFlight+int64(n) > wnd {
-			if min64(s.cwnd, s.rwnd) == s.cwnd {
+			if min64(s.tbl.cwnd[s.slot], s.tbl.rwnd[s.slot]) == s.tbl.cwnd[s.slot] {
 				s.stats.SetSndLim(web100.SndLimCwnd, s.eng.Now())
 			} else {
 				s.stats.SetSndLim(web100.SndLimRwnd, s.eng.Now())
@@ -258,12 +304,13 @@ func (s *Sender) trySend() {
 		}
 		seg := s.cfg.getSegment()
 		seg.Flow = s.flow
-		seg.Seq = s.sndNxt
+		seg.Gen = s.cfg.Gen
+		seg.Seq = s.tbl.sndNxt[s.slot]
 		seg.Len = n
 		seg.Flags = packet.FlagACK
 		seg.Wnd = s.cfg.RcvWnd
 		seg.SentAt = s.eng.Now()
-		rtx := s.sndNxt < s.rtxHigh
+		rtx := s.tbl.sndNxt[s.slot] < s.rtxHigh
 		seg.Retransmit = rtx
 		if !s.path.Send(seg) {
 			seg.Release()
@@ -271,11 +318,11 @@ func (s *Sender) trySend() {
 			return
 		}
 		s.segs = append(s.segs, sentRecord{
-			seq: s.sndNxt, length: n, sentAt: s.eng.Now(), rtx: rtx,
+			seq: s.tbl.sndNxt[s.slot], length: n, sentAt: s.eng.Now(), rtx: rtx,
 		})
-		s.sndNxt += int64(n)
-		if s.sndNxt > s.maxSent {
-			s.maxSent = s.sndNxt
+		s.tbl.sndNxt[s.slot] += int64(n)
+		if s.tbl.sndNxt[s.slot] > s.tbl.maxSent[s.slot] {
+			s.tbl.maxSent[s.slot] = s.tbl.sndNxt[s.slot]
 		}
 		s.noteSent(n, rtx)
 		burst++
@@ -288,7 +335,7 @@ func (s *Sender) trySend() {
 // effectiveWindow is min(cwnd, rwnd) plus the RFC 3042 limited-transmit
 // allowance during the first duplicate ACKs.
 func (s *Sender) effectiveWindow() int64 {
-	wnd := min64(s.cwnd, s.rwnd)
+	wnd := min64(s.tbl.cwnd[s.slot], s.tbl.rwnd[s.slot])
 	if s.cfg.LimitedTransmit && !s.inRecovery &&
 		s.dupAcks > 0 && s.dupAcks < s.cfg.DupThresh {
 		wnd += int64(s.dupAcks) * int64(s.cfg.MSS)
@@ -311,21 +358,21 @@ func (s *Sender) noteSent(n int, rtx bool) {
 func (s *Sender) onSendStall() {
 	s.stats.SendStall++
 	s.stats.SetSndLim(web100.SndLimSender, s.eng.Now())
-	s.fr.Record(s.eng.Now(), telemetry.KindStall, int32(s.flow), -1, s.sndNxt, s.cwnd)
+	s.fr.Record(s.eng.Now(), telemetry.KindStall, int32(s.flow), -1, s.tbl.sndNxt[s.slot], s.tbl.cwnd[s.slot])
 	if s.OnStall != nil {
 		s.OnStall()
 	}
-	if s.cfg.Stall == StallCongestion && s.sndUna >= s.stallCwrHigh {
+	if s.cfg.Stall == StallCongestion && s.tbl.sndUna[s.slot] >= s.stallCwrHigh {
 		// At most one window collapse per RTT: suppress further stall
 		// signals until the current flight is acknowledged.
-		s.stallCwrHigh = s.sndNxt
+		s.stallCwrHigh = s.tbl.sndNxt[s.slot]
 		s.stats.CongSignals++
 		s.stats.LocalCongCwnd++
 		wasSS := s.ctrl.InSlowStart()
 		s.ctrl.OnLocalStall()
 		if wasSS && !s.ctrl.InSlowStart() {
 			s.stats.SlowStartExits++
-			s.fr.Record(s.eng.Now(), telemetry.KindSlowStartExit, int32(s.flow), -1, s.cwnd, s.ssthresh)
+			s.fr.Record(s.eng.Now(), telemetry.KindSlowStartExit, int32(s.flow), -1, s.tbl.cwnd[s.slot], s.tbl.ssthresh[s.slot])
 		}
 	}
 	// One waker at a time: several code paths (each arriving ACK, the
@@ -345,6 +392,7 @@ func (s *Sender) sendRetransmit() bool {
 	}
 	seg := s.cfg.getSegment()
 	seg.Flow = s.flow
+	seg.Gen = s.cfg.Gen
 	seg.Seq = rec.seq
 	seg.Len = rec.length
 	seg.Flags = packet.FlagACK
@@ -359,7 +407,7 @@ func (s *Sender) sendRetransmit() bool {
 	rec.rtx = true
 	rec.rtxDone = true
 	rec.sentAt = s.eng.Now()
-	s.rtxOut += int64(rec.length)
+	s.tbl.rtxOut[s.slot] += int64(rec.length)
 	s.noteSent(rec.length, true)
 	return true
 }
@@ -401,13 +449,14 @@ func (s *Sender) sendSACKRetransmissions() bool {
 		}
 		if rec.rtxDone {
 			// Lost retransmission: it is no longer in the pipe.
-			s.rtxOut -= int64(rec.length)
+			s.tbl.rtxOut[s.slot] -= int64(rec.length)
 		}
-		if s.pipe()+int64(rec.length) > min64(s.cwnd, s.rwnd) {
+		if s.pipe()+int64(rec.length) > min64(s.tbl.cwnd[s.slot], s.tbl.rwnd[s.slot]) {
 			break
 		}
 		seg := s.cfg.getSegment()
 		seg.Flow = s.flow
+		seg.Gen = s.cfg.Gen
 		seg.Seq = rec.seq
 		seg.Len = rec.length
 		seg.Flags = packet.FlagACK
@@ -422,7 +471,7 @@ func (s *Sender) sendSACKRetransmissions() bool {
 		rec.rtx = true
 		rec.rtxDone = true
 		rec.sentAt = s.eng.Now()
-		s.rtxOut += int64(rec.length)
+		s.tbl.rtxOut[s.slot] += int64(rec.length)
 		s.noteSent(rec.length, true)
 		burst++
 	}
@@ -435,15 +484,15 @@ func (s *Sender) sendSACKRetransmissions() bool {
 // Counting lost bytes as in-flight (the naive flight − sacked) starves deep
 // -loss recovery behind the window check.
 func (s *Sender) pipe() int64 {
-	high := s.fack
-	if high < s.sndUna {
-		high = s.sndUna
+	high := s.tbl.fack[s.slot]
+	if high < s.tbl.sndUna[s.slot] {
+		high = s.tbl.sndUna[s.slot]
 	}
-	inFlight := s.sndNxt - high
+	inFlight := s.tbl.sndNxt[s.slot] - high
 	if inFlight < 0 {
 		inFlight = 0
 	}
-	return inFlight + s.rtxOut
+	return inFlight + s.tbl.rtxOut[s.slot]
 }
 
 // firstRetransmittable returns a pointer into s.segs; it is only valid
@@ -469,7 +518,7 @@ func (s *Sender) Receive(seg *packet.Segment) {
 		return
 	}
 	s.stats.SegsIn++
-	s.rwnd = seg.Wnd
+	s.tbl.rwnd[s.slot] = seg.Wnd
 	s.stats.CurRwnd = seg.Wnd
 	newSACK := int64(0)
 	if s.cfg.SACK && len(seg.SACK) > 0 {
@@ -477,13 +526,13 @@ func (s *Sender) Receive(seg *packet.Segment) {
 		newSACK = s.applySACK(seg.SACK)
 	}
 	switch {
-	case seg.Ack > s.maxSent:
+	case seg.Ack > s.tbl.maxSent[s.slot]:
 		// Acks data never sent: ignore. (Acks above the post-RTO sndNxt
 		// but within the pre-RTO flight are legitimate — the receiver
 		// had the data all along.)
-	case seg.Ack > s.sndUna:
+	case seg.Ack > s.tbl.sndUna[s.slot]:
 		s.onNewAck(seg.Ack)
-	case seg.Ack == s.sndUna && s.FlightSize() > 0 && seg.IsPureAck():
+	case seg.Ack == s.tbl.sndUna[s.slot] && s.FlightSize() > 0 && seg.IsPureAck():
 		// With SACK, a duplicate ACK only signals a missing segment if
 		// it carries new scoreboard information; echoes of duplicate
 		// arrivals (e.g. from go-back-N resends) carry none and are
@@ -498,12 +547,12 @@ func (s *Sender) Receive(seg *packet.Segment) {
 }
 
 func (s *Sender) onNewAck(ack int64) {
-	acked := ack - s.sndUna
-	s.sndUna = ack
-	if s.sndNxt < s.sndUna {
+	acked := ack - s.tbl.sndUna[s.slot]
+	s.tbl.sndUna[s.slot] = ack
+	if s.tbl.sndNxt[s.slot] < s.tbl.sndUna[s.slot] {
 		// An ACK above the rewound sndNxt (post-RTO): the receiver held
 		// the data; skip ahead rather than resending it.
-		s.sndNxt = s.sndUna
+		s.tbl.sndNxt[s.slot] = s.tbl.sndUna[s.slot]
 	}
 	s.stats.ThruOctetsAcked += acked
 	if sample, ok := s.popAcked(ack); ok {
@@ -540,7 +589,7 @@ func (s *Sender) onNewAck(ack int64) {
 		s.ctrl.OnAck(acked)
 		if wasSS && !s.ctrl.InSlowStart() {
 			s.stats.SlowStartExits++
-			s.fr.Record(s.eng.Now(), telemetry.KindSlowStartExit, int32(s.flow), -1, s.cwnd, s.ssthresh)
+			s.fr.Record(s.eng.Now(), telemetry.KindSlowStartExit, int32(s.flow), -1, s.tbl.cwnd[s.slot], s.tbl.ssthresh[s.slot])
 		}
 	}
 	if s.FlightSize() == 0 {
@@ -568,7 +617,7 @@ func (s *Sender) onDupAck() {
 		// retransmitted during that recovery; re-entering would cut the
 		// window twice for one loss event. SACK flows discriminate via
 		// new-scoreboard-information instead (see Receive).
-		if !s.cfg.SACK && s.sndUna <= s.recover && s.recover > 0 {
+		if !s.cfg.SACK && s.tbl.sndUna[s.slot] <= s.recover && s.recover > 0 {
 			return
 		}
 		s.enterRecovery()
@@ -577,15 +626,15 @@ func (s *Sender) onDupAck() {
 
 func (s *Sender) enterRecovery() {
 	s.inRecovery = true
-	s.recover = s.sndNxt
+	s.recover = s.tbl.sndNxt[s.slot]
 	s.stats.CongSignals++
 	s.stats.FastRetran++
-	s.fr.Record(s.eng.Now(), telemetry.KindLossDetect, int32(s.flow), -1, s.sndUna, s.recover)
+	s.fr.Record(s.eng.Now(), telemetry.KindLossDetect, int32(s.flow), -1, s.tbl.sndUna[s.slot], s.recover)
 	wasSS := s.ctrl.InSlowStart()
 	s.ctrl.OnEnterRecovery()
 	if wasSS {
 		s.stats.SlowStartExits++
-		s.fr.Record(s.eng.Now(), telemetry.KindSlowStartExit, int32(s.flow), -1, s.cwnd, s.ssthresh)
+		s.fr.Record(s.eng.Now(), telemetry.KindSlowStartExit, int32(s.flow), -1, s.tbl.cwnd[s.slot], s.tbl.ssthresh[s.slot])
 	}
 	s.rtxPending = true
 	s.rto.Arm(s.est.RTO())
@@ -604,9 +653,9 @@ func (s *Sender) popAcked(ack int64) (time.Duration, bool) {
 			break
 		}
 		if rec.sacked {
-			s.sackedBytes -= int64(rec.length)
+			s.tbl.sackedBytes[s.slot] -= int64(rec.length)
 		} else if rec.rtxDone {
-			s.rtxOut -= int64(rec.length)
+			s.tbl.rtxOut[s.slot] -= int64(rec.length)
 		}
 		// RTT samples come only from records that are neither
 		// retransmissions (Karn) nor previously SACKed: a SACKed record
@@ -619,12 +668,13 @@ func (s *Sender) popAcked(ack int64) (time.Duration, bool) {
 	}
 	// Consume the acked prefix by advancing the window head; compact the
 	// backing array only once the dead prefix dominates (amortized O(1)).
-	s.segHead += i
-	if s.segHead > 64 && s.segHead*2 >= len(s.segs) {
-		n := copy(s.segs, s.segs[s.segHead:])
+	head := int(s.tbl.segHead[s.slot]) + i
+	if head > 64 && head*2 >= len(s.segs) {
+		n := copy(s.segs, s.segs[head:])
 		s.segs = s.segs[:n]
-		s.segHead = 0
+		head = 0
 	}
+	s.tbl.segHead[s.slot] = int32(head)
 	// Partial coverage of the front record (ack inside a segment) cannot
 	// happen with MSS-aligned acks, but trim defensively.
 	if live = s.live(); len(live) > 0 && live[0].seq < ack {
@@ -646,13 +696,13 @@ func (s *Sender) applySACK(blocks []packet.SACKBlock) int64 {
 			rec := &live[i]
 			if !rec.sacked && rec.seq >= b.Start && rec.end() <= b.End {
 				rec.sacked = true
-				s.sackedBytes += int64(rec.length)
+				s.tbl.sackedBytes[s.slot] += int64(rec.length)
 				fresh += int64(rec.length)
 				if rec.rtxDone {
-					s.rtxOut -= int64(rec.length)
+					s.tbl.rtxOut[s.slot] -= int64(rec.length)
 				}
-				if rec.end() > s.fack {
-					s.fack = rec.end()
+				if rec.end() > s.tbl.fack[s.slot] {
+					s.tbl.fack[s.slot] = rec.end()
 				}
 			}
 		}
@@ -668,21 +718,21 @@ func (s *Sender) onRTO() {
 	}
 	s.stats.Timeouts++
 	s.stats.CongSignals++
-	s.fr.Record(s.eng.Now(), telemetry.KindRTO, int32(s.flow), -1, s.sndUna, s.sndNxt-s.sndUna)
+	s.fr.Record(s.eng.Now(), telemetry.KindRTO, int32(s.flow), -1, s.tbl.sndUna[s.slot], s.tbl.sndNxt[s.slot]-s.tbl.sndUna[s.slot])
 	s.ctrl.OnRTO()
 	s.est.Backoff()
 	s.stats.CurRTO = s.est.RTO()
 	// Go-back-N: everything beyond snd.una is resent under the collapsed
 	// window; mark the range so Karn's rule skips its RTT samples.
-	if s.sndNxt > s.rtxHigh {
-		s.rtxHigh = s.sndNxt
+	if s.tbl.sndNxt[s.slot] > s.rtxHigh {
+		s.rtxHigh = s.tbl.sndNxt[s.slot]
 	}
-	s.sndNxt = s.sndUna
+	s.tbl.sndNxt[s.slot] = s.tbl.sndUna[s.slot]
 	s.segs = s.segs[:0]
-	s.segHead = 0
-	s.sackedBytes = 0
-	s.fack = s.sndUna
-	s.rtxOut = 0
+	s.tbl.segHead[s.slot] = 0
+	s.tbl.sackedBytes[s.slot] = 0
+	s.tbl.fack[s.slot] = s.tbl.sndUna[s.slot]
+	s.tbl.rtxOut[s.slot] = 0
 	s.dupAcks = 0
 	s.inRecovery = false
 	s.rtxPending = false
@@ -691,7 +741,7 @@ func (s *Sender) onRTO() {
 }
 
 func (s *Sender) checkComplete() {
-	if s.finished || !s.closed || s.sndUna < s.supplied {
+	if s.finished || !s.closed || s.tbl.sndUna[s.slot] < s.tbl.supplied[s.slot] {
 		return
 	}
 	s.finished = true

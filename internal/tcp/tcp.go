@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"rsstcp/internal/packet"
+	"rsstcp/internal/sim"
 )
 
 // TransmitPath is the sender's exit to the host NIC: Send returns false on
@@ -84,6 +85,23 @@ type Config struct {
 	// single-threaded simulation with its own pool skips the global
 	// pool's synchronization on every segment.
 	Pool *packet.Pool
+	// Wheel, when non-nil, hosts the endpoint timers (the sender's RTO,
+	// the receiver's delayed ACK) on a timer wheel instead of the
+	// calendar heap (sim.Wheel). Firing order is identical either way;
+	// the wheel keeps calendar depth flat when thousands of flows re-arm
+	// timers on every ACK.
+	Wheel *sim.Wheel
+	// Table, when non-nil, is the shared struct-of-arrays block senders
+	// draw their hot-state rows from (FlowTable); nil gives each sender a
+	// private one-row table. A many-flows scenario shares one table so
+	// per-ACK state stays dense.
+	Table *FlowTable
+	// Gen is stamped on every segment the endpoints emit
+	// (packet.Segment.Gen); scenarios that recycle FlowIDs give each
+	// incarnation a fresh generation so their demultiplexers can tell a
+	// stray segment of a dead flow from the ID's current owner. Zero (the
+	// default) matches the zero generation of routes that never recycle.
+	Gen uint32
 }
 
 // getSegment draws a segment from the configured allocator.

@@ -69,6 +69,10 @@ type (
 	// FlowRecord is one completed dynamic flow: start/end times, bytes,
 	// retransmissions, slowdown and size class.
 	FlowRecord = experiment.FlowRecord
+	// FCTSummary is the streaming digest of a run's completed dynamic
+	// flows (Result.FCT): completion-time quantiles, slowdowns and totals
+	// over the full population, independent of the RetainFlows record cap.
+	FCTSummary = experiment.FCTSummary
 	// Gains are PID parameters in the paper's standard form.
 	Gains = pid.Gains
 	// Critical is a Ziegler-Nichols critical point (Kc, Tc).
