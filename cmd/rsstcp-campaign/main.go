@@ -51,13 +51,16 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"rsstcp"
@@ -93,6 +96,12 @@ func main() {
 		topoNames  = flag.String("topo", "", "topology presets to sweep (comma list of "+strings.Join(rsstcp.TopologyPresets(), ",")+"; adds a 'topo' axis)")
 		rev        = flag.String("rev", "", "real reverse channel for every cell as rate=Mbps[,delay=D][,queue=N] (adds an 'rbw' axis value)")
 		retainRuns = flag.Bool("retain-runs", false, "keep every raw replicate in the generic report (memory grows with run count)")
+
+		// Sharding flags: cell-aligned multi-process campaigns. Output is
+		// byte-identical at any shard count.
+		shardsN  = flag.Int("shards", 1, "split the campaign across this many child processes, one contiguous cell span each")
+		shardK   = flag.Int("shard", -1, "child mode: run only this shard (0-based) of -shards and emit a shard report instead of campaign output")
+		shardOut = flag.String("shard-out", "-", "child mode: write the shard report JSON here (- for stdout)")
 
 		// Observability flags.
 		metricsAddr   = flag.String("metrics-addr", "", "serve campaign self-metrics as OpenMetrics on this address (e.g. 127.0.0.1:9137)")
@@ -272,9 +281,10 @@ func main() {
 			runs, effectiveWorkers(*workers))
 	}
 	// finish prints the self-metrics epilogue and holds the metrics endpoint
-	// open for scrapers before the process exits.
+	// open for scrapers before the process exits. A shard-merging parent runs
+	// no simulations itself, so its epilogue is skipped.
 	finish := func() {
-		if !*quiet {
+		if !*quiet && self.Runs.Value() > 0 {
 			build, run, fold := self.Phases()
 			fmt.Fprintf(os.Stderr,
 				"campaign: %d runs in %v (%.0f runs/s, %.2gM events/s); phases build %v, run %v, fold %v\n",
@@ -358,8 +368,22 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		progress(plan.Runs())
-		rep, err := c.Run(opts)
+		if *shardK >= 0 {
+			shardChild(plan, *shardsN, *shardK, *shardOut, opts)
+			finish()
+			return
+		}
+		var rep *rsstcp.Report
+		if *shardsN > 1 {
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "campaign: %d runs across %d shard processes\n",
+					plan.Runs(), *shardsN)
+			}
+			rep, err = shardParent(plan, *shardsN)
+		} else {
+			progress(plan.Runs())
+			rep, err = c.Run(opts)
+		}
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -375,10 +399,33 @@ func main() {
 
 	// Legacy path: fixed grid in, fixed columns out (byte-compatible with
 	// the original engine).
-	progress(grid.Runs())
-	res, err := rsstcp.RunCampaign(grid, opts)
-	if err != nil {
-		fatalf("%v", err)
+	if *shardK >= 0 {
+		// The legacy Result shape exposes raw runs, so shard reports must
+		// carry them for the merging parent.
+		opts.RetainRuns = true
+		shardChild(grid.Plan(), *shardsN, *shardK, *shardOut, opts)
+		finish()
+		return
+	}
+	var res *rsstcp.CampaignResult
+	if *shardsN > 1 {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "campaign: %d runs across %d shard processes\n",
+				grid.Runs(), *shardsN)
+		}
+		rep, err := shardParent(grid.Plan(), *shardsN)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if res, err = campaign.ResultFromReport(grid, rep); err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		progress(grid.Runs())
+		var err error
+		if res, err = rsstcp.RunCampaign(grid, opts); err != nil {
+			fatalf("%v", err)
+		}
 	}
 	if *embedTel {
 		// The legacy fixed-grid JSON shape is byte-pinned, so the snapshot
@@ -391,6 +438,68 @@ func main() {
 		return res.Table().Render(w)
 	})
 	finish()
+}
+
+// shardChild runs one shard of the plan and emits the wire-format shard
+// report: the child half of a multi-process campaign.
+func shardChild(p rsstcp.Plan, shards, shard int, outPath string, opts rsstcp.CampaignOptions) {
+	rep, err := campaign.ExecuteShard(p, shards, shard, opts)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	writeTo(outPath, rep.WriteJSON)
+}
+
+// shardParent re-invokes this binary once per shard — same flags, plus the
+// child-mode coordinates — collects the shard reports from the children's
+// stdout, and merges them into the exact report an unsharded run produces.
+// Every child re-derives the identical plan from the identical flags, so
+// the partition needs no coordination beyond the (shards, shard) pair.
+func shardParent(p rsstcp.Plan, shards int) (*rsstcp.Report, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	reports := make([]*campaign.ShardReport, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	wg.Add(shards)
+	for k := 0; k < shards; k++ {
+		go func(k int) {
+			defer wg.Done()
+			// Later flags win, so appended overrides silence the child's
+			// human output and strip per-process observability endpoints
+			// (children would collide on ports and profile paths).
+			args := append(append([]string{}, os.Args[1:]...),
+				"-shard", strconv.Itoa(k),
+				"-shard-out", "-",
+				"-quiet",
+				"-json", "", "-csv", "",
+				"-metrics-addr", "", "-pprof", "",
+				"-cpuprofile", "", "-memprofile", "")
+			cmd := exec.Command(exe, args...)
+			var out bytes.Buffer
+			cmd.Stdout = &out
+			cmd.Stderr = os.Stderr
+			if err := cmd.Run(); err != nil {
+				errs[k] = fmt.Errorf("shard %d: %w", k, err)
+				return
+			}
+			r, err := campaign.ReadShardReport(&out)
+			if err != nil {
+				errs[k] = fmt.Errorf("shard %d: %w", k, err)
+				return
+			}
+			reports[k] = r
+		}(k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return campaign.MergeShards(p, reports)
 }
 
 // sanitizeKey maps a cell key ("bw=100Mbps/rtt=60ms/...") to a filename-safe

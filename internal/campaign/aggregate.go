@@ -123,6 +123,18 @@ type Result struct {
 	Cells []CellResult `json:"cells"`
 }
 
+// ResultFromReport folds a generic report of the grid's compiled plan back
+// into the legacy fixed-field Result — the exported entry point for callers
+// that executed the plan themselves (e.g. a shard-merging parent) rather
+// than through Execute. The report must retain raw runs.
+func ResultFromReport(g Grid, rep *Report) (*Result, error) {
+	g = g.withDefaults()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return legacyResult(g, rep)
+}
+
 // legacyResult folds a generic report of a grid-compiled plan back into the
 // legacy fixed-field Result. The report's stock-metric summaries become the
 // named summary fields, and each cell's composed config is projected onto

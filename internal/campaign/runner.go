@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"rsstcp/internal/experiment"
+	"rsstcp/internal/sim"
 	"rsstcp/internal/stats"
 	"rsstcp/internal/web100"
 )
@@ -125,6 +126,11 @@ type Replicate struct {
 // experiment.TestResetMatchesFreshBuild.
 type runContext struct {
 	s *experiment.Scenario
+	// Last-seen scheduler/wheel counter snapshots: the engine and wheel
+	// survive Reset with lifetime counters, so per-replicate telemetry
+	// deltas need the previous reading.
+	lastSched sim.SchedStats
+	lastWheel sim.WheelStats
 }
 
 // execEnv is the per-campaign execution context shared by every worker:
@@ -150,6 +156,8 @@ func (rc *runContext) runReplicate(env *execEnv, c PlanCell, rep int) (Replicate
 			return Replicate{}, err
 		}
 		rc.s = s
+		// Fresh engine, fresh counters: restart the telemetry deltas.
+		rc.lastSched, rc.lastWheel = sim.SchedStats{}, sim.WheelStats{}
 	} else if err := rc.s.Reset(cfg); err != nil {
 		rc.s = nil // half-built context: rebuild on the next job
 		return Replicate{}, err
@@ -159,6 +167,10 @@ func (rc *runContext) runReplicate(env *execEnv, c PlanCell, rep int) (Replicate
 	res := rc.s.Run()
 	env.self.phaseRun.Add(int64(time.Since(runStart)))
 	env.self.SimEvents.Add(int64(rc.s.Eng.Stats().Processed))
+	env.self.observeSched(rc.s.Eng.SchedStats(), &rc.lastSched)
+	if ws, ok := rc.s.WheelStats(); ok {
+		env.self.observeWheel(ws, &rc.lastWheel)
+	}
 	out := Replicate{
 		Run: Run{
 			Replicate:     rep,
@@ -234,8 +246,27 @@ func ExecutePlan(p Plan, opts Options) (*Report, error) {
 		return nil, err
 	}
 	cells := p.Cells()
+	out, err := executeCells(p, cells, opts, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Plan: p, Cells: out}, nil
+}
+
+// executeCells is the execution core: it runs every replicate of the given
+// cells (any contiguous or arbitrary subset of the plan's canonical cell
+// list) on a bounded worker pool and returns one finished ReportCell per
+// input cell, in input order. The plan must already be defaulted and
+// validated. onCell, when non-nil, observes each cell's metric accumulators
+// the moment the cell completes, before they are recycled — the shard
+// executor uses it to capture exact aggregation state for the merge parent.
+func executeCells(p Plan, cells []PlanCell, opts Options, onCell func(local int, accs []stats.Accumulator)) ([]ReportCell, error) {
 	reps := p.Replicates
 	total := len(cells) * reps
+	if total == 0 {
+		// A shard can legitimately own zero cells (more shards than cells).
+		return []ReportCell{}, nil
+	}
 	workers := opts.workers()
 	if workers > total {
 		workers = total
@@ -311,14 +342,15 @@ func ExecutePlan(p Plan, opts Options) (*Report, error) {
 	// Collector: fold strictly in canonical order. Completions that arrive
 	// early wait in `pending`, whose size the token window caps at
 	// O(workers × span) regardless of how skewed per-cell cost is.
-	rep := &Report{Plan: p, Cells: make([]ReportCell, len(cells))}
+	out := make([]ReportCell, len(cells))
 	f := folder{
-		p: p, cells: cells, out: rep,
+		p: p, cells: cells, out: out,
 		retain:   opts.RetainRuns,
 		accs:     make([]stats.Accumulator, len(p.Metrics)),
 		total:    total,
 		stride:   opts.progressStride(total),
 		progress: opts.Progress,
+		onCell:   onCell,
 	}
 	pending := make(map[int]done, window)
 	next := 0
@@ -341,7 +373,7 @@ func ExecutePlan(p Plan, opts Options) (*Report, error) {
 	if f.err != nil {
 		return nil, f.err
 	}
-	return rep, nil
+	return out, nil
 }
 
 // folder accumulates one cell at a time. Because folding is in canonical
@@ -351,13 +383,14 @@ func ExecutePlan(p Plan, opts Options) (*Report, error) {
 type folder struct {
 	p        Plan
 	cells    []PlanCell
-	out      *Report
+	out      []ReportCell
 	accs     []stats.Accumulator // one per plan metric, reset per cell
 	runs     []Replicate         // current cell's replicates (retain mode)
 	retain   bool
 	total    int
 	stride   int
 	progress func(done, total int)
+	onCell   func(local int, accs []stats.Accumulator)
 	done     int
 	err      error
 }
@@ -399,6 +432,9 @@ func (f *folder) finalize(ci int) {
 		Metrics: make([]MetricSummary, len(f.p.Metrics)),
 		config:  c.Config,
 	}
+	if f.onCell != nil {
+		f.onCell(ci, f.accs)
+	}
 	for mi, m := range f.p.Metrics {
 		out.Metrics[mi] = MetricSummary{Name: m.Name, Summary: f.accs[mi].Summary()}
 		f.accs[mi].Reset()
@@ -407,7 +443,7 @@ func (f *folder) finalize(ci int) {
 		out.Runs = append([]Replicate(nil), f.runs...)
 		f.runs = f.runs[:0]
 	}
-	f.out.Cells[ci] = out
+	f.out[ci] = out
 }
 
 // Execute runs a legacy grid campaign: the grid is compiled to stock axes

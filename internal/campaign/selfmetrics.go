@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rsstcp/internal/sim"
 	"rsstcp/internal/telemetry"
 )
 
@@ -28,6 +29,20 @@ type SelfMetrics struct {
 	// Anomalies counts replicates whose flight recorder was dumped by the
 	// anomaly sink.
 	Anomalies telemetry.Counter
+
+	// Scheduler self-observation (PR 9): calendar-backend counters summed
+	// over every worker's engine, plus the timer-wheel arm classification.
+	// All zero when the campaign runs on the binary heap without a wheel.
+	SchedSorts   telemetry.Counter // ladder buckets lazily sorted into the drain list
+	SchedSprays  telemetry.Counter // dense ladder buckets redistributed into finer rungs
+	SchedRebases telemetry.Counter // ladder overflow-band redistributions (bucket resizes)
+	SchedDemotes telemetry.Counter // oversized drain lists split back to the overflow band
+	WheelArmed   telemetry.Counter // endpoint timers armed on the wheel's ring
+	WheelDirect  telemetry.Counter // near-deadline timers armed directly on the calendar
+	WheelFlushes telemetry.Counter // wheel slot flushes into the calendar
+
+	schedMaxRungs atomic.Int64 // deepest ladder rung stack observed (spray depth)
+	schedMaxSize  atomic.Int64 // calendar occupancy high water over all engines
 
 	reorderDepth atomic.Int64 // pending out-of-order completions at the collector
 
@@ -54,6 +69,44 @@ func (m *SelfMetrics) Phases() (build, run, fold time.Duration) {
 	return time.Duration(m.phaseBuild.Load()),
 		time.Duration(m.phaseRun.Load()),
 		time.Duration(m.phaseFold.Load())
+}
+
+// observeSched folds one engine's scheduler counters into the campaign
+// totals. The engine's counters are lifetime values that survive Reset and
+// so span every replicate run on a reused scenario; prev carries the last
+// snapshot per worker context, making each fold a per-replicate delta.
+func (m *SelfMetrics) observeSched(cur sim.SchedStats, prev *sim.SchedStats) {
+	m.SchedSorts.Add(int64(cur.Sorts - prev.Sorts))
+	m.SchedSprays.Add(int64(cur.Sprays - prev.Sprays))
+	m.SchedRebases.Add(int64(cur.Rebases - prev.Rebases))
+	m.SchedDemotes.Add(int64(cur.Demotes - prev.Demotes))
+	maxStore(&m.schedMaxRungs, int64(cur.MaxRungs))
+	maxStore(&m.schedMaxSize, int64(cur.MaxSize))
+	*prev = cur
+}
+
+// observeWheel folds one scenario's timer-wheel counters, delta-style like
+// observeSched (the wheel also survives Reset with lifetime counters).
+func (m *SelfMetrics) observeWheel(cur sim.WheelStats, prev *sim.WheelStats) {
+	m.WheelArmed.Add(int64(cur.Armed - prev.Armed))
+	m.WheelDirect.Add(int64(cur.Direct - prev.Direct))
+	m.WheelFlushes.Add(int64(cur.Flushes - prev.Flushes))
+	*prev = cur
+}
+
+// SchedMaxRungs returns the deepest ladder rung stack observed.
+func (m *SelfMetrics) SchedMaxRungs() int64 { return m.schedMaxRungs.Load() }
+
+// SchedMaxSize returns the calendar occupancy high water over all engines.
+func (m *SelfMetrics) SchedMaxSize() int64 { return m.schedMaxSize.Load() }
+
+func maxStore(dst *atomic.Int64, v int64) {
+	for {
+		old := dst.Load()
+		if v <= old || dst.CompareAndSwap(old, v) {
+			return
+		}
+	}
 }
 
 // RunsPerSec returns the completed-run rate over the elapsed wall time.
@@ -90,4 +143,15 @@ func (m *SelfMetrics) Register(reg *telemetry.Registry) {
 		func() float64 { _, r, _ := m.Phases(); return r.Seconds() })
 	reg.Gauge("rsstcp_campaign_phase_fold_seconds", "cumulative collector fold wall time",
 		func() float64 { _, _, f := m.Phases(); return f.Seconds() })
+	reg.CounterVar("rsstcp_campaign_sched_sorts", "ladder buckets lazily sorted into the drain list", &m.SchedSorts)
+	reg.CounterVar("rsstcp_campaign_sched_sprays", "dense ladder buckets redistributed into finer rungs", &m.SchedSprays)
+	reg.CounterVar("rsstcp_campaign_sched_rebases", "ladder overflow-band redistributions", &m.SchedRebases)
+	reg.CounterVar("rsstcp_campaign_sched_demotes", "oversized ladder drain lists split back to overflow", &m.SchedDemotes)
+	reg.CounterVar("rsstcp_campaign_wheel_armed", "endpoint timers armed on the wheel ring", &m.WheelArmed)
+	reg.CounterVar("rsstcp_campaign_wheel_direct", "near-deadline timers armed directly on the calendar", &m.WheelDirect)
+	reg.CounterVar("rsstcp_campaign_wheel_flushes", "timer-wheel slot flushes into the calendar", &m.WheelFlushes)
+	reg.Gauge("rsstcp_campaign_sched_max_rungs", "deepest ladder rung stack observed (spray depth)",
+		func() float64 { return float64(m.SchedMaxRungs()) })
+	reg.Gauge("rsstcp_campaign_sched_max_size", "calendar occupancy high water over all engines",
+		func() float64 { return float64(m.SchedMaxSize()) })
 }

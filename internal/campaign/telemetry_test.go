@@ -197,6 +197,57 @@ func TestSelfMetricsPopulated(t *testing.T) {
 	}
 }
 
+// TestSelfMetricsSchedulerCounters: campaigns pinned to each calendar
+// backend charge the matching scheduler counters — ladder campaigns move
+// the ladder sort counter, wheel-timer campaigns move the wheel arm
+// counters — and the counters reach the OpenMetrics exposition.
+func TestSelfMetricsSchedulerCounters(t *testing.T) {
+	run := func(sched string, wheel bool) *SelfMetrics {
+		p := anomalyPlan()
+		p.Base.Scheduler = sched
+		p.Base.TimerWheel = wheel
+		self := NewSelfMetrics()
+		if _, err := ExecutePlan(p, Options{Workers: 2, Self: self}); err != nil {
+			t.Fatal(err)
+		}
+		return self
+	}
+
+	lad := run("ladder", false)
+	if lad.SchedSorts.Value() == 0 {
+		t.Error("ladder campaign: sort counter never advanced")
+	}
+	if lad.SchedMaxSize() == 0 {
+		t.Error("ladder campaign: calendar high water never observed")
+	}
+
+	wheel := run("heap", true)
+	if wheel.WheelArmed.Value()+wheel.WheelDirect.Value() == 0 {
+		t.Error("wheel campaign: no timer arms observed")
+	}
+
+	heap := run("heap", false)
+	if v := heap.SchedSorts.Value(); v != 0 {
+		t.Errorf("heap campaign: ladder sort counter = %d, want 0", v)
+	}
+
+	reg := telemetry.NewRegistry()
+	lad.Register(reg)
+	var b strings.Builder
+	if err := reg.WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"rsstcp_campaign_sched_sorts_total ",
+		"rsstcp_campaign_wheel_armed_total ",
+		"rsstcp_campaign_sched_max_rungs ",
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
 // TestReportTelemetryTail: a non-nil Report.Telemetry serializes as a
 // trailing "telemetry" object; nil leaves the historical shape untouched.
 func TestReportTelemetryTail(t *testing.T) {

@@ -214,6 +214,16 @@ type Config struct {
 	// sim.Wheel); the wheel keeps calendar depth flat when tens of
 	// thousands of flows re-arm timers on every ACK.
 	TimerWheel bool `json:",omitempty"`
+	// Scheduler selects the calendar backend: "ladder" (the default — a
+	// ladder queue with O(1) amortized operations, see sim ladder.go),
+	// "heap" (the binary-heap calendar), or "wheel" (the heap calendar
+	// with TimerWheel forced on, the PR 8 configuration). Every backend
+	// delivers the identical (at, seq) event order, so results are
+	// byte-identical across all three; the field exists for differential
+	// testing and performance comparison. An empty value resolves to
+	// "wheel" when TimerWheel is set (preserving the legacy toggle's
+	// meaning) and "ladder" otherwise.
+	Scheduler string `json:",omitempty"`
 	// RetainFlows caps how many completed-flow records Result.Flows keeps:
 	// 0 retains every record (the legacy default), -1 retains none, a
 	// positive cap keeps the first N in completion order. The streaming
@@ -270,7 +280,27 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Scheduler == "wheel" {
+		c.TimerWheel = true
+	}
 	return c
+}
+
+// SchedulerKind resolves the Scheduler field to the backend that will run:
+// "heap", "wheel", or "ladder". An empty field resolves to "wheel" when the
+// legacy TimerWheel toggle is set and to "ladder" otherwise. Unknown values
+// are rejected here, and Build/Reset surface the error before anything runs.
+func (c Config) SchedulerKind() (string, error) {
+	switch c.Scheduler {
+	case "":
+		if c.TimerWheel {
+			return "wheel", nil
+		}
+		return "ladder", nil
+	case "heap", "wheel", "ladder":
+		return c.Scheduler, nil
+	}
+	return "", fmt.Errorf("experiment: unknown scheduler %q (want heap, wheel, or ladder)", c.Scheduler)
 }
 
 // Flow bundles the components of one connection.
@@ -466,6 +496,15 @@ func (s *Scenario) Reset(cfg Config) error {
 func (s *Scenario) init(cfg Config) error {
 	cfg = cfg.withDefaults()
 	eng := s.Eng
+	// Select the calendar backend before anything touches the (empty,
+	// just-built or just-reset) engine. Switching per replicate is free:
+	// the ladder's pooled rungs and the heap's slice both stay warm on
+	// the side that is not active.
+	sched, err := cfg.SchedulerKind()
+	if err != nil {
+		return err
+	}
+	eng.UseLadder(sched == "ladder")
 	rec := s.Rec
 	rec.SetEnabled(!cfg.Traceless)
 	s.Cfg = cfg
@@ -1024,6 +1063,16 @@ func (s *Scenario) flowAggregates(now sim.Time) ([]unit.Bandwidth, []web100.Stat
 
 // ResultFor summarizes any flow by index (after Run).
 func (s *Scenario) ResultFor(i int) Result { return s.resultFor(i) }
+
+// WheelStats returns the endpoint-timer wheel's lifetime counters, and
+// whether the scenario has ever run with a wheel (the wheel survives Reset,
+// so the counters span every replicate run on this scenario).
+func (s *Scenario) WheelStats() (sim.WheelStats, bool) {
+	if s.wheel == nil {
+		return sim.WheelStats{}, false
+	}
+	return s.wheel.Stats(), true
+}
 
 // StallSeries returns the cumulative send-stall series of flow i.
 func (s *Scenario) StallSeries(i int) *trace.Series {

@@ -45,6 +45,7 @@ type InterfaceStats struct {
 type Interface struct {
 	eng    *sim.Engine
 	cfg    InterfaceConfig
+	ser    unit.Serializer
 	queue  *netem.DropTail
 	dst    netem.Receiver
 	busy   bool
@@ -60,7 +61,7 @@ type Interface struct {
 	recvFn netem.Receiver // AsReceiver adapter, built once
 	// occupancy integral for average-occupancy reporting
 	occLast    sim.Time
-	occWeight  float64 // ∫ len dt in packet·nanoseconds (converted on read)
+	occWeight  int64 // ∫ len dt in packet·nanoseconds (converted on read)
 	onSendDone func()
 }
 
@@ -78,6 +79,7 @@ func NewInterface(eng *sim.Engine, cfg InterfaceConfig, dst netem.Receiver) *Int
 	i := &Interface{
 		eng:   eng,
 		cfg:   cfg,
+		ser:   unit.NewSerializer(cfg.Rate),
 		queue: netem.NewDropTail(cfg.TxQueueLen),
 		dst:   dst,
 	}
@@ -122,7 +124,7 @@ func (i *Interface) maybeTransmit() {
 	i.accumulateOccupancy()
 	i.busy = true
 	i.txSeg = seg
-	i.txST = i.cfg.Rate.Serialization(seg.Size())
+	i.txST = i.ser.Serialization(seg.Size())
 	i.eng.ScheduleAfter(i.txST, i.txDone)
 }
 
@@ -160,9 +162,10 @@ func (i *Interface) wake() {
 func (i *Interface) accumulateOccupancy() {
 	now := i.eng.Now()
 	if now > i.occLast {
-		// Integrate in packet·nanoseconds: this runs per segment, and the
-		// seconds conversion (a float divide) belongs on the read side.
-		i.occWeight += float64(i.queue.Len()) * float64(now-i.occLast)
+		// Integrate in packet·nanoseconds with integer arithmetic: this
+		// runs per segment, and the float conversion and seconds divide
+		// belong on the read side.
+		i.occWeight += int64(i.queue.Len()) * int64(now-i.occLast)
 		i.occLast = now
 	}
 }
@@ -186,7 +189,7 @@ func (i *Interface) AvgOccupancy() float64 {
 	if now <= 0 {
 		return 0
 	}
-	return i.occWeight / float64(now)
+	return float64(i.occWeight) / float64(now)
 }
 
 // Idle reports whether the NIC has nothing in flight and an empty IFQ —

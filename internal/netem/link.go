@@ -33,7 +33,7 @@ type LinkStats struct {
 // buffer) or, inside a host, a NIC.
 type Link struct {
 	eng   *sim.Engine
-	rate  unit.Bandwidth
+	rate  unit.Serializer
 	delay time.Duration
 	queue Queue
 	busy  bool
@@ -65,7 +65,7 @@ type Link struct {
 	// accumulated on every length change so per-hop average occupancy is a
 	// running counter, available traced or traceless.
 	occLast   sim.Time
-	occWeight float64
+	occWeight int64
 }
 
 // NewLink builds a link serializing at rate, with propagation delay, buffered
@@ -80,7 +80,7 @@ func NewLink(eng *sim.Engine, rate unit.Bandwidth, delay time.Duration, queue Qu
 	if dst == nil {
 		panic("netem: NewLink with nil destination")
 	}
-	l := &Link{eng: eng, rate: rate, delay: delay, queue: queue}
+	l := &Link{eng: eng, rate: unit.NewSerializer(rate), delay: delay, queue: queue}
 	l.prop = NewDelayLine(eng, delay, dst)
 	l.txDone = l.transmitDone
 	return l
@@ -136,7 +136,7 @@ func (l *Link) transmitDone() {
 func (l *Link) Queue() Queue { return l.queue }
 
 // Rate returns the serialization rate.
-func (l *Link) Rate() unit.Bandwidth { return l.rate }
+func (l *Link) Rate() unit.Bandwidth { return l.rate.Rate() }
 
 // Stats returns a copy of the transmission counters.
 func (l *Link) Stats() LinkStats { return l.stats }
@@ -144,9 +144,10 @@ func (l *Link) Stats() LinkStats { return l.stats }
 func (l *Link) accumulateOccupancy() {
 	now := l.eng.Now()
 	if now > l.occLast {
-		// Integrate in packet·nanoseconds; the seconds conversion (a float
-		// divide) belongs on the read side, off the per-segment path.
-		l.occWeight += float64(l.queue.Len()) * float64(now-l.occLast)
+		// Integrate in packet·nanoseconds with integer arithmetic — this
+		// runs per segment; the float conversion and seconds divide belong
+		// on the read side.
+		l.occWeight += int64(l.queue.Len()) * int64(now-l.occLast)
 		l.occLast = now
 	}
 }
@@ -159,7 +160,7 @@ func (l *Link) AvgQueueLen(now sim.Time) float64 {
 	if now <= 0 {
 		return 0
 	}
-	return l.occWeight / float64(now)
+	return float64(l.occWeight) / float64(now)
 }
 
 // Utilization returns the fraction of [0, now] the serializer was busy.

@@ -6,38 +6,49 @@ import (
 )
 
 // BenchmarkEngineScheduleRun measures raw event throughput: schedule and
-// execute chains of events (the workload TCP timers and ticks produce).
+// execute chains of events (the workload TCP timers and ticks produce),
+// on each calendar backend.
 func BenchmarkEngineScheduleRun(b *testing.B) {
-	eng := NewEngine()
-	n := 0
-	var next func()
-	next = func() {
-		n++
-		if n < b.N {
+	for _, backend := range []string{"heap", "ladder"} {
+		b.Run(backend, func(b *testing.B) {
+			eng := NewEngine()
+			eng.UseLadder(backend == "ladder")
+			n := 0
+			var next func()
+			next = func() {
+				n++
+				if n < b.N {
+					eng.ScheduleAfter(time.Microsecond, next)
+				}
+			}
+			b.ResetTimer()
 			eng.ScheduleAfter(time.Microsecond, next)
-		}
+			eng.Run()
+		})
 	}
-	b.ResetTimer()
-	eng.ScheduleAfter(time.Microsecond, next)
-	eng.Run()
 }
 
-// BenchmarkEngineMixedHeap measures the calendar under a realistic mix of
-// out-of-order schedules and cancellations.
-func BenchmarkEngineMixedHeap(b *testing.B) {
-	eng := NewEngine()
-	rng := NewRNG(1)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		ev := eng.Schedule(eng.Now().Add(time.Duration(rng.Intn(1000))*time.Microsecond), func() {})
-		if rng.Bool(0.3) {
-			eng.Cancel(ev)
-		}
-		if i%64 == 0 {
-			eng.RunFor(100 * time.Microsecond)
-		}
+// BenchmarkEngineMixed measures each calendar backend under a realistic mix
+// of out-of-order schedules and cancellations.
+func BenchmarkEngineMixed(b *testing.B) {
+	for _, backend := range []string{"heap", "ladder"} {
+		b.Run(backend, func(b *testing.B) {
+			eng := NewEngine()
+			eng.UseLadder(backend == "ladder")
+			rng := NewRNG(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev := eng.Schedule(eng.Now().Add(time.Duration(rng.Intn(1000))*time.Microsecond), func() {})
+				if rng.Bool(0.3) {
+					eng.Cancel(ev)
+				}
+				if i%64 == 0 {
+					eng.RunFor(100 * time.Microsecond)
+				}
+			}
+			eng.Run()
+		})
 	}
-	eng.Run()
 }
 
 // BenchmarkTimerRearm measures the TCP RTO pattern: arm/re-arm on every ACK.

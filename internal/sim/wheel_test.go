@@ -21,8 +21,11 @@ type wheelOp struct {
 // wheel is deliberately small (64 slots of 5ms ≈ 315ms horizon) so the
 // script exercises all three placements: in-window direct, on-ring, and
 // past-horizon overflow.
-func runWheelScript(script []wheelOp, nTimers int, useWheel bool) []string {
+func runWheelScript(script []wheelOp, nTimers int, useWheel, useLadder bool) []string {
 	e := NewEngine()
+	if useLadder {
+		e.UseLadder(true)
+	}
 	var w *Wheel
 	if useWheel {
 		w = NewWheel(e, 5*time.Millisecond, 64)
@@ -94,16 +97,25 @@ func TestWheelMatchesHeapOrdering(t *testing.T) {
 		}
 		sort.SliceStable(script, func(i, j int) bool { return script[i].at < script[j].at })
 
-		heapLog := runWheelScript(script, nTimers, false)
-		wheelLog := runWheelScript(script, nTimers, true)
-		if len(heapLog) != len(wheelLog) {
-			t.Fatalf("seed %d: heap fired %d observable events, wheel %d",
-				seed, len(heapLog), len(wheelLog))
-		}
-		for i := range heapLog {
-			if heapLog[i] != wheelLog[i] {
-				t.Fatalf("seed %d: firing logs diverge at %d: heap %q, wheel %q",
-					seed, i, heapLog[i], wheelLog[i])
+		heapLog := runWheelScript(script, nTimers, false, false)
+		for _, v := range []struct {
+			name                string
+			useWheel, useLadder bool
+		}{
+			{"wheel", true, false},
+			{"ladder", false, true},
+			{"wheel+ladder", true, true},
+		} {
+			log := runWheelScript(script, nTimers, v.useWheel, v.useLadder)
+			if len(heapLog) != len(log) {
+				t.Fatalf("seed %d: heap fired %d observable events, %s %d",
+					seed, len(heapLog), v.name, len(log))
+			}
+			for i := range heapLog {
+				if heapLog[i] != log[i] {
+					t.Fatalf("seed %d: firing logs diverge at %d: heap %q, %s %q",
+						seed, i, heapLog[i], v.name, log[i])
+				}
 			}
 		}
 	}

@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHexFloatRoundTrip(t *testing.T) {
+	cases := []float64{
+		0, math.Copysign(0, -1), 1, -1, 0.1, 1e-300, 1e300,
+		math.NaN(), math.Inf(1), math.Inf(-1),
+		math.SmallestNonzeroFloat64, math.MaxFloat64, math.Pi,
+	}
+	for _, v := range cases {
+		s := hexFloat(v)
+		got, err := parseHexFloat(s)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		if !bitsEqual(got, v) {
+			t.Fatalf("round trip %v via %q: got %v (bits %x vs %x)",
+				v, s, got, math.Float64bits(v), math.Float64bits(got))
+		}
+	}
+}
+
+func TestWelfordStateRoundTrip(t *testing.T) {
+	var w Welford
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		w.Add(rng.NormFloat64() * 1e3)
+	}
+	got, err := WelfordFromState(w.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != w {
+		t.Fatalf("restored welford %+v != original %+v", got, w)
+	}
+
+	// Empty accumulator must survive the trip unchanged.
+	var empty Welford
+	got, err = WelfordFromState(empty.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != empty {
+		t.Fatalf("restored empty welford: %+v", got)
+	}
+}
+
+func TestP2StateRoundTrip(t *testing.T) {
+	e := NewP2(0.9)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		e.Add(rng.ExpFloat64())
+	}
+	got, err := P2FromState(e.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != e {
+		t.Fatalf("restored p2 %+v != original %+v", got, e)
+	}
+	// Continued adds must stay in lockstep.
+	for i := 0; i < 100; i++ {
+		v := rng.ExpFloat64()
+		e.Add(v)
+		got.Add(v)
+	}
+	if !bitsEqual(got.Quantile(), e.Quantile()) {
+		t.Fatalf("post-restore divergence: %v vs %v", got.Quantile(), e.Quantile())
+	}
+}
+
+func TestAccumulatorStateRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		n    int
+		max  int
+	}{
+		{"empty", 0, 0},
+		{"exact", 100, 0},
+		{"exact_at_boundary", 64, 64},
+		{"approx", 500, 64},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a := &Accumulator{MaxExact: tc.max}
+			rng := rand.New(rand.NewSource(42))
+			for i := 0; i < tc.n; i++ {
+				a.Add(rng.NormFloat64()*10 + 100)
+			}
+			st := a.State()
+
+			// The state must survive JSON — that is its whole purpose.
+			blob, err := json.Marshal(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back AccumulatorState
+			if err := json.Unmarshal(blob, &back); err != nil {
+				t.Fatal(err)
+			}
+			got, err := AccumulatorFromState(back)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ws, gs := a.Summary(), got.Summary()
+			if ws.N != gs.N ||
+				!bitsEqual(float64(ws.Mean), float64(gs.Mean)) ||
+				!bitsEqual(float64(ws.Std), float64(gs.Std)) ||
+				!bitsEqual(float64(ws.Min), float64(gs.Min)) ||
+				!bitsEqual(float64(ws.Max), float64(gs.Max)) ||
+				!bitsEqual(float64(ws.P50), float64(gs.P50)) ||
+				!bitsEqual(float64(ws.P90), float64(gs.P90)) {
+				t.Fatalf("summary mismatch:\n orig %+v\n back %+v", ws, gs)
+			}
+
+			// Further adds must behave bit-identically too.
+			for i := 0; i < 50; i++ {
+				v := rng.ExpFloat64()
+				a.Add(v)
+				got.Add(v)
+			}
+			ws, gs = a.Summary(), got.Summary()
+			if !bitsEqual(float64(ws.P90), float64(gs.P90)) || !bitsEqual(float64(ws.Mean), float64(gs.Mean)) {
+				t.Fatalf("post-restore divergence:\n orig %+v\n back %+v", ws, gs)
+			}
+		})
+	}
+}
+
+func TestAccumulatorStateRejectsCorrupt(t *testing.T) {
+	a := &Accumulator{}
+	a.Add(1)
+	a.Add(2)
+	st := a.State()
+
+	bad := st
+	bad.Exact = st.Exact[:1] // buffered count disagrees with welford n
+	if _, err := AccumulatorFromState(bad); err == nil {
+		t.Fatal("want error for truncated exact buffer")
+	}
+
+	bad = st
+	bad.Approx = true // approx without P2 states
+	if _, err := AccumulatorFromState(bad); err == nil {
+		t.Fatal("want error for approx regime without p2 states")
+	}
+
+	bad = st
+	bad.Welford.Mean = "not-a-float"
+	if _, err := AccumulatorFromState(bad); err == nil {
+		t.Fatal("want error for unparsable float")
+	}
+}

@@ -52,6 +52,39 @@ func (b Bandwidth) Serialization(n ByteSize) time.Duration {
 	return time.Duration(sec * float64(time.Second))
 }
 
+// Serializer is a Bandwidth with a two-entry serialization-delay memo. A
+// link carries a handful of distinct packet sizes (full data segments and
+// bare ACKs, essentially), and Serialization's float divide is measurable on
+// the per-packet path; the memo answers repeats exactly, falling back to the
+// full computation on a miss.
+type Serializer struct {
+	rate Bandwidth
+	sz   [2]ByteSize
+	st   [2]time.Duration
+}
+
+// NewSerializer returns a memoizing serializer for the given rate.
+func NewSerializer(b Bandwidth) Serializer {
+	return Serializer{rate: b, sz: [2]ByteSize{-1, -1}}
+}
+
+// Rate returns the underlying bandwidth.
+func (s *Serializer) Rate() Bandwidth { return s.rate }
+
+// Serialization returns exactly s.Rate().Serialization(n), memoized.
+func (s *Serializer) Serialization(n ByteSize) time.Duration {
+	if n == s.sz[0] {
+		return s.st[0]
+	}
+	if n == s.sz[1] {
+		return s.st[1]
+	}
+	d := s.rate.Serialization(n)
+	s.sz[1], s.st[1] = s.sz[0], s.st[0]
+	s.sz[0], s.st[0] = n, d
+	return d
+}
+
 // ByteSize is a size in bytes.
 type ByteSize int64
 
