@@ -69,9 +69,12 @@ type CampaignPerf struct {
 }
 
 // BenchReport is the BENCH_campaign.json schema. v2 added the PR-3 epoch
-// anchor and the big-grid rows; v3 adds the PR-8 anchor, the scheduler tag
+// anchor and the big-grid rows; v3 added the PR-8 anchor, the scheduler tag
 // on paper-path rows, the shard-scaling rows, and records GOMAXPROCS next
-// to the machine CPU count (earlier epochs conflated the two).
+// to the machine CPU count (earlier epochs conflated the two); v4 adds the
+// PR-9 anchor (ladder scheduler, pre-arena) so the hop-arena epoch is
+// measured against the tree it replaced. CPUs is runtime.NumCPU() — the
+// machine's logical core count, not GOMAXPROCS.
 type BenchReport struct {
 	Schema     string         `json:"schema"`
 	Generated  string         `json:"generated"`
@@ -83,6 +86,7 @@ type BenchReport struct {
 	Baseline   BenchSnapshot  `json:"baseline"`
 	PR3        BenchSnapshot  `json:"pr3"`
 	PR8        *BenchSnapshot `json:"pr8,omitempty"`
+	PR9        *BenchSnapshot `json:"pr9,omitempty"`
 	Current    BenchSnapshot  `json:"current"`
 	Speedup    map[string]any `json:"speedup"`
 }
@@ -258,6 +262,97 @@ func pr8Epoch() BenchSnapshot {
 			{Flows: 50000, LiveAtEnd: 50000, DurationSim: "2s", Events: 1060104,
 				WallMs: 592.32, EventsPerSec: 1789741, NsPerEvent: 558.74,
 				HeapMB: 128.94, BytesPerFlow: 2702},
+		},
+	}
+}
+
+// pr9Epoch is the previous PR's committed full-length run (commit 4e66905,
+// the ladder-queue scheduler + cell-sharded campaigns PR): the epoch the hop
+// arena is measured against. Figures are the committed BENCH_campaign.json
+// of that PR verbatim (min-of-reps, like the current harness), rows in the
+// same order as the current tree emits them: ladder then heap, standard then
+// restricted. The hop graph was still the pointer pipeline (Link + StatQueue
+// + DelayLine per hop, a Wire per flow's reverse path).
+func pr9Epoch() BenchSnapshot {
+	return BenchSnapshot{
+		Label: "PR 9 (commit 4e66905)",
+		PaperPath: []ScenarioPerf{
+			{
+				Alg: "standard", Scheduler: "ladder", DurationSim: "25s",
+				Events: 570978, WallMs: 34.015432,
+				EventsPerSec: 16785851.79, NsPerEvent: 59.57398008329568,
+				AllocsPerRun: 574, AllocsPerKEvt: 1.0052926732728757, BytesPerRun: 237131,
+				HeapHighWater: 7, EventsCancelled: 81499,
+				PoolCreated: 7, PoolReused: 652477, PoolRecycled: 652477,
+			},
+			{
+				Alg: "restricted", Scheduler: "ladder", DurationSim: "25s",
+				Events: 717450, WallMs: 46.966298,
+				EventsPerSec: 15275847.37, NsPerEvent: 65.46281692103979,
+				AllocsPerRun: 559, AllocsPerKEvt: 0.7791483727088996, BytesPerRun: 228984,
+				HeapHighWater: 8, EventsCancelled: 101671,
+				PoolCreated: 8, PoolReused: 819120, PoolRecycled: 819121,
+			},
+			{
+				Alg: "standard", Scheduler: "heap", DurationSim: "25s",
+				Events: 570978, WallMs: 36.014642,
+				EventsPerSec: 15854051.80, NsPerEvent: 63.07535842011426,
+				AllocsPerRun: 568, AllocsPerKEvt: 0.9947843874895355, BytesPerRun: 236624,
+				HeapHighWater: 7, EventsCancelled: 81499,
+				PoolCreated: 7, PoolReused: 652477, PoolRecycled: 652477,
+			},
+			{
+				Alg: "restricted", Scheduler: "heap", DurationSim: "25s",
+				Events: 717450, WallMs: 48.268425,
+				EventsPerSec: 14863754.10, NsPerEvent: 67.27775454735522,
+				AllocsPerRun: 553, AllocsPerKEvt: 0.7707854205868004, BytesPerRun: 228480,
+				HeapHighWater: 8, EventsCancelled: 101671,
+				PoolCreated: 8, PoolReused: 819120, PoolRecycled: 819121,
+			},
+		},
+		Campaign: CampaignPerf{
+			Axes:  "bw{50,100Mbps} x rtt{30,60ms} x alg{standard,restricted}",
+			Cells: 8, Replicates: 2, Runs: 16, Workers: 1,
+			DurationMs: 95.291319, RunsPerSec: 167.91,
+		},
+		BigGrid: []CampaignPerf{
+			{
+				Axes:  "bw{10,25,50,100Mbps} x rtt{10,20,40,60ms} x ifq{50,100} x alg{standard,restricted}",
+				Cells: 64, Replicates: 160, Runs: 10240, Workers: 1,
+				DurationMs: 7263.22, RunsPerSec: 1409.84, PeakHeapMB: 3.77,
+			},
+		},
+		Churn: &CampaignPerf{
+			Axes:  "load{0.8} x fsize{pareto:1.2:4k:10M} x alg{standard,restricted}",
+			Cells: 2, Replicates: 2, Runs: 4, Workers: 1,
+			DurationMs: 188.84, RunsPerSec: 21.18,
+			FlowsDone: 10045, FlowsPerSec: 53193,
+		},
+		Density: []DensityPerf{
+			{Flows: 100, LiveAtEnd: 100, DurationSim: "2s", Events: 533217,
+				WallMs: 89.52, EventsPerSec: 5956395.81, NsPerEvent: 167.8867609247267,
+				HeapMB: 5.31, BytesPerFlow: 54630},
+			{Flows: 1000, LiveAtEnd: 1000, DurationSim: "2s", Events: 627519,
+				WallMs: 156.26, EventsPerSec: 4015936.34, NsPerEvent: 249.00793123395468,
+				HeapMB: 10.24, BytesPerFlow: 10639},
+			{Flows: 10000, LiveAtEnd: 10000, DurationSim: "2s", Events: 758046,
+				WallMs: 485.45, EventsPerSec: 1561533.94, NsPerEvent: 640.3959443094483,
+				HeapMB: 39.53, BytesPerFlow: 4135},
+			{Flows: 50000, LiveAtEnd: 50000, DurationSim: "2s", Events: 1060104,
+				WallMs: 869.44, EventsPerSec: 1219289.54, NsPerEvent: 820.1497428554179,
+				HeapMB: 131.28, BytesPerFlow: 2751},
+		},
+		ShardScaling: []CampaignPerf{
+			{
+				Axes:  "bw{10,25,50,100Mbps} x rtt{10,20,40,60ms} x ifq{50,100} x alg{standard,restricted}",
+				Cells: 64, Replicates: 160, Runs: 10240, Workers: 1, Shards: 1,
+				DurationMs: 8076.61, RunsPerSec: 1267.86,
+			},
+			{
+				Axes:  "bw{10,25,50,100Mbps} x rtt{10,20,40,60ms} x ifq{50,100} x alg{standard,restricted}",
+				Cells: 64, Replicates: 160, Runs: 10240, Workers: 1, Shards: 2,
+				DurationMs: 8289.53, RunsPerSec: 1235.29,
+			},
 		},
 	}
 }
@@ -637,6 +732,7 @@ func emitBenchJSON(path string, paperDur, campDur time.Duration, reps, bigRuns i
 	base := preOverhaulBaseline()
 	pr3 := pr3Epoch()
 	pr8 := pr8Epoch()
+	pr9 := pr9Epoch()
 	speedup := map[string]any{}
 	// Epoch ratios index the ladder rows (the first len(base.PaperPath)
 	// rows); the heap rows that follow are recorded but not ratioed.
@@ -647,12 +743,17 @@ func emitBenchJSON(path string, paperDur, campDur time.Duration, reps, bigRuns i
 		speedup["alloc_reduction_"+p.Alg] = round2(b.AllocsPerKEvt / p.AllocsPerKEvt)
 		speedup["events_per_sec_"+p.Alg+"_vs_pr3"] = round2(p.EventsPerSec / pr3.PaperPath[i].EventsPerSec)
 		speedup["ns_per_event_"+p.Alg+"_vs_pr8"] = round2(pr8.PaperPath[i].NsPerEvent / p.NsPerEvent)
+		speedup["ns_per_event_"+p.Alg+"_vs_pr9"] = round2(pr9.PaperPath[i].NsPerEvent / p.NsPerEvent)
 	}
 	speedup["campaign_runs_per_sec"] = round2(cur.Campaign.RunsPerSec / base.Campaign.RunsPerSec)
 	speedup["campaign_runs_per_sec_vs_pr3"] = round2(cur.Campaign.RunsPerSec / pr3.Campaign.RunsPerSec)
 	speedup["campaign_runs_per_sec_vs_pr8"] = round2(cur.Campaign.RunsPerSec / pr8.Campaign.RunsPerSec)
+	speedup["campaign_runs_per_sec_vs_pr9"] = round2(cur.Campaign.RunsPerSec / pr9.Campaign.RunsPerSec)
 	if cur.Churn != nil && pr8.Churn != nil {
 		speedup["churn_runs_per_sec_vs_pr8"] = round2(cur.Churn.RunsPerSec / pr8.Churn.RunsPerSec)
+	}
+	if cur.Churn != nil && pr9.Churn != nil {
+		speedup["churn_runs_per_sec_vs_pr9"] = round2(cur.Churn.RunsPerSec / pr9.Churn.RunsPerSec)
 	}
 	if len(cur.ShardScaling) >= 2 {
 		// The shard acceptance ratio: runs/sec at 2 shards over 1 shard.
@@ -671,16 +772,24 @@ func emitBenchJSON(path string, paperDur, campDur time.Duration, reps, bigRuns i
 	}
 
 	// The many-flows acceptance ratio: per-event cost at 10k concurrent
-	// flows against the 2-flow paper path (target: within 2×).
+	// flows against the 2-flow paper path (target: within 2×). The vs_pr9
+	// density ratios are the hop-arena acceptance headline: per-event cost
+	// against the pointer-pipeline epoch at the same flow count.
 	for _, d := range cur.Density {
 		if d.Flows == 10000 && len(cur.PaperPath) > 0 {
 			speedup["density_10k_ns_per_event_vs_paper"] =
 				round2(d.NsPerEvent / cur.PaperPath[0].NsPerEvent)
 		}
+		for _, prev := range pr9.Density {
+			if prev.Flows == d.Flows && (d.Flows == 10000 || d.Flows == 50000) {
+				speedup[fmt.Sprintf("density_%dk_ns_per_event_vs_pr9", d.Flows/1000)] =
+					round2(prev.NsPerEvent / d.NsPerEvent)
+			}
+		}
 	}
 
 	rep := BenchReport{
-		Schema:     "rsstcp-bench/v3",
+		Schema:     "rsstcp-bench/v4",
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -690,6 +799,7 @@ func emitBenchJSON(path string, paperDur, campDur time.Duration, reps, bigRuns i
 		Baseline:   base,
 		PR3:        pr3,
 		PR8:        &pr8,
+		PR9:        &pr9,
 		Current:    cur,
 		Speedup:    speedup,
 	}

@@ -58,6 +58,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -98,8 +99,9 @@ func main() {
 		retainRuns = flag.Bool("retain-runs", false, "keep every raw replicate in the generic report (memory grows with run count)")
 
 		// Sharding flags: cell-aligned multi-process campaigns. Output is
-		// byte-identical at any shard count.
-		shardsN  = flag.Int("shards", 1, "split the campaign across this many child processes, one contiguous cell span each")
+		// byte-identical at any shard count, balanced or not.
+		shardsF  = flag.String("shards", "1", "split the campaign across this many child processes, one contiguous cell span each (auto = runtime.NumCPU())")
+		balance  = flag.Bool("balance", false, "weight the shard partition by a per-cell cost model (duration x flows/churn x hops) instead of cell count")
 		shardK   = flag.Int("shard", -1, "child mode: run only this shard (0-based) of -shards and emit a shard report instead of campaign output")
 		shardOut = flag.String("shard-out", "-", "child mode: write the shard report JSON here (- for stdout)")
 
@@ -137,6 +139,18 @@ func main() {
 		return nil
 	})
 	flag.Parse()
+
+	// "-shards auto" resolves on each machine independently; parent and
+	// children run on the same machine, so they derive the same count (and
+	// with it the same partition).
+	shardsN, shardsAuto := parseShards(*shardsF)
+	shardNote := ""
+	if shardsAuto {
+		shardNote = fmt.Sprintf(" (auto: %d CPUs)", shardsN)
+	}
+	if *balance {
+		shardNote += ", balanced"
+	}
 
 	stopProfiling, err := telemetry.StartProfiling(*pprofAddr, *cpuProfile, *memProfile)
 	if err != nil {
@@ -228,10 +242,11 @@ func main() {
 	// run); the registry exists whenever anything wants to read them.
 	self := campaign.NewSelfMetrics()
 	opts := rsstcp.CampaignOptions{
-		Workers:      *workers,
-		RetainRuns:   *retainRuns || *web100,
-		ExportWeb100: *web100,
-		Self:         self,
+		Workers:       *workers,
+		RetainRuns:    *retainRuns || *web100,
+		ExportWeb100:  *web100,
+		Self:          self,
+		BalanceShards: *balance,
 	}
 	var reg *telemetry.Registry
 	if *metricsAddr != "" || *embedTel {
@@ -282,7 +297,8 @@ func main() {
 	}
 	// finish prints the self-metrics epilogue and holds the metrics endpoint
 	// open for scrapers before the process exits. A shard-merging parent runs
-	// no simulations itself, so its epilogue is skipped.
+	// no simulations itself, so it prints the shard tail instead of the
+	// run-rate epilogue.
 	finish := func() {
 		if !*quiet && self.Runs.Value() > 0 {
 			build, run, fold := self.Phases()
@@ -291,6 +307,34 @@ func main() {
 				self.Runs.Value(), self.Elapsed().Round(time.Millisecond),
 				self.RunsPerSec(), self.EventsPerSec()/1e6,
 				build.Round(time.Millisecond), run.Round(time.Millisecond), fold.Round(time.Millisecond))
+			if slow := self.SlowestCells(); len(slow) > 0 {
+				if len(slow) > 3 {
+					slow = slow[:3]
+				}
+				line := "campaign: slowest cells:"
+				for _, cw := range slow {
+					line += fmt.Sprintf(" %s (%v)", cw.Key, cw.Wall.Round(time.Millisecond))
+				}
+				fmt.Fprintln(os.Stderr, line)
+			}
+		}
+		if !*quiet && self.Shards() > 0 {
+			walls := self.ShardWalls()
+			var max, sum time.Duration
+			for _, w := range walls {
+				sum += w
+				if w > max {
+					max = w
+				}
+			}
+			var mean time.Duration
+			if len(walls) > 0 {
+				mean = sum / time.Duration(len(walls))
+			}
+			fmt.Fprintf(os.Stderr,
+				"campaign: %d shards%s; shard wall max %v, mean %v, imbalance %.2f\n",
+				self.Shards(), shardNote, max.Round(time.Millisecond),
+				mean.Round(time.Millisecond), self.ShardImbalance())
 		}
 		if closeMetrics != nil {
 			if *metricsLinger > 0 {
@@ -369,17 +413,17 @@ func main() {
 			fatalf("%v", err)
 		}
 		if *shardK >= 0 {
-			shardChild(plan, *shardsN, *shardK, *shardOut, opts)
+			shardChild(plan, shardsN, *shardK, *shardOut, opts)
 			finish()
 			return
 		}
 		var rep *rsstcp.Report
-		if *shardsN > 1 {
+		if shardsN > 1 {
 			if !*quiet {
-				fmt.Fprintf(os.Stderr, "campaign: %d runs across %d shard processes\n",
-					plan.Runs(), *shardsN)
+				fmt.Fprintf(os.Stderr, "campaign: %d runs across %d shard processes%s\n",
+					plan.Runs(), shardsN, shardNote)
 			}
-			rep, err = shardParent(plan, *shardsN)
+			rep, err = shardParent(plan, shardsN, self)
 		} else {
 			progress(plan.Runs())
 			rep, err = c.Run(opts)
@@ -403,17 +447,17 @@ func main() {
 		// The legacy Result shape exposes raw runs, so shard reports must
 		// carry them for the merging parent.
 		opts.RetainRuns = true
-		shardChild(grid.Plan(), *shardsN, *shardK, *shardOut, opts)
+		shardChild(grid.Plan(), shardsN, *shardK, *shardOut, opts)
 		finish()
 		return
 	}
 	var res *rsstcp.CampaignResult
-	if *shardsN > 1 {
+	if shardsN > 1 {
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "campaign: %d runs across %d shard processes\n",
-				grid.Runs(), *shardsN)
+			fmt.Fprintf(os.Stderr, "campaign: %d runs across %d shard processes%s\n",
+				grid.Runs(), shardsN, shardNote)
 		}
-		rep, err := shardParent(grid.Plan(), *shardsN)
+		rep, err := shardParent(grid.Plan(), shardsN, self)
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -453,13 +497,17 @@ func shardChild(p rsstcp.Plan, shards, shard int, outPath string, opts rsstcp.Ca
 // shardParent re-invokes this binary once per shard — same flags, plus the
 // child-mode coordinates — collects the shard reports from the children's
 // stdout, and merges them into the exact report an unsharded run produces.
-// Every child re-derives the identical plan from the identical flags, so
-// the partition needs no coordination beyond the (shards, shard) pair.
-func shardParent(p rsstcp.Plan, shards int) (*rsstcp.Report, error) {
+// Every child re-derives the identical plan (and, under -balance, the
+// identical weighted partition) from the identical flags, so the partition
+// needs no coordination beyond the (shards, shard) pair. Each child's wall
+// time is recorded on self, so the epilogue reports the partition's
+// measured imbalance.
+func shardParent(p rsstcp.Plan, shards int, self *campaign.SelfMetrics) (*rsstcp.Report, error) {
 	exe, err := os.Executable()
 	if err != nil {
 		return nil, err
 	}
+	self.SetShards(shards)
 	reports := make([]*campaign.ShardReport, shards)
 	errs := make([]error, shards)
 	var wg sync.WaitGroup
@@ -481,7 +529,10 @@ func shardParent(p rsstcp.Plan, shards int) (*rsstcp.Report, error) {
 			var out bytes.Buffer
 			cmd.Stdout = &out
 			cmd.Stderr = os.Stderr
-			if err := cmd.Run(); err != nil {
+			start := time.Now()
+			err := cmd.Run()
+			self.ObserveShardWall(time.Since(start))
+			if err != nil {
 				errs[k] = fmt.Errorf("shard %d: %w", k, err)
 				return
 			}
@@ -571,6 +622,21 @@ func dropAxes(axes []rsstcp.Axis, names ...string) []rsstcp.Axis {
 		}
 	}
 	return out
+}
+
+// parseShards resolves the -shards flag: a literal count, or "auto" for
+// runtime.NumCPU(). Children propagate the flag verbatim and re-resolve it
+// on the same machine, so parent and children agree on the count.
+func parseShards(s string) (n int, auto bool) {
+	s = strings.TrimSpace(s)
+	if strings.EqualFold(s, "auto") {
+		return runtime.NumCPU(), true
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		fatalf("bad -shards value %q: want a count or auto", s)
+	}
+	return n, false
 }
 
 func effectiveWorkers(n int) int {

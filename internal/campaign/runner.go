@@ -51,6 +51,11 @@ type Options struct {
 	// Anomalous decides which runs the sink sees; nil means the default
 	// predicate (any RTO, or zero aggregate throughput).
 	Anomalous func(Run) bool
+	// BalanceShards switches shard partitioning (ExecuteShard,
+	// ExecuteSharded) from count-balanced to weight-balanced contiguous
+	// spans, using the CellWeight cost model. Partition shape never changes
+	// results — the merge is partition-agnostic — only per-shard wall time.
+	BalanceShards bool
 }
 
 // defaultAnomalous flags the failure modes worth a timeline: a transfer that
@@ -287,9 +292,10 @@ func executeCells(p Plan, cells []PlanCell, opts Options, onCell func(local int,
 	}
 
 	type done struct {
-		idx int
-		rep Replicate
-		err error
+		idx  int
+		rep  Replicate
+		wall time.Duration
+		err  error
 	}
 	jobs := make(chan [2]int, workers)
 	results := make(chan done, 2*workers)
@@ -316,9 +322,10 @@ func executeCells(p Plan, cells []PlanCell, opts Options, onCell func(local int,
 			var rc runContext
 			for jb := range jobs {
 				for g := jb[0]; g < jb[1]; g++ {
+					start := time.Now()
 					r, err := rc.runReplicate(env, cells[g/reps], g%reps)
 					env.self.Runs.Inc()
-					results <- done{idx: g, rep: r, err: err}
+					results <- done{idx: g, rep: r, wall: time.Since(start), err: err}
 				}
 			}
 		}()
@@ -351,6 +358,7 @@ func executeCells(p Plan, cells []PlanCell, opts Options, onCell func(local int,
 		stride:   opts.progressStride(total),
 		progress: opts.Progress,
 		onCell:   onCell,
+		self:     env.self,
 	}
 	pending := make(map[int]done, window)
 	next := 0
@@ -363,7 +371,7 @@ func executeCells(p Plan, cells []PlanCell, opts Options, onCell func(local int,
 				break
 			}
 			delete(pending, next)
-			f.fold(cur.idx, cur.rep, cur.err)
+			f.fold(cur.idx, cur.rep, cur.wall, cur.err)
 			<-tokens
 			next++
 		}
@@ -391,11 +399,14 @@ type folder struct {
 	stride   int
 	progress func(done, total int)
 	onCell   func(local int, accs []stats.Accumulator)
+	self     *SelfMetrics
+	cellWall time.Duration // current cell's cumulative replicate wall time
 	done     int
 	err      error
 }
 
-func (f *folder) fold(idx int, r Replicate, err error) {
+func (f *folder) fold(idx int, r Replicate, wall time.Duration, err error) {
+	f.cellWall += wall
 	ci, ri := idx/f.p.Replicates, idx%f.p.Replicates
 	if err != nil {
 		// First failure in canonical order wins; later folds only count
@@ -435,6 +446,10 @@ func (f *folder) finalize(ci int) {
 	if f.onCell != nil {
 		f.onCell(ci, f.accs)
 	}
+	if f.self != nil {
+		f.self.ObserveCellWall(c.Key, f.cellWall)
+	}
+	f.cellWall = 0
 	for mi, m := range f.p.Metrics {
 		out.Metrics[mi] = MetricSummary{Name: m.Name, Summary: f.accs[mi].Summary()}
 		f.accs[mi].Reset()

@@ -1,6 +1,8 @@
 package campaign
 
 import (
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -49,7 +51,31 @@ type SelfMetrics struct {
 	phaseBuild atomic.Int64 // ns spent building/resetting scenarios
 	phaseRun   atomic.Int64 // ns spent inside Scenario.Run
 	phaseFold  atomic.Int64 // ns spent folding results into cell summaries
+
+	// Shard observation (PR 10): a multi-process parent records each child's
+	// wall time here, so the epilogue and the metrics endpoint expose the
+	// partition's measured imbalance.
+	shards    atomic.Int64
+	shardMu   sync.Mutex
+	shardWall []time.Duration
+
+	// Per-cell wall observation (PR 10): the collector attributes each
+	// replicate's wall time to its cell and keeps the slowest cells, so a
+	// balance-mode cost model is calibratable from a prior run's telemetry
+	// tail.
+	cellMu  sync.Mutex
+	slowest []CellWall
 }
+
+// CellWall is one cell's cumulative replicate wall time, as observed by the
+// collector.
+type CellWall struct {
+	Key  string
+	Wall time.Duration
+}
+
+// slowestCap bounds how many slowest-cell records SelfMetrics retains.
+const slowestCap = 8
 
 // NewSelfMetrics returns a zeroed instrument set with the clock started.
 func NewSelfMetrics() *SelfMetrics {
@@ -92,6 +118,68 @@ func (m *SelfMetrics) observeWheel(cur sim.WheelStats, prev *sim.WheelStats) {
 	m.WheelDirect.Add(int64(cur.Direct - prev.Direct))
 	m.WheelFlushes.Add(int64(cur.Flushes - prev.Flushes))
 	*prev = cur
+}
+
+// SetShards records the resolved shard-process count of a multi-process
+// campaign (0 = unsharded).
+func (m *SelfMetrics) SetShards(n int) { m.shards.Store(int64(n)) }
+
+// Shards returns the recorded shard-process count.
+func (m *SelfMetrics) Shards() int64 { return m.shards.Load() }
+
+// ObserveShardWall records one shard child's end-to-end wall time.
+func (m *SelfMetrics) ObserveShardWall(wall time.Duration) {
+	m.shardMu.Lock()
+	m.shardWall = append(m.shardWall, wall)
+	m.shardMu.Unlock()
+}
+
+// ShardWalls returns a copy of the recorded per-shard wall times.
+func (m *SelfMetrics) ShardWalls() []time.Duration {
+	m.shardMu.Lock()
+	defer m.shardMu.Unlock()
+	return append([]time.Duration(nil), m.shardWall...)
+}
+
+// ShardImbalance returns max/mean over the recorded shard wall times: 1.0 is
+// a perfectly balanced partition, N is one shard doing all the work. Zero
+// when fewer than one shard reported.
+func (m *SelfMetrics) ShardImbalance() float64 {
+	walls := m.ShardWalls()
+	if len(walls) == 0 {
+		return 0
+	}
+	var sum, max time.Duration
+	for _, w := range walls {
+		sum += w
+		if w > max {
+			max = w
+		}
+	}
+	if sum <= 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(walls))
+	return float64(max) / mean
+}
+
+// ObserveCellWall attributes a completed cell's cumulative replicate wall
+// time, retaining the slowest slowestCap cells.
+func (m *SelfMetrics) ObserveCellWall(key string, wall time.Duration) {
+	m.cellMu.Lock()
+	defer m.cellMu.Unlock()
+	m.slowest = append(m.slowest, CellWall{Key: key, Wall: wall})
+	sort.Slice(m.slowest, func(i, j int) bool { return m.slowest[i].Wall > m.slowest[j].Wall })
+	if len(m.slowest) > slowestCap {
+		m.slowest = m.slowest[:slowestCap]
+	}
+}
+
+// SlowestCells returns the slowest observed cells, most expensive first.
+func (m *SelfMetrics) SlowestCells() []CellWall {
+	m.cellMu.Lock()
+	defer m.cellMu.Unlock()
+	return append([]CellWall(nil), m.slowest...)
 }
 
 // SchedMaxRungs returns the deepest ladder rung stack observed.
@@ -154,4 +242,25 @@ func (m *SelfMetrics) Register(reg *telemetry.Registry) {
 		func() float64 { return float64(m.SchedMaxRungs()) })
 	reg.Gauge("rsstcp_campaign_sched_max_size", "calendar occupancy high water over all engines",
 		func() float64 { return float64(m.SchedMaxSize()) })
+	reg.Gauge("rsstcp_campaign_shards", "resolved shard-process count (0 = unsharded)",
+		func() float64 { return float64(m.Shards()) })
+	reg.Gauge("rsstcp_campaign_shard_wall_max_seconds", "slowest shard child's wall time",
+		func() float64 {
+			var max time.Duration
+			for _, w := range m.ShardWalls() {
+				if w > max {
+					max = w
+				}
+			}
+			return max.Seconds()
+		})
+	reg.Gauge("rsstcp_campaign_shard_imbalance", "max/mean over per-shard wall times (1.0 = balanced)",
+		m.ShardImbalance)
+	reg.Gauge("rsstcp_campaign_cell_wall_max_seconds", "slowest cell's cumulative replicate wall time",
+		func() float64 {
+			if s := m.SlowestCells(); len(s) > 0 {
+				return s[0].Wall.Seconds()
+			}
+			return 0
+		})
 }

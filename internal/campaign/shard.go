@@ -107,7 +107,7 @@ func ExecuteShard(p Plan, shards, shard int, opts Options) (*ShardReport, error)
 	if err := validateShardArgs(shards, shard); err != nil {
 		return nil, err
 	}
-	owned := shardCells(cells, shards, shard)
+	owned := shardSpan(p, cells, shards, shard, opts.BalanceShards)
 
 	// Capture each cell's exact accumulator state at the instant the cell
 	// completes, before the folder recycles the accumulators.

@@ -478,6 +478,9 @@ func (s *Scenario) DetachFlow(f *Flow) {
 	if s.revDemux != nil {
 		s.revDemux.set(f.ID, 0, nil)
 	}
+	if s.ackDemux != nil {
+		s.ackDemux.set(f.ID, 0, nil)
+	}
 	if dynamic {
 		s.churn.freeIDs = append(s.churn.freeIDs, f.ID)
 	}
@@ -485,7 +488,7 @@ func (s *Scenario) DetachFlow(f *Flow) {
 		if s.churn.spareNICs == nil {
 			s.churn.spareNICs = map[int][]*host.Interface{}
 		}
-		first, _, _ := f.Spec.Route.span(len(s.hops))
+		first, _ := s.arena.Span(f.ID)
 		s.churn.spareNICs[first] = append(s.churn.spareNICs[first], f.NIC)
 	}
 	s.aggValid = false

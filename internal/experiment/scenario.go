@@ -323,34 +323,17 @@ type Flow struct {
 	detached bool
 }
 
-// builtHop is one assembled forward hop: the ingress chain (loss → reorder →
-// duplicate → link), the link with its queue, and the hop-local counters.
+// builtHop is one forward hop's per-scenario metadata: its resolved config
+// and the injectors fronting its ingress. The link, queue, RED and
+// propagation state all live in the scenario's netem.HopArena, packed in
+// parallel arrays indexed by hop id; per-flow egress routing is index
+// dispatch over route spans recorded in the arena (see HopArena.SetSpan), so
+// there is no per-hop Receiver chain to walk.
 type builtHop struct {
 	cfg     Hop
-	link    *netem.Link
-	queue   netem.StatQueue
-	entry   netem.Receiver // first element of the hop's ingress chain
 	loss    *netem.Loss
 	reorder *netem.Reorderer
 	dup     *netem.Duplicator
-	drops   int64 // queue refusals at this hop (tail or AQM)
-}
-
-// hopEgress routes a hop's output per flow: flows whose route ends at this
-// hop exit to the receiver demux, everything else continues into the next
-// hop's ingress chain. The last hop feeds the demux directly, so a one-hop
-// topology has no egress stage at all — the pre-topology wiring, exactly.
-type hopEgress struct {
-	s   *Scenario
-	hop int
-}
-
-func (e *hopEgress) Receive(seg *packet.Segment) {
-	if i := int(seg.Flow); i < len(e.s.exitHop) && e.s.exitHop[i] == e.hop {
-		e.s.dm.Receive(seg)
-		return
-	}
-	e.s.hops[e.hop+1].entry.Receive(seg)
 }
 
 // Scenario is a built, runnable testbed.
@@ -367,24 +350,36 @@ type Scenario struct {
 	// Topo is the resolved topology the scenario was built from (explicit,
 	// or compiled from Cfg.Path).
 	Topo Topology
-	// Bottleneck is the lowest-static-rate forward hop's link (ties resolve
-	// to the earliest hop) — the nominal bottleneck. Result.Utilization and
-	// TimeToUtil90 instead read the hop with the highest measured
-	// utilization, which on equal-rate multi-hop paths is the contended
-	// one; for a one-hop path the two coincide.
-	Bottleneck *netem.Link
+	// Bottleneck is the lowest-static-rate forward hop (ties resolve to the
+	// earliest hop) — the nominal bottleneck, as a handle into the hop
+	// arena. Result.Utilization and TimeToUtil90 instead read the hop with
+	// the highest measured utilization, which on equal-rate multi-hop paths
+	// is the contended one; for a one-hop path the two coincide.
+	Bottleneck netem.HopRef
 	hops       []builtHop
-	dm         *demux      // forward egress → per-flow receivers
-	exitHop    []int       // FlowID → index of the last hop the flow traverses
-	flowGen    []uint32    // FlowID → current incarnation (see demux)
-	revLink    *netem.Link // non-nil when the reverse channel is real
-	revQ       *netem.DropTail
-	revDemux   *demux // reverse egress → per-flow senders
-	revDrops   int64
-	drops      int64                             // forward queue refusals, summed over hops
-	hosts      map[int]*host.Interface           // shared NICs by FlowSpec.Host
-	hostEntry  map[int]int                       // shared NICs' first-hop index
-	rssByHost  map[int]*core.RestrictedSlowStart // shared controllers by FlowSpec.Host
+	// arena is the flattened forward data path: every hop's serializer,
+	// queue/RED and propagation state in packed parallel arrays, with
+	// per-flow route spans and index-based hop hand-off. It survives Reset
+	// and is reconfigured in place.
+	arena    *netem.HopArena
+	dm       *demux      // forward egress → per-flow receivers
+	flowGen  []uint32    // FlowID → current incarnation (see demux)
+	revLink  *netem.Link // non-nil when the reverse channel is real
+	revQ     *netem.DropTail
+	revDemux *demux // reverse egress → per-flow senders
+	revDrops int64
+	// Ideal reverse path (Reverse.Rate == 0): ACKs ride delay lines shared
+	// by every flow with the same reverse delay, feeding a sender demux —
+	// one armed calendar entry per distinct delay instead of one delay line
+	// per flow. Admission reserves each ACK's engine sequence exactly when
+	// a per-flow wire would have, so delivery order is byte-identical (see
+	// netem.DelayLine's ordering contract).
+	ackDemux  *demux
+	ackLines  []*netem.DelayLine
+	ackDelays []time.Duration
+	hosts     map[int]*host.Interface           // shared NICs by FlowSpec.Host
+	hostEntry map[int]int                       // shared NICs' first-hop index
+	rssByHost map[int]*core.RestrictedSlowStart // shared controllers by FlowSpec.Host
 
 	// churn is the dynamic-flow machinery (Cfg.Churn != nil): arrival
 	// source, size stream, live set and completed-flow records. Its nextID
@@ -479,11 +474,17 @@ func (s *Scenario) Reset(cfg Config) error {
 	clear(s.hosts)
 	clear(s.hostEntry)
 	clear(s.rssByHost)
-	s.Bottleneck, s.hops, s.dm = nil, nil, nil
-	s.exitHop = s.exitHop[:0]
+	s.Bottleneck, s.dm = netem.HopRef{}, nil
+	s.hops = s.hops[:0]
 	s.flowGen = s.flowGen[:0]
 	s.revLink, s.revQ, s.revDemux = nil, nil, nil
-	s.drops, s.revDrops = 0, 0
+	s.ackDemux = nil
+	for i := range s.ackLines {
+		s.ackLines[i] = nil
+	}
+	s.ackLines = s.ackLines[:0]
+	s.ackDelays = s.ackDelays[:0]
+	s.revDrops = 0
 	s.aggValid, s.aggTps, s.aggStats = false, nil, nil
 	s.churn.reset()
 	s.FR.Reset()
@@ -534,74 +535,80 @@ func (s *Scenario) init(cfg Config) error {
 	}
 	s.Topo = topo
 
-	// Forward path: the hop chain, assembled back to front so each hop's
-	// downstream exists when its link is built. Each hop is an ingress
-	// injector chain (loss → reorder → duplicate) feeding a queue + link;
-	// the last hop delivers to the flow demux, interior hops route through
-	// a per-flow egress (exit here, or continue).
+	// Forward path: the hop chain flattened into the arena — per-hop
+	// serializer, queue/RED and propagation state in parallel arrays, hop
+	// hand-off by index, flows exiting at their span's last hop straight to
+	// the flow demux. Each hop's ingress may still be fronted by an
+	// injector chain (loss → reorder → duplicate); those stay ordinary
+	// objects registered with the arena via SetEntry. Every hop arms the
+	// 0.9 ramp-speed watch on its running busy counter (one comparison per
+	// completed transmission), because which hop is the bottleneck is a
+	// load property, not a rate property: on an equal-rate parking lot the
+	// contended middle hop binds, not the lowest-rate one. Result-time
+	// figures (Utilization, TimeToUtil90, the "util" gauge) read the
+	// max-utilization hop; the exported Bottleneck handle holds the
+	// lowest-static-rate hop for callers that want the nominal bottleneck.
 	dm := &demux{}
 	s.dm = dm
 	n := len(topo.Hops)
-	s.hops = make([]builtHop, n)
-	for i := n - 1; i >= 0; i-- {
-		h := &s.hops[i]
-		h.cfg = topo.Hops[i]
-		switch h.cfg.Discipline {
-		case DiscRED:
-			red := netem.DefaultREDConfig(h.cfg.Queue)
-			if h.cfg.RED != nil {
-				red = *h.cfg.RED
+	if s.arena == nil {
+		s.arena = netem.NewHopArena(eng)
+	}
+	specs := make([]netem.HopSpec, n)
+	for i := range topo.Hops {
+		hc := topo.Hops[i]
+		sp := netem.HopSpec{Rate: hc.Rate, Delay: hc.Delay, Queue: hc.Queue, Watch: 0.9}
+		if hc.Discipline == DiscRED {
+			red := netem.DefaultREDConfig(hc.Queue)
+			if hc.RED != nil {
+				red = *hc.RED
 			}
-			h.queue = netem.NewRED(red, sim.NewRNG(injectorSeed(cfg.Seed, i, saltRED)))
-		default:
-			h.queue = netem.NewDropTail(h.cfg.Queue)
+			sp.RED = &red
+			sp.REDSeed = injectorSeed(cfg.Seed, i, saltRED)
 		}
-		var dst netem.Receiver = dm
-		if i < n-1 {
-			dst = &hopEgress{s: s, hop: i}
-		}
-		h.link = netem.NewLink(eng, h.cfg.Rate, h.cfg.Delay, h.queue, dst)
-		h.link.OnDrop = func(*packet.Segment) { h.drops++; s.drops++ }
-		h.link.FR, h.link.Hop = s.FR, int32(i)
-		entry := netem.Receiver(h.link)
+		specs[i] = sp
+	}
+	s.arena.Configure(specs, dm, s.FR)
+	if cap(s.hops) < n {
+		s.hops = make([]builtHop, n)
+	}
+	s.hops = s.hops[:n]
+	for i := range topo.Hops {
+		h := &s.hops[i]
+		*h = builtHop{cfg: topo.Hops[i]}
+		entry := s.arena.Direct(i)
+		hasChain := false
 		if h.cfg.DuplicateP > 0 {
 			h.dup = &netem.Duplicator{
 				P: h.cfg.DuplicateP, RNG: sim.NewRNG(injectorSeed(cfg.Seed, i, saltDup)), Next: entry,
 				FR: s.FR, Eng: eng, Hop: int32(i),
 			}
-			entry = h.dup
+			entry, hasChain = h.dup, true
 		}
 		if h.cfg.ReorderP > 0 {
 			h.reorder = netem.NewReorderer(eng, h.cfg.ReorderP, h.cfg.ReorderDelay,
 				sim.NewRNG(injectorSeed(cfg.Seed, i, saltReorder)), entry)
 			h.reorder.FR, h.reorder.Hop = s.FR, int32(i)
-			entry = h.reorder
+			entry, hasChain = h.reorder, true
 		}
 		if h.cfg.Loss > 0 {
 			h.loss = &netem.Loss{
 				P: h.cfg.Loss, RNG: sim.NewRNG(injectorSeed(cfg.Seed, i, saltLoss)), Next: entry,
 				FR: s.FR, Eng: eng, Hop: int32(i),
 			}
-			entry = h.loss
+			entry, hasChain = h.loss, true
 		}
-		h.entry = entry
+		if hasChain {
+			s.arena.SetEntry(i, entry)
+		}
 	}
-
-	// Every hop keeps the 0.9 ramp-speed mark on its running busy counter
-	// (one comparison per completed transmission), because which hop is the
-	// bottleneck is a load property, not a rate property: on an equal-rate
-	// parking lot the contended middle hop binds, not the lowest-rate one.
-	// Result-time figures (Utilization, TimeToUtil90, the "util" gauge)
-	// read the max-utilization hop; the exported Bottleneck field holds the
-	// lowest-static-rate hop for callers that want the nominal bottleneck.
 	bn := 0
-	for i := 0; i < n; i++ {
-		s.hops[i].link.WatchUtilization(0.9)
+	for i := 1; i < n; i++ {
 		if topo.Hops[i].Rate < topo.Hops[bn].Rate {
 			bn = i
 		}
 	}
-	s.Bottleneck = s.hops[bn].link
+	s.Bottleneck = s.arena.Hop(bn)
 
 	// Reverse channel: a real shared link when Reverse.Rate is set — ACKs
 	// from every flow queue behind one serializer, then a reverse demux
@@ -617,6 +624,11 @@ func (s *Scenario) init(cfg Config) error {
 		s.revLink = netem.NewLink(eng, topo.Reverse.Rate, rd, s.revQ, s.revDemux)
 		s.revLink.OnDrop = func(*packet.Segment) { s.revDrops++ }
 		s.revLink.FR, s.revLink.Hop = s.FR, -1
+	} else {
+		// Ideal reverse: one shared delay line per distinct reverse delay
+		// (created on demand in flow build order), all feeding the ACK
+		// demux, which routes by FlowID + generation to each sender.
+		s.ackDemux = &demux{}
 	}
 
 	for i, spec := range cfg.Flows {
@@ -645,9 +657,9 @@ func (s *Scenario) init(cfg Config) error {
 		// records exactly the pre-topology series set.
 		if n > 1 {
 			for i := range s.hops {
-				q := s.hops[i].queue
+				hop := i
 				rec.Gauge(fmt.Sprintf("hopq/%d", i), func() float64 {
-					return float64(q.Len())
+					return float64(s.arena.QueueLen(hop))
 				})
 			}
 		}
@@ -659,27 +671,34 @@ func (s *Scenario) init(cfg Config) error {
 	return nil
 }
 
-// bottleneck returns the link of the hop whose serializer has the highest
+// bottleneck returns a handle to the hop whose serializer has the highest
 // cumulative utilization at now — the stage that actually binds the path
 // under the run's load (earliest hop on ties, so a one-hop path is trivially
 // its own bottleneck and pre-topology figures are unchanged).
-func (s *Scenario) bottleneck(now sim.Time) *netem.Link {
+func (s *Scenario) bottleneck(now sim.Time) netem.HopRef {
 	best := 0
-	bu := s.hops[0].link.Utilization(now)
+	bu := s.arena.Utilization(0, now)
 	for i := 1; i < len(s.hops); i++ {
-		if u := s.hops[i].link.Utilization(now); u > bu {
+		if u := s.arena.Utilization(i, now); u > bu {
 			best, bu = i, u
 		}
 	}
-	return s.hops[best].link
+	return s.arena.Hop(best)
 }
 
-// setExit records the last hop of a flow's route for the egress routers.
-func (s *Scenario) setExit(id packet.FlowID, last int) {
-	for int(id) >= len(s.exitHop) {
-		s.exitHop = append(s.exitHop, 0)
+// ackLine returns the shared ideal-reverse delay line for delay d, creating
+// it on first use. Lines are keyed by exact delay (a handful of distinct
+// values per topology), so a linear scan beats any map.
+func (s *Scenario) ackLine(d time.Duration) *netem.DelayLine {
+	for i, ad := range s.ackDelays {
+		if ad == d {
+			return s.ackLines[i]
+		}
 	}
-	s.exitHop[id] = last
+	l := netem.NewDelayLine(s.Eng, d, s.ackDemux)
+	s.ackDelays = append(s.ackDelays, d)
+	s.ackLines = append(s.ackLines, l)
+	return l
 }
 
 // nextGen advances and returns the FlowID's incarnation counter. The first
@@ -708,7 +727,7 @@ func buildFlow(s *Scenario, spec FlowSpec, id packet.FlowID, dynamic bool) (*Flo
 	if err != nil {
 		return nil, err
 	}
-	s.setExit(id, last)
+	s.arena.SetSpan(id, first, last)
 	gen := s.nextGen(id)
 
 	tcpCfg := tcp.DefaultConfig()
@@ -741,7 +760,7 @@ func buildFlow(s *Scenario, spec FlowSpec, id packet.FlowID, dynamic bool) (*Flo
 		nic = host.NewInterface(eng, host.InterfaceConfig{
 			Rate:       cfg.Path.NICRate,
 			TxQueueLen: cfg.Path.TxQueueLen,
-		}, s.hops[first].entry)
+		}, s.arena.Ingress(first))
 		if spec.Host != 0 {
 			s.hosts[spec.Host] = nic
 			s.hostEntry[spec.Host] = first
@@ -758,14 +777,14 @@ func buildFlow(s *Scenario, spec FlowSpec, id packet.FlowID, dynamic bool) (*Flo
 		reno.SetTelemetry(s.FR, int32(id))
 	}
 
-	// Reverse path: receiver -> reverse channel -> sender (sender set
-	// below). With a real reverse link the ACKs join the shared queue;
-	// otherwise the flow gets an ideal wire whose delay mirrors its route.
+	// Reverse path: receiver -> reverse channel -> sender. With a real
+	// reverse link the ACKs join the shared queue; otherwise they ride the
+	// shared ideal delay line matching the flow's route delay. Either way a
+	// demux hands them to the sender by FlowID + generation — the route is
+	// registered right after the sender exists, before any data (and hence
+	// any ACK) can be in flight.
 	var ackPath netem.Receiver
 	if s.revLink != nil {
-		s.revDemux.set(id, gen, netem.Func(func(seg *packet.Segment) {
-			flow.Sender.Receive(seg)
-		}))
 		ackPath = s.revLink
 	} else {
 		rd := s.Topo.Reverse.Delay
@@ -774,15 +793,18 @@ func buildFlow(s *Scenario, spec FlowSpec, id packet.FlowID, dynamic bool) (*Flo
 				rd += s.Topo.Hops[i].Delay
 			}
 		}
-		ackPath = netem.NewWire(eng, rd, netem.Func(func(seg *packet.Segment) {
-			flow.Sender.Receive(seg)
-		}))
+		ackPath = s.ackLine(rd)
 	}
 	flow.Receiver = tcp.NewReceiver(eng, tcpCfg, id, ackPath)
 	dm.set(id, gen, flow.Receiver)
 
 	flow.Sender = tcp.NewSender(eng, tcpCfg, id, ctrl, nic)
 	flow.Sender.SetFlightRecorder(s.FR)
+	if s.revLink != nil {
+		s.revDemux.set(id, gen, flow.Sender)
+	} else {
+		s.ackDemux.set(id, gen, flow.Sender)
+	}
 	if s.Rec.Enabled() && !dynamic {
 		flow.Stalls = trace.NewCounter(s.Rec, fmt.Sprintf("stalls/%d", id))
 
@@ -966,10 +988,10 @@ func (s *Scenario) resultFor(i int) Result {
 	for hi := range s.hops {
 		h := &s.hops[hi]
 		hs := HopStats{
-			Drops:       h.drops,
-			MaxQueue:    h.queue.Stats().MaxLen,
-			AvgQueue:    h.link.AvgQueueLen(now),
-			Utilization: h.link.Utilization(now),
+			Drops:       s.arena.Drops(hi),
+			MaxQueue:    s.arena.QueueStats(hi).MaxLen,
+			AvgQueue:    s.arena.AvgQueueLen(hi, now),
+			Utilization: s.arena.Utilization(hi, now),
 		}
 		if h.loss != nil {
 			hs.LossDrops = h.loss.Dropped()
@@ -996,7 +1018,7 @@ func (s *Scenario) resultFor(i int) Result {
 	}
 	res := Result{
 		Utilization:     bn.Utilization(now),
-		RouterDrops:     s.drops,
+		RouterDrops:     s.arena.DropTotal(),
 		InjectedDrops:   injected,
 		Duration:        now.Duration(),
 		FlowThroughputs: tps,
